@@ -1,0 +1,78 @@
+//! Conversions between encodings at datapath boundaries.
+//!
+//! The hbfp8 datapath converts MMU outputs (block floating point) to
+//! bfloat16 for the SIMD unit, and SIMD results back to block floating
+//! point before they re-enter the activation buffer (§3.2). These helpers
+//! model those conversions on dense matrices.
+
+use crate::bf16::Bf16;
+use crate::hbfp::{BlockAxis, HbfpMatrix, HbfpSpec};
+use crate::matrix::Matrix;
+
+/// Rounds every element of a matrix to bfloat16 precision.
+///
+/// Models the MMU→SIMD boundary of the hbfp8 datapath and every
+/// SIMD-unit operation result (the SIMD unit is bfloat16 in *both*
+/// datapath variants).
+pub fn matrix_to_bf16(m: &Matrix) -> Matrix {
+    m.map(|v| Bf16::from_f32(v).to_f32())
+}
+
+/// Quantizes a matrix to hbfp8 and immediately dequantizes it, yielding
+/// the values as seen by the next GEMM after a SIMD→buffer write-back.
+pub fn matrix_through_hbfp(m: &Matrix, axis: BlockAxis, spec: HbfpSpec) -> Matrix {
+    HbfpMatrix::quantize(m, axis, spec).dequantize()
+}
+
+/// The full SIMD write-back path of the hbfp8 datapath: round to
+/// bfloat16 (SIMD result), then quantize to block floating point
+/// (activation-buffer storage), returning the dense view.
+pub fn simd_writeback_hbfp(m: &Matrix, spec: HbfpSpec) -> Matrix {
+    matrix_through_hbfp(&matrix_to_bf16(m), BlockAxis::Row, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bf16_matrix_rounding_is_elementwise() {
+        let m = Matrix::from_vec(1, 3, vec![1.0, 1.01, -2.5]);
+        let r = matrix_to_bf16(&m);
+        assert_eq!(r.get(0, 0), 1.0);
+        assert_eq!(r.get(0, 2), -2.5);
+        assert_eq!(r.get(0, 1), Bf16::from_f32(1.01).to_f32());
+    }
+
+    #[test]
+    fn hbfp_pass_through_preserves_representable() {
+        let m = Matrix::from_fn(3, 8, |r, c| (r as f32 - c as f32) * 0.25);
+        let r = matrix_through_hbfp(&m, BlockAxis::Row, HbfpSpec::hbfp8());
+        assert_eq!(r, m);
+    }
+
+    #[test]
+    fn simd_writeback_is_idempotent() {
+        let m = Matrix::from_fn(4, 16, |r, c| ((r * 16 + c) as f32).sin());
+        let once = simd_writeback_hbfp(&m, HbfpSpec::hbfp8());
+        let twice = simd_writeback_hbfp(&once, HbfpSpec::hbfp8());
+        // A value already on the hbfp8∘bf16 grid stays there.
+        let err = crate::metrics::relative_frobenius_error(&once, &twice);
+        assert!(err < 1e-2, "writeback drifted: {err}");
+    }
+
+    proptest! {
+        #[test]
+        fn writeback_error_bounded(seed in 0u64..100) {
+            let mut s = seed.wrapping_mul(0x9E37_79B9) | 1;
+            let m = Matrix::from_fn(4, 8, |_, _| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            });
+            let r = simd_writeback_hbfp(&m, HbfpSpec::hbfp8());
+            let err = crate::metrics::relative_frobenius_error(&m, &r);
+            prop_assert!(err < 0.05, "error {err}");
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Fixed-point primitives used inside the hbfp8 systolic arrays.
+//!
+//! The paper's hbfp8 datapath uses 8-bit fixed-point multipliers and
+//! 25-bit fixed-point accumulators inside each processing element
+//! (§3.2: "we use 8-bit multipliers and 25-bit accumulators, both
+//! operating in fixed point"). This module models those exact widths,
+//! including saturation on accumulator overflow, so that the software
+//! GEMM kernels are bit-faithful to the hardware.
+
+/// Signed 8-bit fixed-point mantissa as stored in hbfp8 buffers.
+///
+/// The value it denotes is `mantissa × 2^(block_exponent - FRAC_BITS)`;
+/// the exponent lives at the block level (see [`crate::HbfpBlock`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Q8(pub i8);
+
+impl Q8 {
+    /// Number of fractional bits when interpreting the mantissa as a
+    /// fixed-point fraction in [-1, 1): the full 7 magnitude bits.
+    pub const FRAC_BITS: u32 = 7;
+    /// Largest representable mantissa.
+    pub const MAX: Q8 = Q8(i8::MAX);
+    /// Smallest representable mantissa.
+    pub const MIN: Q8 = Q8(i8::MIN);
+
+    /// Multiplies two mantissas exactly into 16 bits (never overflows:
+    /// |i8×i8| ≤ 2^14).
+    pub fn widening_mul(self, rhs: Q8) -> i16 {
+        (self.0 as i16) * (rhs.0 as i16)
+    }
+
+    /// Quantizes a real value in units of `2^-FRAC_BITS` with
+    /// round-to-nearest and saturation to the i8 range.
+    pub fn saturating_from_scaled(value: f32) -> Q8 {
+        let r = value.round();
+        if r >= i8::MAX as f32 {
+            Q8::MAX
+        } else if r <= i8::MIN as f32 {
+            Q8::MIN
+        } else {
+            Q8(r as i8)
+        }
+    }
+}
+
+/// The 25-bit saturating accumulator of an hbfp8 processing element.
+///
+/// Products of 8-bit mantissas are at most 2^14 in magnitude, so a 25-bit
+/// accumulator absorbs 2^10 = 1024 worst-case accumulations before
+/// saturating — enough for the paper's tile sizes (`n·w ≤ 1024` on the
+/// Pareto frontier). Saturation (not wrap-around) matches DNN-accelerator
+/// practice.
+///
+/// # Example
+///
+/// ```
+/// use equinox_arith::{Accumulator25, Q8};
+/// let mut acc = Accumulator25::new();
+/// acc.mac(Q8(100), Q8(100));
+/// acc.mac(Q8(-50), Q8(20));
+/// assert_eq!(acc.value(), 100 * 100 - 50 * 20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Accumulator25 {
+    value: i32,
+    saturated: bool,
+}
+
+impl Accumulator25 {
+    /// Maximum representable accumulator value: 2^24 - 1.
+    pub const MAX: i32 = (1 << 24) - 1;
+    /// Minimum representable accumulator value: -2^24.
+    pub const MIN: i32 = -(1 << 24);
+
+    /// Creates a zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Multiply-accumulate one pair of mantissas, saturating at 25 bits.
+    pub fn mac(&mut self, a: Q8, b: Q8) {
+        self.add_product(a.widening_mul(b) as i32);
+    }
+
+    /// Adds a raw (already multiplied) product, saturating at 25 bits.
+    pub fn add_product(&mut self, product: i32) {
+        let sum = self.value.saturating_add(product);
+        if sum > Self::MAX {
+            self.value = Self::MAX;
+            self.saturated = true;
+        } else if sum < Self::MIN {
+            self.value = Self::MIN;
+            self.saturated = true;
+        } else {
+            self.value = sum;
+        }
+    }
+
+    /// Current accumulator value.
+    pub fn value(&self) -> i32 {
+        self.value
+    }
+
+    /// True if any accumulation saturated; useful to detect tile shapes
+    /// that exceed the hardware's dynamic range.
+    pub fn has_saturated(&self) -> bool {
+        self.saturated
+    }
+
+    /// Resets to zero, clearing the saturation flag.
+    pub fn reset(&mut self) {
+        self.value = 0;
+        self.saturated = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn q8_widening_mul_extremes() {
+        assert_eq!(Q8(i8::MIN).widening_mul(Q8(i8::MIN)), 16384);
+        assert_eq!(Q8(i8::MAX).widening_mul(Q8(i8::MIN)), -16256);
+        assert_eq!(Q8(0).widening_mul(Q8(i8::MAX)), 0);
+    }
+
+    #[test]
+    fn q8_saturating_from_scaled() {
+        assert_eq!(Q8::saturating_from_scaled(300.0), Q8::MAX);
+        assert_eq!(Q8::saturating_from_scaled(-300.0), Q8::MIN);
+        assert_eq!(Q8::saturating_from_scaled(3.4), Q8(3));
+        assert_eq!(Q8::saturating_from_scaled(-3.6), Q8(-4));
+    }
+
+    #[test]
+    fn accumulator_basic_mac() {
+        let mut acc = Accumulator25::new();
+        acc.mac(Q8(10), Q8(20));
+        acc.mac(Q8(-5), Q8(4));
+        assert_eq!(acc.value(), 200 - 20);
+        assert!(!acc.has_saturated());
+    }
+
+    #[test]
+    fn accumulator_saturates_high() {
+        let mut acc = Accumulator25::new();
+        // 1025 worst-case positive products exceed 2^24 - 1.
+        for _ in 0..1025 {
+            acc.mac(Q8(i8::MIN), Q8(i8::MIN));
+        }
+        assert_eq!(acc.value(), Accumulator25::MAX);
+        assert!(acc.has_saturated());
+    }
+
+    #[test]
+    fn accumulator_saturates_low() {
+        let mut acc = Accumulator25::new();
+        for _ in 0..1040 {
+            acc.mac(Q8(i8::MIN), Q8(i8::MAX));
+        }
+        assert_eq!(acc.value(), Accumulator25::MIN);
+        assert!(acc.has_saturated());
+    }
+
+    #[test]
+    fn accumulator_reset() {
+        let mut acc = Accumulator25::new();
+        acc.mac(Q8(100), Q8(100));
+        acc.reset();
+        assert_eq!(acc.value(), 0);
+        assert!(!acc.has_saturated());
+    }
+
+    #[test]
+    fn exactly_1024_worst_case_products_fit() {
+        // 1024 × 2^14 = 2^24 > 2^24 - 1, so the 1024th saturates by one;
+        // 1023 fit exactly.
+        let mut acc = Accumulator25::new();
+        for _ in 0..1023 {
+            acc.mac(Q8(i8::MIN), Q8(i8::MIN));
+        }
+        assert!(!acc.has_saturated());
+        assert_eq!(acc.value(), 1023 * 16384);
+    }
+
+    proptest! {
+        #[test]
+        fn accumulator_matches_i64_when_in_range(
+            pairs in proptest::collection::vec((any::<i8>(), any::<i8>()), 0..512)
+        ) {
+            let mut acc = Accumulator25::new();
+            let mut exact: i64 = 0;
+            for &(a, b) in &pairs {
+                acc.mac(Q8(a), Q8(b));
+                exact += (a as i64) * (b as i64);
+            }
+            // 512 products can never leave the 25-bit range mid-stream
+            // unless exact itself leaves it.
+            if exact <= Accumulator25::MAX as i64 && exact >= Accumulator25::MIN as i64
+                && !acc.has_saturated() {
+                prop_assert_eq!(acc.value() as i64, exact);
+            }
+        }
+
+        #[test]
+        fn accumulator_never_exceeds_25_bits(
+            pairs in proptest::collection::vec((any::<i8>(), any::<i8>()), 0..4096)
+        ) {
+            let mut acc = Accumulator25::new();
+            for &(a, b) in &pairs {
+                acc.mac(Q8(a), Q8(b));
+                prop_assert!(acc.value() <= Accumulator25::MAX);
+                prop_assert!(acc.value() >= Accumulator25::MIN);
+            }
+        }
+    }
+}

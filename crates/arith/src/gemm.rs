@@ -1,0 +1,333 @@
+//! GEMM kernels for each encoding the paper evaluates.
+//!
+//! * [`gemm_f32`] — the fp32 software baseline.
+//! * [`gemm_bf16`] — bfloat16 operands, fp32 accumulation (TPUv2/v3-style,
+//!   the paper's bfloat16 datapath variant).
+//! * [`gemm_hbfp`] — hbfp8: operands quantized to HBFP blocks along the
+//!   reduction dimension, block-pair dot products on 8-bit multipliers
+//!   with 25-bit saturating accumulators, partial sums combined and the
+//!   result rounded to bfloat16 at the MMU→SIMD boundary (§3.2).
+//!
+//! The kernels are bit-faithful models of the datapath, not fast BLAS;
+//! they are used by the trainer for the Figure 2 convergence study.
+
+use crate::bf16::Bf16;
+use crate::hbfp::{BlockAxis, HbfpMatrix, HbfpSpec};
+use crate::matrix::Matrix;
+
+/// Configuration of the hbfp8 GEMM datapath model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HbfpGemmConfig {
+    /// HBFP format (mantissa/exponent widths, block size).
+    pub spec: HbfpSpec,
+    /// Round the final output to bfloat16, modeling the MMU→SIMD
+    /// conversion the hardware performs. Enabled by default.
+    pub round_output_to_bf16: bool,
+}
+
+impl Default for HbfpGemmConfig {
+    fn default() -> Self {
+        HbfpGemmConfig { spec: HbfpSpec::hbfp8(), round_output_to_bf16: true }
+    }
+}
+
+/// Checks GEMM operand shapes, panicking with a clear message.
+fn check_shapes(a: &Matrix, b: &Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "GEMM shape mismatch: a is {}x{}, b is {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+}
+
+/// Single-precision GEMM: `a (m×k) · b (k×n) -> m×n`.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use equinox_arith::{Matrix, gemm::gemm_f32};
+/// let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+/// let b = Matrix::from_vec(2, 1, vec![3.0, 4.0]);
+/// assert_eq!(gemm_f32(&a, &b).get(0, 0), 11.0);
+/// ```
+pub fn gemm_f32(a: &Matrix, b: &Matrix) -> Matrix {
+    check_shapes(a, b);
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    // Transposing b gives contiguous access along the reduction.
+    let bt = b.transpose();
+    for i in 0..m {
+        let arow = a.row(i);
+        for j in 0..n {
+            let bcol = bt.row(j);
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += arow[kk] * bcol[kk];
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// bfloat16 GEMM with fp32 accumulation.
+///
+/// Both operands are rounded to bfloat16 before multiplication (as they
+/// would be when stored in the bfloat16 datapath's buffers); each product
+/// is exact in fp32 and accumulation happens at full fp32 precision
+/// (the paper's bfloat16 variant uses single-precision accumulators).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn gemm_bf16(a: &Matrix, b: &Matrix) -> Matrix {
+    check_shapes(a, b);
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let qa: Vec<Bf16> = a.as_slice().iter().map(|&v| Bf16::from_f32(v)).collect();
+    let qbt: Vec<Bf16> = b
+        .transpose()
+        .as_slice()
+        .iter()
+        .map(|&v| Bf16::from_f32(v))
+        .collect();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc = qa[i * k + kk].fma_into_f32(qbt[j * k + kk], acc);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// hbfp8 GEMM.
+///
+/// `a` is blocked along rows and `b` along columns (both along the
+/// reduction dimension k). Each block pair is reduced on the modeled
+/// 8-bit × 8-bit multipliers into a 25-bit saturating accumulator with one
+/// exponent add; partial block sums are combined in fp32 (the across-tile
+/// accumulation instructions), and the final result is rounded to
+/// bfloat16 if [`HbfpGemmConfig::round_output_to_bf16`] is set.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn gemm_hbfp(a: &Matrix, b: &Matrix, config: &HbfpGemmConfig) -> Matrix {
+    check_shapes(a, b);
+    let qa = HbfpMatrix::quantize(a, BlockAxis::Row, config.spec);
+    let qb = HbfpMatrix::quantize(b, BlockAxis::Col, config.spec);
+    gemm_hbfp_prequantized(&qa, &qb, config)
+}
+
+/// hbfp8 GEMM over operands that are already quantized.
+///
+/// Useful when one operand (weights) is reused across many GEMMs, as in
+/// the trainer's forward passes.
+///
+/// # Panics
+///
+/// Panics if the shapes mismatch or the blocking axes are not
+/// row-for-`a` / column-for-`b`.
+pub fn gemm_hbfp_prequantized(
+    a: &HbfpMatrix,
+    b: &HbfpMatrix,
+    config: &HbfpGemmConfig,
+) -> Matrix {
+    assert_eq!(a.axis(), BlockAxis::Row, "left operand must be row-blocked");
+    assert_eq!(b.axis(), BlockAxis::Col, "right operand must be column-blocked");
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "GEMM shape mismatch: a is {}x{}, b is {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, n) = (a.rows(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_blocks = a.lane_blocks(i);
+        for j in 0..n {
+            let b_blocks = b.lane_blocks(j);
+            debug_assert_eq!(a_blocks.len(), b_blocks.len());
+            // fp32 across-block accumulation (the "x instructions that add
+            // intermediate output tiles").
+            let mut acc = 0.0f32;
+            for (ab, bb) in a_blocks.iter().zip(b_blocks) {
+                acc += ab.dot(bb);
+            }
+            let v = if config.round_output_to_bf16 {
+                Bf16::from_f32(acc).to_f32()
+            } else {
+                acc
+            };
+            out.set(i, j, v);
+        }
+    }
+    out
+}
+
+/// Counts the multiply-accumulate operations of a GEMM, the unit used for
+/// all paper throughput numbers (each MAC is 2 Ops).
+pub fn gemm_macs(m: usize, k: usize, n: usize) -> u64 {
+    m as u64 * k as u64 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::relative_frobenius_error;
+    use proptest::prelude::*;
+
+    fn test_matrices(m: usize, k: usize, n: usize, seed: u64) -> (Matrix, Matrix) {
+        // Simple deterministic LCG so tests need no RNG dependency here.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64) as f32 * 2.0 - 1.0
+        };
+        let a = Matrix::from_fn(m, k, |_, _| next());
+        let b = Matrix::from_fn(k, n, |_, _| next());
+        (a, b)
+    }
+
+    #[test]
+    fn f32_identity() {
+        let a = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        let b = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        assert_eq!(gemm_f32(&a, &b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "GEMM shape mismatch")]
+    fn shape_mismatch_panics() {
+        gemm_f32(&Matrix::zeros(2, 3), &Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn bf16_close_to_f32() {
+        let (a, b) = test_matrices(8, 32, 8, 42);
+        let exact = gemm_f32(&a, &b);
+        let approx = gemm_bf16(&a, &b);
+        let err = relative_frobenius_error(&exact, &approx);
+        assert!(err < 0.02, "bf16 error too large: {err}");
+    }
+
+    #[test]
+    fn hbfp_close_to_f32() {
+        let (a, b) = test_matrices(8, 64, 8, 7);
+        let exact = gemm_f32(&a, &b);
+        let approx = gemm_hbfp(&a, &b, &HbfpGemmConfig::default());
+        let err = relative_frobenius_error(&exact, &approx);
+        assert!(err < 0.1, "hbfp8 error too large: {err}");
+    }
+
+    #[test]
+    fn hbfp_exact_for_representable_inputs() {
+        // Small integers are exactly representable in 8-bit mantissas and
+        // products stay within the 25-bit accumulator.
+        let a = Matrix::from_fn(4, 8, |r, c| ((r + c) % 5) as f32 - 2.0);
+        let b = Matrix::from_fn(8, 4, |r, c| ((r * c) % 7) as f32 - 3.0);
+        let exact = gemm_f32(&a, &b);
+        let cfg = HbfpGemmConfig { round_output_to_bf16: false, ..Default::default() };
+        let approx = gemm_hbfp(&a, &b, &cfg);
+        assert_eq!(exact, approx);
+    }
+
+    #[test]
+    fn hbfp_prequantized_matches_oneshot() {
+        let (a, b) = test_matrices(5, 24, 6, 11);
+        let cfg = HbfpGemmConfig::default();
+        let qa = HbfpMatrix::quantize(&a, BlockAxis::Row, cfg.spec);
+        let qb = HbfpMatrix::quantize(&b, BlockAxis::Col, cfg.spec);
+        assert_eq!(gemm_hbfp(&a, &b, &cfg), gemm_hbfp_prequantized(&qa, &qb, &cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "row-blocked")]
+    fn prequantized_wrong_axis_panics() {
+        let m = Matrix::zeros(4, 4);
+        let q = HbfpMatrix::quantize(&m, BlockAxis::Col, HbfpSpec::hbfp8());
+        gemm_hbfp_prequantized(&q, &q, &HbfpGemmConfig::default());
+    }
+
+    #[test]
+    fn bf16_output_rounding_applied() {
+        let (a, b) = test_matrices(4, 16, 4, 3);
+        let cfg = HbfpGemmConfig::default();
+        let out = gemm_hbfp(&a, &b, &cfg);
+        for &v in out.as_slice() {
+            assert_eq!(v, Bf16::from_f32(v).to_f32(), "output must be bf16-representable");
+        }
+    }
+
+    #[test]
+    fn macs_count() {
+        assert_eq!(gemm_macs(2, 3, 4), 24);
+        assert_eq!(gemm_macs(0, 3, 4), 0);
+    }
+
+    #[test]
+    fn hbfp_error_smaller_with_larger_mantissa_budget() {
+        // Sanity: block size 1 (per-value exponent ~ minifloat) should be
+        // at least as accurate as block size 64 on heterogeneous data.
+        let a = Matrix::from_fn(4, 64, |_, c| if c % 16 == 0 { 100.0 } else { 0.01 });
+        let b = Matrix::from_fn(64, 4, |r, _| if r % 16 == 0 { 100.0 } else { 0.01 });
+        let exact = gemm_f32(&a, &b);
+        let small = HbfpGemmConfig {
+            spec: HbfpSpec::hbfp8_with_block(1),
+            round_output_to_bf16: false,
+        };
+        let large = HbfpGemmConfig {
+            spec: HbfpSpec::hbfp8_with_block(64),
+            round_output_to_bf16: false,
+        };
+        let err_small = relative_frobenius_error(&exact, &gemm_hbfp(&a, &b, &small));
+        let err_large = relative_frobenius_error(&exact, &gemm_hbfp(&a, &b, &large));
+        assert!(err_small <= err_large + 1e-6, "small {err_small} vs large {err_large}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn hbfp_error_bounded(
+            m in 1usize..6, k in 1usize..48, n in 1usize..6, seed in 0u64..1000
+        ) {
+            let (a, b) = test_matrices(m, k, n, seed);
+            let exact = gemm_f32(&a, &b);
+            let approx = gemm_hbfp(&a, &b, &HbfpGemmConfig::default());
+            // hbfp8 with block 16 on unit-scale data: relative error well
+            // under 1 (loose bound; tight behaviour asserted above).
+            let err = relative_frobenius_error(&exact, &approx);
+            prop_assert!(err < 0.5, "error {err}");
+        }
+
+        #[test]
+        fn gemm_dims(m in 1usize..5, k in 1usize..5, n in 1usize..5) {
+            let (a, b) = test_matrices(m, k, n, 1);
+            for out in [
+                gemm_f32(&a, &b),
+                gemm_bf16(&a, &b),
+                gemm_hbfp(&a, &b, &HbfpGemmConfig::default()),
+            ] {
+                prop_assert_eq!(out.rows(), m);
+                prop_assert_eq!(out.cols(), n);
+            }
+        }
+    }
+}

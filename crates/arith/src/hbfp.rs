@@ -1,0 +1,432 @@
+//! Hybrid block floating point (HBFP) encoding.
+//!
+//! HBFP (Drumond et al., NeurIPS'18) stores tensors as blocks of
+//! fixed-point mantissas sharing a single exponent. Equinox uses 8-bit
+//! mantissas and a 12-bit shared exponent (`hbfp8`). All matrix
+//! multiplications happen in the fixed-point domain (8-bit multipliers,
+//! 25-bit accumulators, exponents added once per block pair); all other
+//! operations happen in bfloat16 on the SIMD unit.
+//!
+//! Blocks run along the *reduction* (k) dimension of a GEMM so a block
+//! pair can be consumed by a systolic-array pass with a single exponent
+//! add: activations are blocked within rows, weights within columns.
+
+use crate::fixed::{Accumulator25, Q8};
+
+/// Static description of an HBFP format.
+///
+/// # Example
+///
+/// ```
+/// use equinox_arith::HbfpSpec;
+/// let spec = HbfpSpec::hbfp8();
+/// assert_eq!(spec.mantissa_bits, 8);
+/// assert_eq!(spec.exponent_bits, 12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HbfpSpec {
+    /// Bits per mantissa, including sign (8 for hbfp8).
+    pub mantissa_bits: u32,
+    /// Bits of the shared block exponent (12 for hbfp8).
+    pub exponent_bits: u32,
+    /// Number of values sharing one exponent.
+    pub block_size: usize,
+}
+
+impl HbfpSpec {
+    /// The paper's hbfp8 format: 8-bit mantissas, 12-bit shared exponent,
+    /// 16-value blocks (a common HBFP operating point; the convergence
+    /// results in the HBFP paper hold for blocks up to 576 values).
+    pub fn hbfp8() -> Self {
+        HbfpSpec { mantissa_bits: 8, exponent_bits: 12, block_size: 16 }
+    }
+
+    /// hbfp8 with a caller-chosen block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn hbfp8_with_block(block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        HbfpSpec { block_size, ..Self::hbfp8() }
+    }
+
+    /// Exponent range of the shared exponent: `[-2^(b-1), 2^(b-1) - 1]`.
+    pub fn exponent_range(&self) -> (i32, i32) {
+        let half = 1i32 << (self.exponent_bits - 1);
+        (-half, half - 1)
+    }
+
+    /// Largest mantissa magnitude: `2^(mantissa_bits-1) - 1` (127 for hbfp8).
+    pub fn mantissa_max(&self) -> i32 {
+        (1i32 << (self.mantissa_bits - 1)) - 1
+    }
+
+    /// Storage bits for one block: mantissas plus the shared exponent.
+    pub fn block_storage_bits(&self) -> usize {
+        self.block_size * self.mantissa_bits as usize + self.exponent_bits as usize
+    }
+}
+
+impl Default for HbfpSpec {
+    fn default() -> Self {
+        Self::hbfp8()
+    }
+}
+
+/// One HBFP block: `block_size` 8-bit mantissas sharing one exponent.
+///
+/// A value `i` denotes `mantissa[i] · 2^exponent`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HbfpBlock {
+    mantissas: Vec<Q8>,
+    exponent: i32,
+}
+
+impl HbfpBlock {
+    /// Quantizes a slice of `f32` into a single block.
+    ///
+    /// The exponent is the smallest power of two such that the largest
+    /// magnitude fits the mantissa range; values quantize with
+    /// round-to-nearest and saturate at the mantissa bounds. An all-zero
+    /// (or empty) slice maps to the minimum exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` exceeds `spec.block_size`.
+    pub fn quantize(values: &[f32], spec: &HbfpSpec) -> Self {
+        assert!(
+            values.len() <= spec.block_size,
+            "block of {} values exceeds spec block size {}",
+            values.len(),
+            spec.block_size
+        );
+        let (exp_min, exp_max) = spec.exponent_range();
+        let max_abs = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let exponent = if max_abs == 0.0 || !max_abs.is_finite() {
+            exp_min
+        } else {
+            // Smallest e with max_abs / 2^e <= mantissa_max.
+            let needed = (max_abs / spec.mantissa_max() as f32).log2().ceil() as i32;
+            needed.clamp(exp_min, exp_max)
+        };
+        let scale = (exponent as f32).exp2();
+        let mantissas = values
+            .iter()
+            .map(|&v| Q8::saturating_from_scaled(v / scale))
+            .collect();
+        HbfpBlock { mantissas, exponent }
+    }
+
+    /// The shared exponent.
+    pub fn exponent(&self) -> i32 {
+        self.exponent
+    }
+
+    /// The mantissas.
+    pub fn mantissas(&self) -> &[Q8] {
+        &self.mantissas
+    }
+
+    /// Number of values in the block.
+    pub fn len(&self) -> usize {
+        self.mantissas.len()
+    }
+
+    /// True if the block holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.mantissas.is_empty()
+    }
+
+    /// Dequantizes back to `f32`.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let scale = (self.exponent as f32).exp2();
+        self.mantissas.iter().map(|q| q.0 as f32 * scale).collect()
+    }
+
+    /// Fixed-point dot product with another block, exactly as the systolic
+    /// array computes it: integer MACs into a 25-bit saturating
+    /// accumulator, one exponent add, then a single scale at the end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks have different lengths.
+    pub fn dot(&self, other: &HbfpBlock) -> f32 {
+        assert_eq!(self.len(), other.len(), "block length mismatch in dot");
+        let mut acc = Accumulator25::new();
+        for (&a, &b) in self.mantissas.iter().zip(&other.mantissas) {
+            acc.mac(a, b);
+        }
+        let exp = self.exponent + other.exponent;
+        acc.value() as f32 * (exp as f32).exp2()
+    }
+}
+
+/// Which axis of a matrix the HBFP blocks run along.
+///
+/// GEMM reductions run along `k`; activations (left operand, m×k) block
+/// along rows, weights (right operand, k×n) along columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockAxis {
+    /// Blocks are contiguous runs within each row.
+    Row,
+    /// Blocks are contiguous runs within each column.
+    Col,
+}
+
+/// A matrix stored in HBFP blocks.
+///
+/// Logically `rows × cols` of `f32`; physically, each row (or column,
+/// per [`BlockAxis`]) is a sequence of [`HbfpBlock`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HbfpMatrix {
+    rows: usize,
+    cols: usize,
+    axis: BlockAxis,
+    spec: HbfpSpec,
+    /// `lanes × blocks_per_lane` blocks, lane = row or column per `axis`.
+    blocks: Vec<Vec<HbfpBlock>>,
+}
+
+impl HbfpMatrix {
+    /// Quantizes a dense matrix into HBFP blocks along `axis`.
+    pub fn quantize(m: &crate::Matrix, axis: BlockAxis, spec: HbfpSpec) -> Self {
+        let (lanes, lane_len) = match axis {
+            BlockAxis::Row => (m.rows(), m.cols()),
+            BlockAxis::Col => (m.cols(), m.rows()),
+        };
+        let mut blocks = Vec::with_capacity(lanes);
+        let mut lane_buf = vec![0.0f32; lane_len];
+        for lane in 0..lanes {
+            for (i, item) in lane_buf.iter_mut().enumerate() {
+                *item = match axis {
+                    BlockAxis::Row => m.get(lane, i),
+                    BlockAxis::Col => m.get(i, lane),
+                };
+            }
+            let lane_blocks = lane_buf
+                .chunks(spec.block_size)
+                .map(|chunk| HbfpBlock::quantize(chunk, &spec))
+                .collect();
+            blocks.push(lane_blocks);
+        }
+        HbfpMatrix { rows: m.rows(), cols: m.cols(), axis, spec, blocks }
+    }
+
+    /// Logical number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Blocking axis.
+    pub fn axis(&self) -> BlockAxis {
+        self.axis
+    }
+
+    /// Format specification.
+    pub fn spec(&self) -> &HbfpSpec {
+        &self.spec
+    }
+
+    /// The blocks of one lane (row or column, per the blocking axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of bounds.
+    pub fn lane_blocks(&self, lane: usize) -> &[HbfpBlock] {
+        &self.blocks[lane]
+    }
+
+    /// Dequantizes back into a dense matrix.
+    pub fn dequantize(&self) -> crate::Matrix {
+        let mut m = crate::Matrix::zeros(self.rows, self.cols);
+        for (lane, lane_blocks) in self.blocks.iter().enumerate() {
+            let mut idx = 0usize;
+            for block in lane_blocks {
+                for v in block.dequantize() {
+                    match self.axis {
+                        BlockAxis::Row => m.set(lane, idx, v),
+                        BlockAxis::Col => m.set(idx, lane, v),
+                    }
+                    idx += 1;
+                }
+            }
+        }
+        m
+    }
+
+    /// Total storage in bits, including shared exponents.
+    pub fn storage_bits(&self) -> usize {
+        self.blocks
+            .iter()
+            .flat_map(|lane| lane.iter())
+            .map(|b| b.len() * self.spec.mantissa_bits as usize + self.spec.exponent_bits as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+    use proptest::prelude::*;
+
+    #[test]
+    fn spec_defaults() {
+        let spec = HbfpSpec::default();
+        assert_eq!(spec, HbfpSpec::hbfp8());
+        assert_eq!(spec.mantissa_max(), 127);
+        assert_eq!(spec.exponent_range(), (-2048, 2047));
+        assert_eq!(spec.block_storage_bits(), 16 * 8 + 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_size_panics() {
+        HbfpSpec::hbfp8_with_block(0);
+    }
+
+    #[test]
+    fn quantize_zero_block() {
+        let spec = HbfpSpec::hbfp8();
+        let block = HbfpBlock::quantize(&[0.0; 8], &spec);
+        assert!(block.dequantize().iter().all(|&v| v == 0.0));
+        assert_eq!(block.exponent(), spec.exponent_range().0);
+    }
+
+    #[test]
+    fn quantize_exact_powers() {
+        let spec = HbfpSpec::hbfp8();
+        // 127 values scaled by 2^e are exactly representable.
+        let block = HbfpBlock::quantize(&[127.0, -127.0, 64.0, 1.0], &spec);
+        assert_eq!(block.exponent(), 0);
+        assert_eq!(block.dequantize(), vec![127.0, -127.0, 64.0, 1.0]);
+    }
+
+    #[test]
+    fn quantize_relative_error_bounded() {
+        let spec = HbfpSpec::hbfp8();
+        let values = [1.0f32, 0.9, 0.5, -0.3, 0.01];
+        let block = HbfpBlock::quantize(&values, &spec);
+        let deq = block.dequantize();
+        // Error per value is at most half a quantization step:
+        // step = max_abs / 127 (rounded up to a power of two).
+        let step = 2.0f32.powi(block.exponent());
+        for (&v, &d) in values.iter().zip(&deq) {
+            assert!((v - d).abs() <= step / 2.0 + 1e-9, "{v} -> {d}");
+        }
+    }
+
+    #[test]
+    fn small_values_in_block_with_large_lose_precision() {
+        // The defining HBFP behaviour: a tiny value sharing a block with a
+        // large one underflows to zero.
+        let spec = HbfpSpec::hbfp8();
+        let block = HbfpBlock::quantize(&[1000.0, 1e-6], &spec);
+        let deq = block.dequantize();
+        assert_eq!(deq[1], 0.0);
+        assert!((deq[0] - 1000.0).abs() / 1000.0 < 0.01);
+    }
+
+    #[test]
+    fn dot_matches_float_for_exact_values() {
+        let spec = HbfpSpec::hbfp8();
+        let a = HbfpBlock::quantize(&[2.0, 4.0, -8.0], &spec);
+        let b = HbfpBlock::quantize(&[1.0, 0.5, 0.25], &spec);
+        let expected = 2.0 * 1.0 + 4.0 * 0.5 - 8.0 * 0.25;
+        assert!((a.dot(&b) - expected).abs() < 1e-3, "{}", a.dot(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "block length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let spec = HbfpSpec::hbfp8();
+        let a = HbfpBlock::quantize(&[1.0], &spec);
+        let b = HbfpBlock::quantize(&[1.0, 2.0], &spec);
+        a.dot(&b);
+    }
+
+    #[test]
+    fn matrix_round_trip_row_axis() {
+        let m = Matrix::from_fn(5, 7, |r, c| ((r * 7 + c) as f32 - 17.0) * 0.125);
+        let q = HbfpMatrix::quantize(&m, BlockAxis::Row, HbfpSpec::hbfp8_with_block(4));
+        let d = q.dequantize();
+        assert_eq!(d.rows(), 5);
+        assert_eq!(d.cols(), 7);
+        // Values here are all exactly representable (multiples of 0.125
+        // with small magnitude), so the round trip is exact.
+        assert_eq!(d, m);
+    }
+
+    #[test]
+    fn matrix_round_trip_col_axis() {
+        let m = Matrix::from_fn(6, 3, |r, c| (r as f32 - c as f32) * 0.5);
+        let q = HbfpMatrix::quantize(&m, BlockAxis::Col, HbfpSpec::hbfp8_with_block(4));
+        assert_eq!(q.dequantize(), m);
+        assert_eq!(q.axis(), BlockAxis::Col);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let m = Matrix::zeros(2, 32);
+        let q = HbfpMatrix::quantize(&m, BlockAxis::Row, HbfpSpec::hbfp8_with_block(16));
+        // 2 rows × 2 blocks × (16×8 + 12) bits.
+        assert_eq!(q.storage_bits(), 2 * 2 * (16 * 8 + 12));
+    }
+
+    #[test]
+    fn non_finite_inputs_do_not_panic() {
+        let spec = HbfpSpec::hbfp8();
+        let block = HbfpBlock::quantize(&[f32::INFINITY, 1.0], &spec);
+        // Infinity collapses to the minimum exponent path; result is finite.
+        assert!(block.dequantize().iter().all(|v| v.is_finite()));
+    }
+
+    proptest! {
+        #[test]
+        fn quantize_error_half_step(values in proptest::collection::vec(-1e4f32..1e4f32, 1..16)) {
+            let spec = HbfpSpec::hbfp8();
+            let block = HbfpBlock::quantize(&values, &spec);
+            let step = 2.0f32.powi(block.exponent());
+            for (&v, &d) in values.iter().zip(block.dequantize().iter()) {
+                prop_assert!((v - d).abs() <= step / 2.0 + step * 1e-3);
+            }
+        }
+
+        #[test]
+        fn dot_close_to_f32_dot(
+            pairs in proptest::collection::vec((-8.0f32..8.0, -8.0f32..8.0), 1..16)
+        ) {
+            let spec = HbfpSpec::hbfp8();
+            let xs: Vec<f32> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+            let a = HbfpBlock::quantize(&xs, &spec);
+            let b = HbfpBlock::quantize(&ys, &spec);
+            let exact: f32 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+            let approx = a.dot(&b);
+            // Error bound: n * (step_a * max_b + step_b * max_a) / 2 rounded generously.
+            let max_x = xs.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let max_y = ys.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let bound = pairs.len() as f32
+                * (max_x / 64.0 * max_y.max(1.0) + max_y / 64.0 * max_x.max(1.0)).max(0.25);
+            prop_assert!((exact - approx).abs() <= bound,
+                "exact {exact} approx {approx} bound {bound}");
+        }
+
+        #[test]
+        fn matrix_quantize_dims_preserved(rows in 1usize..10, cols in 1usize..20) {
+            let m = Matrix::from_fn(rows, cols, |r, c| (r as f32 * 0.3) - (c as f32 * 0.7));
+            let q = HbfpMatrix::quantize(&m, BlockAxis::Row, HbfpSpec::hbfp8_with_block(5));
+            prop_assert_eq!(q.rows(), rows);
+            prop_assert_eq!(q.cols(), cols);
+            let d = q.dequantize();
+            prop_assert_eq!(d.rows(), rows);
+            prop_assert_eq!(d.cols(), cols);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Quantization-error metrics used by tests and the trainer's reports.
+
+use crate::matrix::Matrix;
+
+/// Relative Frobenius-norm error: `‖approx - exact‖_F / ‖exact‖_F`.
+///
+/// Returns the absolute norm of `approx` when `exact` is (near) zero so
+/// the metric stays finite.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn relative_frobenius_error(exact: &Matrix, approx: &Matrix) -> f32 {
+    assert_eq!(
+        (exact.rows(), exact.cols()),
+        (approx.rows(), approx.cols()),
+        "shape mismatch in relative_frobenius_error"
+    );
+    let diff = exact.zip_map(approx, |e, a| a - e);
+    let denom = exact.frobenius_norm();
+    if denom <= f32::MIN_POSITIVE {
+        diff.frobenius_norm()
+    } else {
+        diff.frobenius_norm() / denom
+    }
+}
+
+/// Maximum absolute element-wise error.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn max_abs_error(exact: &Matrix, approx: &Matrix) -> f32 {
+    assert_eq!(
+        (exact.rows(), exact.cols()),
+        (approx.rows(), approx.cols()),
+        "shape mismatch in max_abs_error"
+    );
+    exact
+        .as_slice()
+        .iter()
+        .zip(approx.as_slice())
+        .map(|(&e, &a)| (a - e).abs())
+        .fold(0.0, f32::max)
+}
+
+/// Signal-to-quantization-noise ratio in dB: `10·log10(‖x‖² / ‖x - q(x)‖²)`.
+///
+/// Returns `f32::INFINITY` for an exact reproduction.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn sqnr_db(exact: &Matrix, approx: &Matrix) -> f32 {
+    assert_eq!(
+        (exact.rows(), exact.cols()),
+        (approx.rows(), approx.cols()),
+        "shape mismatch in sqnr_db"
+    );
+    let signal = exact.frobenius_norm();
+    let noise = exact.zip_map(approx, |e, a| a - e).frobenius_norm();
+    if noise == 0.0 {
+        f32::INFINITY
+    } else {
+        20.0 * (signal / noise).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_for_identical() {
+        let m = Matrix::from_fn(3, 3, |r, c| (r + c) as f32);
+        assert_eq!(relative_frobenius_error(&m, &m), 0.0);
+        assert_eq!(max_abs_error(&m, &m), 0.0);
+        assert_eq!(sqnr_db(&m, &m), f32::INFINITY);
+    }
+
+    #[test]
+    fn relative_error_scale_invariant() {
+        let exact = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let approx = Matrix::from_vec(1, 2, vec![1.1, 0.0]);
+        let exact10 = exact.map(|v| v * 10.0);
+        let approx10 = approx.map(|v| v * 10.0);
+        let e1 = relative_frobenius_error(&exact, &approx);
+        let e2 = relative_frobenius_error(&exact10, &approx10);
+        assert!((e1 - e2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_exact_falls_back_to_abs() {
+        let exact = Matrix::zeros(2, 2);
+        let approx = Matrix::from_fn(2, 2, |_, _| 1.0);
+        assert!((relative_frobenius_error(&exact, &approx) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_abs_picks_largest() {
+        let exact = Matrix::from_vec(1, 3, vec![0.0, 0.0, 0.0]);
+        let approx = Matrix::from_vec(1, 3, vec![0.1, -0.5, 0.2]);
+        assert!((max_abs_error(&exact, &approx) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn sqnr_known_value() {
+        // Signal 1.0, noise 0.1 → 20 dB.
+        let exact = Matrix::from_vec(1, 1, vec![1.0]);
+        let approx = Matrix::from_vec(1, 1, vec![1.1]);
+        let db = sqnr_db(&exact, &approx);
+        assert!((db - 20.0).abs() < 0.1, "{db}");
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        relative_frobenius_error(&Matrix::zeros(1, 2), &Matrix::zeros(2, 1));
+    }
+}

@@ -1,0 +1,194 @@
+//! Reference implementations of the SIMD unit's vector-vector
+//! operations in bfloat16.
+//!
+//! The SIMD unit (bfloat16 in both datapath variants, §3.2) executes
+//! activation functions, element-wise arithmetic, batch normalization,
+//! and — for training — the derivative, loss, and weight-update
+//! overloads. These are the bit-accurate software equivalents used by
+//! the trainer and by tests of the lowering.
+
+use crate::bf16::Bf16;
+use crate::matrix::Matrix;
+
+/// Applies `f` element-wise with bfloat16 input and output rounding —
+/// the precision contract of every SIMD instruction.
+pub fn simd_map(m: &Matrix, f: impl Fn(f32) -> f32) -> Matrix {
+    m.map(|v| Bf16::from_f32(f(Bf16::from_f32(v).to_f32())).to_f32())
+}
+
+/// Sigmoid in bfloat16 (LSTM/GRU gates).
+pub fn sigmoid(m: &Matrix) -> Matrix {
+    simd_map(m, |v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// Hyperbolic tangent in bfloat16.
+pub fn tanh(m: &Matrix) -> Matrix {
+    simd_map(m, f32::tanh)
+}
+
+/// ReLU in bfloat16.
+pub fn relu(m: &Matrix) -> Matrix {
+    simd_map(m, |v| v.max(0.0))
+}
+
+/// Element-wise product in bfloat16 (gate applications).
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
+    a.zip_map(b, |x, y| {
+        (Bf16::from_f32(x) * Bf16::from_f32(y)).to_f32()
+    })
+}
+
+/// Element-wise sum in bfloat16 (tile accumulation, residuals).
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    a.zip_map(b, |x, y| {
+        (Bf16::from_f32(x) + Bf16::from_f32(y)).to_f32()
+    })
+}
+
+/// Derivative of sigmoid given its output `s`: `s·(1−s)` — a
+/// training-only SIMD overload.
+pub fn sigmoid_derivative(s: &Matrix) -> Matrix {
+    simd_map(s, |v| v * (1.0 - v))
+}
+
+/// Derivative of tanh given its output `t`: `1−t²` — a training-only
+/// SIMD overload.
+pub fn tanh_derivative(t: &Matrix) -> Matrix {
+    simd_map(t, |v| 1.0 - v * v)
+}
+
+/// The weight-update overload: `w − lr·g`, all in bfloat16 (the fp32
+/// master copy lives with the optimizer; this models the on-accelerator
+/// update of the quantized working copy).
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn weight_update(w: &Matrix, g: &Matrix, lr: f32) -> Matrix {
+    let lr16 = Bf16::from_f32(lr);
+    w.zip_map(g, |wi, gi| {
+        (Bf16::from_f32(wi) - lr16 * Bf16::from_f32(gi)).to_f32()
+    })
+}
+
+/// Batch normalization over columns with precomputed statistics, in
+/// bfloat16: `(x − mean) / sqrt(var + eps) · gamma + beta`.
+///
+/// # Panics
+///
+/// Panics if the statistics' length differs from the column count.
+pub fn batch_norm(
+    x: &Matrix,
+    mean: &[f32],
+    var: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+) -> Matrix {
+    assert_eq!(mean.len(), x.cols(), "mean length mismatch");
+    assert_eq!(var.len(), x.cols(), "var length mismatch");
+    assert_eq!(gamma.len(), x.cols(), "gamma length mismatch");
+    assert_eq!(beta.len(), x.cols(), "beta length mismatch");
+    Matrix::from_fn(x.rows(), x.cols(), |r, c| {
+        let v = (x.get(r, c) - mean[c]) / (var[c] + eps).sqrt() * gamma[c] + beta[c];
+        Bf16::from_f32(v).to_f32()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32, tol: f32) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        let m = Matrix::from_vec(1, 3, vec![-10.0, 0.0, 10.0]);
+        let s = sigmoid(&m);
+        assert!(s.get(0, 0) < 0.001);
+        assert!(close(s.get(0, 1), 0.5, 1e-3));
+        assert!(s.get(0, 2) > 0.999);
+    }
+
+    #[test]
+    fn tanh_odd() {
+        let m = Matrix::from_vec(1, 2, vec![1.5, -1.5]);
+        let t = tanh(&m);
+        assert!(close(t.get(0, 0), -t.get(0, 1), 1e-3));
+    }
+
+    #[test]
+    fn relu_clamps() {
+        let m = Matrix::from_vec(1, 2, vec![-2.0, 3.0]);
+        let r = relu(&m);
+        assert_eq!(r.get(0, 0), 0.0);
+        assert_eq!(r.get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn hadamard_and_add_in_bf16() {
+        let a = Matrix::from_vec(1, 2, vec![1.5, 2.0]);
+        let b = Matrix::from_vec(1, 2, vec![2.0, 0.5]);
+        assert_eq!(hadamard(&a, &b).get(0, 0), 3.0);
+        assert_eq!(add(&a, &b).get(0, 1), 2.5);
+    }
+
+    #[test]
+    fn derivatives_match_calculus() {
+        let x = Matrix::from_vec(1, 1, vec![0.3]);
+        let s = sigmoid(&x);
+        let ds = sigmoid_derivative(&s);
+        let exact = {
+            let sv = 1.0 / (1.0 + (-0.3f32).exp());
+            sv * (1.0 - sv)
+        };
+        assert!(close(ds.get(0, 0), exact, 1e-2));
+        let t = tanh(&x);
+        let dt = tanh_derivative(&t);
+        assert!(close(dt.get(0, 0), 1.0 - 0.3f32.tanh().powi(2), 1e-2));
+    }
+
+    #[test]
+    fn weight_update_moves_against_gradient() {
+        let w = Matrix::from_vec(1, 2, vec![1.0, -1.0]);
+        let g = Matrix::from_vec(1, 2, vec![0.5, -0.5]);
+        let w2 = weight_update(&w, &g, 0.1);
+        assert!(w2.get(0, 0) < 1.0);
+        assert!(w2.get(0, 1) > -1.0);
+    }
+
+    #[test]
+    fn batch_norm_normalizes() {
+        let x = Matrix::from_vec(2, 1, vec![1.0, 3.0]);
+        let out = batch_norm(&x, &[2.0], &[1.0], &[1.0], &[0.0], 1e-5);
+        assert!(close(out.get(0, 0), -1.0, 1e-2));
+        assert!(close(out.get(1, 0), 1.0, 1e-2));
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma length mismatch")]
+    fn batch_norm_validates_lengths() {
+        let x = Matrix::zeros(1, 2);
+        batch_norm(&x, &[0.0, 0.0], &[1.0, 1.0], &[1.0], &[0.0, 0.0], 1e-5);
+    }
+
+    #[test]
+    fn outputs_are_bf16_representable() {
+        let m = Matrix::from_fn(2, 4, |r, c| ((r * 4 + c) as f32).sin() * 3.0);
+        for out in [sigmoid(&m), tanh(&m), relu(&m)] {
+            for &v in out.as_slice() {
+                assert_eq!(v, Bf16::from_f32(v).to_f32());
+            }
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Generalized HBFP with arbitrary mantissa width.
+//!
+//! The paper adopts hbfp8 "without loss of generality" from the HBFP
+//! line of work, which studies mantissa widths from 4 to 16 bits. This
+//! module generalizes the fixed `i8` datapath of [`crate::hbfp`] to any
+//! mantissa width up to 24 bits (mantissas held in `i32`), enabling the
+//! encoding-ablation experiments: convergence and accumulator pressure
+//! as a function of mantissa budget.
+
+use crate::bf16::Bf16;
+use crate::matrix::Matrix;
+
+/// An HBFP format with arbitrary mantissa width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WideHbfpSpec {
+    /// Bits per mantissa including sign (4–24).
+    pub mantissa_bits: u32,
+    /// Bits of the shared exponent.
+    pub exponent_bits: u32,
+    /// Values per block.
+    pub block_size: usize,
+}
+
+impl WideHbfpSpec {
+    /// Creates a format, validating the widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mantissa_bits` is outside 2..=24, `exponent_bits`
+    /// outside 4..=16, or `block_size` is zero.
+    pub fn new(mantissa_bits: u32, exponent_bits: u32, block_size: usize) -> Self {
+        assert!(
+            (2..=24).contains(&mantissa_bits),
+            "mantissa width {mantissa_bits} out of range 2..=24"
+        );
+        assert!(
+            (4..=16).contains(&exponent_bits),
+            "exponent width {exponent_bits} out of range 4..=16"
+        );
+        assert!(block_size > 0, "block size must be positive");
+        WideHbfpSpec { mantissa_bits, exponent_bits, block_size }
+    }
+
+    /// The hbfpN family with the paper's 12-bit exponent and 16-value
+    /// blocks.
+    pub fn hbfp(mantissa_bits: u32) -> Self {
+        Self::new(mantissa_bits, 12, 16)
+    }
+
+    /// Largest mantissa magnitude.
+    pub fn mantissa_max(&self) -> i64 {
+        (1i64 << (self.mantissa_bits - 1)) - 1
+    }
+
+    /// Exponent range.
+    pub fn exponent_range(&self) -> (i32, i32) {
+        let half = 1i32 << (self.exponent_bits - 1);
+        (-half, half - 1)
+    }
+}
+
+/// One wide-HBFP block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WideHbfpBlock {
+    mantissas: Vec<i32>,
+    exponent: i32,
+    spec: WideHbfpSpec,
+}
+
+impl WideHbfpBlock {
+    /// Quantizes a slice into one block (round-to-nearest, saturating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice exceeds the block size.
+    pub fn quantize(values: &[f32], spec: WideHbfpSpec) -> Self {
+        assert!(values.len() <= spec.block_size, "slice exceeds block size");
+        let (exp_min, exp_max) = spec.exponent_range();
+        let max_abs = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let exponent = if max_abs == 0.0 || !max_abs.is_finite() {
+            exp_min
+        } else {
+            ((max_abs / spec.mantissa_max() as f32).log2().ceil() as i32).clamp(exp_min, exp_max)
+        };
+        let scale = (exponent as f32).exp2();
+        let maxm = spec.mantissa_max();
+        let mantissas = values
+            .iter()
+            .map(|&v| {
+                let q = (v / scale).round() as i64;
+                q.clamp(-maxm - 1, maxm) as i32
+            })
+            .collect();
+        WideHbfpBlock { mantissas, exponent, spec }
+    }
+
+    /// The shared exponent.
+    pub fn exponent(&self) -> i32 {
+        self.exponent
+    }
+
+    /// Dequantizes to `f32`.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let scale = (self.exponent as f32).exp2();
+        self.mantissas.iter().map(|&m| m as f32 * scale).collect()
+    }
+
+    /// Integer dot product with exponent add (i64 accumulation — wide
+    /// formats need more than 25 bits; the accumulator width required is
+    /// reported by [`accumulator_bits_required`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn dot(&self, other: &WideHbfpBlock) -> f32 {
+        assert_eq!(self.mantissas.len(), other.mantissas.len(), "length mismatch");
+        let acc: i64 = self
+            .mantissas
+            .iter()
+            .zip(&other.mantissas)
+            .map(|(&a, &b)| a as i64 * b as i64)
+            .sum();
+        acc as f32 * ((self.exponent + other.exponent) as f32).exp2()
+    }
+}
+
+/// Accumulator width (bits, including sign) needed to sum `terms`
+/// worst-case products of two `mantissa_bits`-wide mantissas without
+/// saturation: `2·(m−1) + ⌈log2 terms⌉ + 1`.
+pub fn accumulator_bits_required(mantissa_bits: u32, terms: usize) -> u32 {
+    let product_bits = 2 * (mantissa_bits - 1);
+    let growth = (terms.max(1) as f64).log2().ceil() as u32;
+    product_bits + growth + 1
+}
+
+/// Quantizes a matrix through the wide format and back (row blocks),
+/// rounding through bfloat16 as the SIMD boundary does.
+pub fn matrix_through_wide_hbfp(m: &Matrix, spec: WideHbfpSpec) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    for r in 0..m.rows() {
+        let row = m.row(r);
+        let mut c = 0usize;
+        for chunk in row.chunks(spec.block_size) {
+            let block = WideHbfpBlock::quantize(chunk, spec);
+            for v in block.dequantize() {
+                out.set(r, c, Bf16::from_f32(v).to_f32());
+                c += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Wide-HBFP GEMM (a row-blocked × b column-blocked), fp32 across-block
+/// accumulation, bf16 output rounding.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn gemm_wide_hbfp(a: &Matrix, b: &Matrix, spec: WideHbfpSpec) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "GEMM shape mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let bt = b.transpose();
+    // Pre-quantize lanes.
+    let quant_lanes = |mat: &Matrix| -> Vec<Vec<WideHbfpBlock>> {
+        (0..mat.rows())
+            .map(|r| {
+                mat.row(r)
+                    .chunks(spec.block_size)
+                    .map(|c| WideHbfpBlock::quantize(c, spec))
+                    .collect()
+            })
+            .collect()
+    };
+    let qa = quant_lanes(a);
+    let qb = quant_lanes(&bt);
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for (ab, bb) in qa[i].iter().zip(&qb[j]) {
+                acc += ab.dot(bb);
+            }
+            out.set(i, j, Bf16::from_f32(acc).to_f32());
+        }
+    }
+    debug_assert_eq!(k.div_ceil(spec.block_size), qa[0].len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm_f32;
+    use crate::metrics::relative_frobenius_error;
+
+    fn operands() -> (Matrix, Matrix) {
+        let a = Matrix::from_fn(6, 32, |r, c| ((r * 13 + c * 7) as f32).sin());
+        let b = Matrix::from_fn(32, 6, |r, c| ((r * 3 + c * 11) as f32).cos());
+        (a, b)
+    }
+
+    #[test]
+    fn spec_validation() {
+        let s = WideHbfpSpec::hbfp(8);
+        assert_eq!(s.mantissa_max(), 127);
+        assert_eq!(s.exponent_range(), (-2048, 2047));
+    }
+
+    #[test]
+    #[should_panic(expected = "mantissa width")]
+    fn too_wide_mantissa_panics() {
+        WideHbfpSpec::new(30, 12, 16);
+    }
+
+    #[test]
+    fn hbfp8_wide_matches_narrow_block_dot() {
+        // The wide implementation at 8 bits must agree with the i8
+        // datapath when no saturation occurs.
+        let spec8 = WideHbfpSpec::hbfp(8);
+        let xs = [0.5f32, -0.25, 0.125, 1.0];
+        let ys = [0.3f32, 0.6, -0.9, 0.1];
+        let wa = WideHbfpBlock::quantize(&xs, spec8);
+        let wb = WideHbfpBlock::quantize(&ys, spec8);
+        let narrow_a = crate::hbfp::HbfpBlock::quantize(&xs, &crate::HbfpSpec::hbfp8());
+        let narrow_b = crate::hbfp::HbfpBlock::quantize(&ys, &crate::HbfpSpec::hbfp8());
+        assert!((wa.dot(&wb) - narrow_a.dot(&narrow_b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn error_decreases_with_mantissa_width() {
+        let (a, b) = operands();
+        let exact = gemm_f32(&a, &b);
+        let mut prev = f32::INFINITY;
+        for bits in [4, 6, 8, 12, 16] {
+            let approx = gemm_wide_hbfp(&a, &b, WideHbfpSpec::hbfp(bits));
+            let err = relative_frobenius_error(&exact, &approx);
+            assert!(
+                err <= prev * 1.05,
+                "width {bits}: error {err} should not exceed previous {prev}"
+            );
+            prev = err;
+        }
+        // 16-bit mantissas are limited by the bf16 output rounding only.
+        assert!(prev < 0.01, "{prev}");
+    }
+
+    #[test]
+    fn accumulator_width_formula() {
+        // 8-bit mantissas, 1024 terms: 14 + 10 + 1 = 25 bits — exactly
+        // the paper's accumulator.
+        assert_eq!(accumulator_bits_required(8, 1024), 25);
+        assert_eq!(accumulator_bits_required(8, 1), 15);
+        assert!(accumulator_bits_required(16, 1024) > 25);
+    }
+
+    #[test]
+    fn round_trip_matrix() {
+        let m = Matrix::from_fn(3, 20, |r, c| (r as f32 - c as f32) * 0.25);
+        let r = matrix_through_wide_hbfp(&m, WideHbfpSpec::hbfp(12));
+        let err = relative_frobenius_error(&m, &r);
+        assert!(err < 1e-3, "{err}");
+    }
+
+    #[test]
+    fn zero_matrix_round_trips_exactly() {
+        let m = Matrix::zeros(2, 8);
+        assert_eq!(matrix_through_wide_hbfp(&m, WideHbfpSpec::hbfp(4)), m);
+    }
+
+    #[test]
+    fn narrow_mantissa_loses_small_values() {
+        let spec = WideHbfpSpec::hbfp(4);
+        let block = WideHbfpBlock::quantize(&[7.0, 0.4], spec);
+        let d = block.dequantize();
+        // With 4-bit mantissas (max 7), 0.4 quantizes to 0.
+        assert_eq!(d[1], 0.0);
+        assert_eq!(d[0], 7.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Regenerates the paper's tables and figures at full scale.
+//!
+//! Usage: `cargo run --release -p equinox-bench --bin regen-results
+//! [fig2|fig6|table1|fig7|fig8|fig9|table2|table3|fig10|fig11]...`
+//!
+//! With no arguments, everything is regenerated. Output goes to stdout
+//! and, for the figure CSVs, into `results/`.
+
+use equinox_core::experiments::{
+    ablation, diurnal, fig10, fig11, fig2, fig6, fig7, fig8, fig9, software_sched, table1,
+    table2, table3,
+};
+use equinox_core::ExperimentScale;
+use std::fs;
+use std::time::Instant;
+
+fn write_result(name: &str, content: &str) {
+    let _ = fs::create_dir_all("results");
+    let path = format!("results/{name}");
+    match fs::write(&path, content) {
+        Ok(()) => println!("  [wrote {path}]"),
+        Err(e) => eprintln!("  [failed to write {path}: {e}]"),
+    }
+}
+
+fn banner(id: &str, title: &str) {
+    println!("\n=== {id}: {title} ===");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected = |id: &str| {
+        args.is_empty() || args.iter().any(|a| a == id || a.starts_with(id))
+    };
+    let scale = ExperimentScale::Full;
+    let start = Instant::now();
+
+    if selected("fig2") {
+        banner("fig2", "hbfp8 vs fp32 convergence (Figure 2)");
+        let t = Instant::now();
+        let fig = fig2::run(scale);
+        println!("{fig}");
+        let mut csv = String::from("task,encoding,epoch,train_loss,val_metric\n");
+        for (task, curves) in [
+            ("classification", &fig.classification),
+            ("language", &fig.language),
+            ("lstm_bptt", &fig.lstm),
+        ] {
+            for c in curves {
+                for p in &c.points {
+                    csv.push_str(&format!(
+                        "{task},{},{},{},{}\n",
+                        c.label, p.epoch, p.train_loss, p.val_metric
+                    ));
+                }
+            }
+        }
+        write_result("fig2_convergence.csv", &csv);
+        println!("  [{:.1}s]", t.elapsed().as_secs_f64());
+    }
+
+    if selected("fig6") {
+        banner("fig6", "design-space scatter (Figure 6)");
+        let t = Instant::now();
+        let fig = fig6::run();
+        println!("{fig}");
+        write_result("fig6a_hbfp8.csv", &fig.hbfp8_csv);
+        write_result("fig6b_bfloat16.csv", &fig.bf16_csv);
+        println!("  [{:.1}s]", t.elapsed().as_secs_f64());
+    }
+
+    if selected("table1") {
+        banner("table1", "Pareto-optimal designs (Table 1)");
+        let t = Instant::now();
+        let table = table1::run();
+        println!("{table}");
+        write_result("table1_pareto.txt", &table.to_string());
+        println!("  [{:.1}s]", t.elapsed().as_secs_f64());
+    }
+
+    if selected("fig7") {
+        banner("fig7", "inference tail latency vs throughput (Figure 7)");
+        let t = Instant::now();
+        for encoding in [
+            equinox_arith::Encoding::Hbfp8,
+            equinox_arith::Encoding::Bfloat16,
+        ] {
+            let fig = fig7::run(encoding, scale);
+            println!("{fig}");
+            let mut csv = String::from("config,load,inference_tops,p99_ms\n");
+            for s in &fig.series {
+                for p in &s.points {
+                    csv.push_str(&format!(
+                        "{},{},{},{}\n",
+                        s.name, p.load, p.inference_tops, p.p99_ms
+                    ));
+                }
+            }
+            let panel = if encoding == equinox_arith::Encoding::Hbfp8 { "a" } else { "b" };
+            write_result(&format!("fig7{panel}_{encoding}.csv"), &csv);
+        }
+        println!("  [{:.1}s]", t.elapsed().as_secs_f64());
+    }
+
+    if selected("fig8") {
+        banner("fig8", "cycle breakdown (Figure 8)");
+        let t = Instant::now();
+        let fig = fig8::run(scale);
+        println!("{fig}");
+        let mut csv = String::from("load,config,working,dummy,idle,other\n");
+        for b in &fig.bars {
+            csv.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                b.load,
+                if b.with_training { "Inf+Train" } else { "Inf" },
+                b.breakdown.working,
+                b.breakdown.dummy,
+                b.breakdown.idle,
+                b.breakdown.other
+            ));
+        }
+        write_result("fig8_breakdown.csv", &csv);
+        println!("  [{:.1}s]", t.elapsed().as_secs_f64());
+    }
+
+    if selected("fig9") {
+        banner("fig9", "training throughput vs inference load (Figure 9)");
+        let t = Instant::now();
+        let fig = fig9::run(scale);
+        println!("{fig}");
+        for name in ["Equinox_min", "Equinox_50us", "Equinox_500us", "Equinox_none"] {
+            if let Some(frac) = fig.peak_fraction(name) {
+                println!("  {name}: {:.0}% of the dedicated-accelerator bound", frac * 100.0);
+            }
+        }
+        let mut csv = String::from("config,load,training_tops\n");
+        for s in &fig.series {
+            for p in &s.points {
+                csv.push_str(&format!("{},{},{}\n", s.name, p.load, p.training_tops));
+            }
+        }
+        write_result("fig9_training.csv", &csv);
+        println!("  [{:.1}s]", t.elapsed().as_secs_f64());
+    }
+
+    if selected("table2") {
+        banner("table2", "workload sensitivity (Table 2, + MLP/Transformer extension)");
+        let t = Instant::now();
+        let table = table2::run_extended(scale);
+        println!("{table}");
+        write_result("table2_workloads.txt", &table.to_string());
+        println!("  [{:.1}s]", t.elapsed().as_secs_f64());
+    }
+
+    if selected("table3") {
+        banner("table3", "area and power (Table 3)");
+        let t = Instant::now();
+        let report = table3::run();
+        println!("{report}");
+        let (ca, cp) = report.controller_overhead();
+        let (ea, ep) = report.encoding_overhead();
+        println!(
+            "\n  controller overhead: {:.2}% area, {:.2}% power (paper: <1%)",
+            ca * 100.0,
+            cp * 100.0
+        );
+        println!(
+            "  encoding overhead:   {:.1}% area, {:.1}% power (paper: 4% / 13%)",
+            ea * 100.0,
+            ep * 100.0
+        );
+        write_result("table3_area_power.txt", &report.to_string());
+        println!("  [{:.1}s]", t.elapsed().as_secs_f64());
+    }
+
+    if selected("fig10") {
+        banner("fig10", "scheduling policies (Figure 10)");
+        let t = Instant::now();
+        let fig = fig10::run(scale);
+        println!("{fig}");
+        let mut csv = String::from("policy,load,inference_tops,p99_ms,training_tops\n");
+        for s in &fig.series {
+            for p in &s.points {
+                csv.push_str(&format!(
+                    "{},{},{},{},{}\n",
+                    s.name, p.load, p.inference_tops, p.p99_ms, p.training_tops
+                ));
+            }
+        }
+        write_result("fig10_scheduling.csv", &csv);
+        println!("  [{:.1}s]", t.elapsed().as_secs_f64());
+    }
+
+    if selected("fig11") {
+        banner("fig11", "adaptive batching (Figure 11)");
+        let t = Instant::now();
+        let fig = fig11::run(scale);
+        println!("{fig}");
+        let mut csv =
+            String::from("panel,series,load,inference_tops,p99_ms,training_tops\n");
+        for (panel, series) in [
+            ("a", &fig.panel_a),
+            ("b", &fig.panel_b),
+            ("c", &fig.panel_c),
+        ] {
+            for s in series {
+                for p in &s.points {
+                    csv.push_str(&format!(
+                        "{panel},{},{},{},{},{}\n",
+                        s.name, p.load, p.inference_tops, p.p99_ms, p.training_tops
+                    ));
+                }
+            }
+        }
+        write_result("fig11_batching.csv", &csv);
+        println!("  [{:.1}s]", t.elapsed().as_secs_f64());
+    }
+
+    if selected("software") {
+        banner("software", "software vs hardware scheduling (§6 text)");
+        let t = Instant::now();
+        let study = software_sched::run(scale);
+        println!("{study}");
+        write_result("software_scheduling.txt", &study.to_string());
+        println!("  [{:.1}s]", t.elapsed().as_secs_f64());
+    }
+
+    if selected("diurnal") {
+        banner("diurnal", "training for free over a day (extension)");
+        let t = Instant::now();
+        let d = diurnal::run(scale);
+        println!("{d}");
+        write_result("diurnal.txt", &d.to_string());
+        println!("  [{:.1}s]", t.elapsed().as_secs_f64());
+    }
+
+    if selected("ablation") {
+        banner("ablation", "design-choice ablations (extensions)");
+        let t = Instant::now();
+        let a = ablation::run(scale);
+        println!("{a}");
+        write_result("ablations.txt", &a.to_string());
+        println!("  [{:.1}s]", t.elapsed().as_secs_f64());
+    }
+
+    println!("\nAll selected experiments done in {:.1}s.", start.elapsed().as_secs_f64());
+}

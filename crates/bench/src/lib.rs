@@ -1,0 +1,39 @@
+//! # equinox-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! * `cargo bench -p equinox-bench` runs one Criterion benchmark per
+//!   paper artifact at reduced (`Quick`) scale, timing the experiment
+//!   pipelines end to end.
+//! * `cargo run --release -p equinox-bench --bin regen-results [ids…]`
+//!   regenerates the artifacts at full scale and prints the paper-style
+//!   rows/series. With no arguments it regenerates everything.
+//!
+//! See `DESIGN.md` for the per-experiment index and `EXPERIMENTS.md`
+//! for paper-vs-measured numbers.
+
+/// The experiment identifiers accepted by `regen-results`.
+pub const EXPERIMENT_IDS: [&str; 13] = [
+    "fig2", "fig6", "table1", "fig7", "fig8", "fig9", "table2", "table3", "fig10", "fig11",
+    "software", "ablation", "diurnal",
+];
+
+/// True if `id` names a known experiment.
+pub fn is_known_experiment(id: &str) -> bool {
+    EXPERIMENT_IDS.contains(&id) || id == "fig2a" || id == "fig2b" || id == "fig7a" || id == "fig7b"
+        || id == "fig11a" || id == "fig11b" || id == "fig11c"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_known() {
+        assert!(is_known_experiment("fig2"));
+        assert!(is_known_experiment("fig7b"));
+        assert!(is_known_experiment("table3"));
+        assert!(!is_known_experiment("fig99"));
+    }
+}

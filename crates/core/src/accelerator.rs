@@ -1,0 +1,245 @@
+//! The `Equinox` facade: design selection → compilation → simulation.
+
+use equinox_arith::Encoding;
+use equinox_isa::lower::{compile_inference, InferenceTiming};
+use equinox_isa::models::ModelSpec;
+use equinox_isa::training::{TrainingProfile, TrainingSetup};
+use equinox_isa::ArrayDims;
+use equinox_model::{DesignSpace, EvaluatedDesign, LatencyConstraint, TechnologyParams};
+use equinox_sim::{
+    loadgen, AcceleratorConfig, BatchingPolicy, SchedulerPolicy, SimReport, Simulation,
+};
+
+/// A configured Equinox accelerator instance (one of the §5 family,
+/// e.g. `Equinox_500us`).
+#[derive(Debug, Clone)]
+pub struct Equinox {
+    constraint: LatencyConstraint,
+    design: EvaluatedDesign,
+    config: AcceleratorConfig,
+}
+
+impl Equinox {
+    /// Selects the Pareto-optimal design for `constraint` via the §4
+    /// sweep and wraps it with the paper's default policies (adaptive
+    /// batching at 2×, hardware priority scheduling).
+    ///
+    /// Returns `None` if no design satisfies the constraint.
+    pub fn build(encoding: Encoding, constraint: LatencyConstraint) -> Option<Self> {
+        let tech = TechnologyParams::tsmc28();
+        let space = DesignSpace::sweep(encoding, &tech);
+        let design = space.best_under_latency(constraint)?;
+        let dims = ArrayDims { n: design.design.n, w: design.design.w, m: design.design.m };
+        let config = AcceleratorConfig::new(
+            constraint.config_name(),
+            dims,
+            design.design.freq_hz,
+            encoding,
+        );
+        Some(Equinox { constraint, design, config })
+    }
+
+    /// The four-configuration family of Table 1 for one encoding
+    /// (constraints that admit no design are skipped).
+    pub fn family(encoding: Encoding) -> Vec<Equinox> {
+        LatencyConstraint::table1_rows()
+            .into_iter()
+            .filter_map(|c| Equinox::build(encoding, c))
+            .collect()
+    }
+
+    /// The latency constraint this instance was built for.
+    pub fn constraint(&self) -> LatencyConstraint {
+        self.constraint
+    }
+
+    /// The selected analytical design point.
+    pub fn design(&self) -> &EvaluatedDesign {
+        &self.design
+    }
+
+    /// The simulator configuration (mutable, to override policies).
+    pub fn config_mut(&mut self) -> &mut AcceleratorConfig {
+        &mut self.config
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// MMU geometry.
+    pub fn dims(&self) -> ArrayDims {
+        self.config.dims
+    }
+
+    /// Clock frequency, Hz.
+    pub fn freq_hz(&self) -> f64 {
+        self.config.freq_hz
+    }
+
+    /// Compiles `model` at this design's natural batch size (`n`).
+    pub fn compile(&self, model: &ModelSpec) -> InferenceTiming {
+        self.compile_with_batch(model, self.config.dims.n)
+    }
+
+    /// Compiles `model` at an explicit batch size.
+    pub fn compile_with_batch(&self, model: &ModelSpec, batch: usize) -> InferenceTiming {
+        let program = compile_inference(model, &self.config.dims, batch);
+        InferenceTiming::from_program(&program, &self.config.dims, batch)
+    }
+
+    /// Profiles one training iteration of `model` on this geometry.
+    pub fn training_profile(&self, model: &ModelSpec) -> TrainingProfile {
+        TrainingProfile::profile(model, &self.config.dims, &TrainingSetup::paper_default())
+    }
+
+    /// Runs one simulation per [`RunOptions`].
+    pub fn run(&self, opts: &RunOptions) -> SimReport {
+        let timing = match opts.batch {
+            Some(b) => self.compile_with_batch(&opts.model, b),
+            None => self.compile(&opts.model),
+        };
+        self.run_compiled(&timing, opts)
+    }
+
+    /// Runs a simulation reusing an already-compiled timing (use this
+    /// when sweeping loads so compilation happens once).
+    pub fn run_compiled(&self, timing: &InferenceTiming, opts: &RunOptions) -> SimReport {
+        let mut config = self.config.clone();
+        if let Some(s) = opts.scheduler {
+            config.scheduler = s;
+        }
+        if let Some(b) = opts.batching {
+            config.batching = b;
+        }
+        let training = opts
+            .train_model
+            .as_ref()
+            .map(|m| TrainingProfile::profile(m, &config.dims, &TrainingSetup::paper_default()));
+        let sim = Simulation::new(config, *timing, training);
+        let rate = opts.load * sim.max_request_rate_per_cycle();
+        // Horizon: enough to complete the target request count, but at
+        // least 50 batch intervals so training/idle accounting settles.
+        let min_cycles = (50 * timing.total_cycles).max(opts.min_horizon_cycles);
+        let horizon = if rate > 0.0 {
+            ((opts.target_requests as f64 / rate) as u64).max(min_cycles)
+        } else {
+            min_cycles.max(200 * timing.total_cycles)
+        };
+        let arrivals = loadgen::poisson_arrivals(rate, horizon, opts.seed);
+        sim.run(&arrivals, horizon)
+    }
+
+    /// The paper's service-level latency target: 10× the mean service
+    /// time of the reference (LSTM) workload on the **500 µs**
+    /// configuration of the same encoding family (§5).
+    pub fn latency_target_s(encoding: Encoding) -> f64 {
+        let eq = Equinox::build(encoding, LatencyConstraint::Micros(500))
+            .or_else(|| Equinox::build(encoding, LatencyConstraint::None))
+            .expect("the unconstrained design always exists");
+        let timing = eq.compile(&ModelSpec::lstm_2048_25());
+        10.0 * timing.service_time_s(eq.freq_hz())
+    }
+}
+
+impl std::fmt::Display for Equinox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.config)
+    }
+}
+
+/// Options for one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// The inference workload.
+    pub model: ModelSpec,
+    /// Batch-size override (default: the geometry's `n`).
+    pub batch: Option<usize>,
+    /// Offered load as a fraction of the saturation request rate.
+    pub load: f64,
+    /// Poisson seed.
+    pub seed: u64,
+    /// Co-hosted training workload, if any.
+    pub train_model: Option<ModelSpec>,
+    /// Scheduler override.
+    pub scheduler: Option<SchedulerPolicy>,
+    /// Batching override.
+    pub batching: Option<BatchingPolicy>,
+    /// Approximate number of requests to simulate.
+    pub target_requests: u64,
+    /// Lower bound on the simulated horizon, cycles (0 = derive from
+    /// the workload). Needed when non-preemptible training blocks are
+    /// much longer than the batch service time.
+    pub min_horizon_cycles: u64,
+}
+
+impl RunOptions {
+    /// Inference-only LSTM run at `load`.
+    pub fn inference(load: f64) -> Self {
+        RunOptions {
+            model: ModelSpec::lstm_2048_25(),
+            batch: None,
+            load,
+            seed: 42,
+            train_model: None,
+            scheduler: None,
+            batching: None,
+            target_requests: 4000,
+            min_horizon_cycles: 0,
+        }
+    }
+
+    /// LSTM inference co-hosted with LSTM training at `load` (the
+    /// paper's two-independent-instances setup).
+    pub fn colocated(load: f64) -> Self {
+        RunOptions {
+            train_model: Some(ModelSpec::lstm_2048_25()),
+            ..RunOptions::inference(load)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_the_paper_family() {
+        let family = Equinox::family(Encoding::Hbfp8);
+        assert_eq!(family.len(), 4);
+        let names: Vec<String> =
+            family.iter().map(|e| e.config().name.clone()).collect();
+        assert!(names.contains(&"Equinox_min".to_string()));
+        assert!(names.contains(&"Equinox_500us".to_string()));
+    }
+
+    #[test]
+    fn latency_target_near_5ms() {
+        // 10 × ≈0.46 ms ≈ 4.6 ms for hbfp8.
+        let t = Equinox::latency_target_s(Encoding::Hbfp8);
+        assert!(t > 3e-3 && t < 7e-3, "{t}");
+    }
+
+    #[test]
+    fn run_inference_only() {
+        let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(500)).unwrap();
+        let r = eq.run(&RunOptions { target_requests: 500, ..RunOptions::inference(0.5) });
+        assert!(r.completed_requests > 200);
+        assert!(r.inference_tops() > 50.0);
+        assert_eq!(r.training_tops(), 0.0);
+    }
+
+    #[test]
+    fn run_colocated_reclaims_cycles() {
+        let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(500)).unwrap();
+        let r = eq.run(&RunOptions { target_requests: 500, ..RunOptions::colocated(0.4) });
+        assert!(r.training_tops() > 10.0, "training {}", r.training_tops());
+    }
+
+    #[test]
+    fn min_config_has_batch_one() {
+        let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::MinLatency).unwrap();
+        assert_eq!(eq.dims().n, 1);
+    }
+}

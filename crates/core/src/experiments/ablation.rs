@@ -1,0 +1,99 @@
+//! Design-choice ablations beyond the paper's figures: sensitivity of
+//! the headline results to the substituted calibration inputs and to
+//! the hbfp8 operating point.
+//!
+//! * Platform ablations (power envelope, SRAM capacity, voltage/
+//!   frequency scaling) on the §4 design-space exploration.
+//! * Encoding ablations (mantissa width, block size) on the Figure 2
+//!   convergence study.
+
+use crate::experiments::ExperimentScale;
+use equinox_arith::Encoding;
+use equinox_model::ablation::{
+    power_envelope_ablation, sram_capacity_ablation, voltage_scaling_ablation, AblationPoint,
+};
+use equinox_trainer::ablation::{block_size_ablation, mantissa_width_ablation};
+use equinox_trainer::dataset;
+use equinox_trainer::train::{ConvergenceCurve, TrainConfig};
+
+/// The combined ablation report.
+#[derive(Debug, Clone)]
+pub struct Ablation {
+    /// Power-envelope sweep of the (min, 500 µs) design pair.
+    pub power: Vec<AblationPoint>,
+    /// SRAM-capacity sweep.
+    pub sram: Vec<AblationPoint>,
+    /// With vs without voltage/frequency energy scaling.
+    pub voltage: Vec<AblationPoint>,
+    /// Convergence vs HBFP mantissa width (plus the fp32 reference).
+    pub mantissa: Vec<ConvergenceCurve>,
+    /// Convergence vs hbfp8 block size.
+    pub blocks: Vec<ConvergenceCurve>,
+}
+
+/// Runs every ablation.
+pub fn run(scale: ExperimentScale) -> Ablation {
+    let (samples, epochs) = match scale {
+        ExperimentScale::Quick => (384, 10),
+        ExperimentScale::Full => (2048, 30),
+    };
+    let data = dataset::teacher_student(samples, samples / 4, 16, 4, 211);
+    let cfg = TrainConfig { epochs, hidden: 32, ..Default::default() };
+    Ablation {
+        power: power_envelope_ablation(Encoding::Hbfp8),
+        sram: sram_capacity_ablation(Encoding::Hbfp8),
+        voltage: voltage_scaling_ablation(Encoding::Hbfp8)
+            .into_iter()
+            .flatten()
+            .collect(),
+        mantissa: mantissa_width_ablation(&[4, 8, 12], &data, &cfg),
+        blocks: block_size_ablation(&[4, 16, 64], &data, &cfg),
+    }
+}
+
+impl std::fmt::Display for Ablation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Design-choice ablations:")?;
+        for (title, pts) in [
+            ("power envelope", &self.power),
+            ("SRAM capacity", &self.sram),
+            ("voltage scaling", &self.voltage),
+        ] {
+            writeln!(f, " {title}:")?;
+            for p in pts {
+                writeln!(
+                    f,
+                    "   {:<18} min {:>6.1} TOp/s  500us {:>6.1} TOp/s  ratio {:>4.2}x",
+                    p.label, p.min_tops, p.relaxed_tops, p.ratio
+                )?;
+            }
+        }
+        writeln!(f, " convergence vs mantissa width (final val error):")?;
+        for c in &self.mantissa {
+            writeln!(f, "   {:<8} {:.3}", c.label, c.final_metric())?;
+        }
+        writeln!(f, " convergence vs hbfp8 block size (final val error):")?;
+        for c in &self.blocks {
+            writeln!(f, "   {:<10} {:.3}", c.label, c.final_metric())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_report_complete() {
+        let a = run(ExperimentScale::Quick);
+        assert!(a.power.len() >= 4);
+        assert!(a.sram.len() >= 4);
+        assert_eq!(a.voltage.len(), 2);
+        assert_eq!(a.mantissa.len(), 4); // fp32 + three widths
+        assert_eq!(a.blocks.len(), 3);
+        let s = a.to_string();
+        assert!(s.contains("power envelope"));
+        assert!(s.contains("hbfp12"));
+    }
+}

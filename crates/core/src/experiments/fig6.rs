@@ -1,0 +1,78 @@
+//! Figure 6: latency vs throughput for the modeled design space,
+//! hbfp8 (a) and bfloat16 (b).
+
+use equinox_arith::Encoding;
+use equinox_model::report::{figure6_csv, figure6_scatter, ScatterPoint};
+use equinox_model::{DesignSpace, TechnologyParams};
+
+/// The Figure 6 result: the scatter for both encodings.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// Fig. 6a: the hbfp8 design space.
+    pub hbfp8: Vec<ScatterPoint>,
+    /// Fig. 6b: the bfloat16 design space.
+    pub bf16: Vec<ScatterPoint>,
+    /// CSV renderings (one per panel).
+    pub hbfp8_csv: String,
+    /// CSV rendering of the bfloat16 panel.
+    pub bf16_csv: String,
+}
+
+/// Runs the full §4 sweep for both encodings.
+pub fn run() -> Fig6 {
+    let tech = TechnologyParams::tsmc28();
+    let h = DesignSpace::sweep(Encoding::Hbfp8, &tech);
+    let b = DesignSpace::sweep(Encoding::Bfloat16, &tech);
+    Fig6 {
+        hbfp8: figure6_scatter(&h),
+        bf16: figure6_scatter(&b),
+        hbfp8_csv: figure6_csv(&h),
+        bf16_csv: figure6_csv(&b),
+    }
+}
+
+impl Fig6 {
+    /// Maximum frontier throughput for a panel, TOp/s.
+    pub fn max_frontier_tops(points: &[ScatterPoint]) -> f64 {
+        points
+            .iter()
+            .filter(|p| p.on_frontier)
+            .map(|p| p.throughput_tops)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl std::fmt::Display for Fig6 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let summarize = |label: &str, pts: &[ScatterPoint]| {
+            let frontier = pts.iter().filter(|p| p.on_frontier).count();
+            format!(
+                "{label}: {} designs, {} on the Pareto frontier, max {:.0} TOp/s",
+                pts.len(),
+                frontier,
+                Fig6::max_frontier_tops(pts)
+            )
+        };
+        writeln!(f, "Figure 6 — design space (CSV in the result struct):")?;
+        writeln!(f, "  {}", summarize("(a) hbfp8   ", &self.hbfp8))?;
+        write!(f, "  {}", summarize("(b) bfloat16", &self.bf16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_panels_populated() {
+        let fig = run();
+        assert!(!fig.hbfp8.is_empty());
+        assert!(!fig.bf16.is_empty());
+        // The headline ratio: hbfp8's frontier tops out ≈5–6× bfloat16's.
+        let ratio =
+            Fig6::max_frontier_tops(&fig.hbfp8) / Fig6::max_frontier_tops(&fig.bf16);
+        assert!(ratio > 4.0 && ratio < 8.0, "{ratio}");
+        assert!(fig.hbfp8_csv.lines().count() > 100);
+        assert!(fig.to_string().contains("Pareto"));
+    }
+}

@@ -1,0 +1,28 @@
+//! Table 1: Pareto-optimal designs under various latency constraints.
+
+use equinox_arith::Encoding;
+use equinox_model::{DesignSpace, ParetoTable, TechnologyParams};
+
+/// Builds Table 1 from the full §4 sweep.
+pub fn run() -> ParetoTable {
+    let tech = TechnologyParams::tsmc28();
+    let bf16 = DesignSpace::sweep(Encoding::Bfloat16, &tech);
+    let hbfp8 = DesignSpace::sweep(Encoding::Hbfp8, &tech);
+    ParetoTable::build(&bf16, &hbfp8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equinox_model::LatencyConstraint;
+
+    #[test]
+    fn reproduces_headline_ratios() {
+        let t = run();
+        let min = t.row(LatencyConstraint::MinLatency).unwrap().hbfp8.unwrap();
+        let l500 = t.row(LatencyConstraint::Micros(500)).unwrap().hbfp8.unwrap();
+        // The abstract's claim: ≈6.67× at 500 µs vs latency-optimal.
+        let ratio = l500.throughput_ops / min.throughput_ops;
+        assert!(ratio > 5.0 && ratio < 8.0, "{ratio}");
+    }
+}

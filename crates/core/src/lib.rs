@@ -1,0 +1,46 @@
+//! # equinox-core
+//!
+//! The high-level Equinox API and the experiment drivers that regenerate
+//! every table and figure of the paper's evaluation (§6).
+//!
+//! [`Equinox`] wires the workspace together: the §4 design-space
+//! exploration picks a Pareto-optimal geometry for a latency constraint,
+//! the `equinox-isa` compiler lowers workloads onto it, and the
+//! `equinox-sim` engine serves Poisson traffic while piggybacking
+//! training.
+//!
+//! Each module under [`experiments`] regenerates one paper artifact and
+//! returns structured rows/series (plus a `Display` rendering):
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`experiments::fig2`] | Fig. 2 — hbfp8 vs fp32 convergence |
+//! | [`experiments::fig6`] | Fig. 6 — latency/throughput design space |
+//! | [`experiments::table1`] | Table 1 — Pareto designs per constraint |
+//! | [`experiments::fig7`] | Fig. 7 — inference tail latency vs throughput |
+//! | [`experiments::fig8`] | Fig. 8 — MMU cycle breakdown |
+//! | [`experiments::fig9`] | Fig. 9 — training throughput vs load |
+//! | [`experiments::table2`] | Table 2 — workload sensitivity |
+//! | [`experiments::table3`] | Table 3 — area/power breakdown |
+//! | [`experiments::fig10`] | Fig. 10 — priority vs fair scheduling |
+//! | [`experiments::fig11`] | Fig. 11 — adaptive batching |
+//!
+//! ## Example
+//!
+//! ```
+//! use equinox_core::Equinox;
+//! use equinox_arith::Encoding;
+//! use equinox_model::LatencyConstraint;
+//! use equinox_isa::models::ModelSpec;
+//!
+//! let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(500))
+//!     .expect("a 500 µs design exists");
+//! let timing = eq.compile(&ModelSpec::lstm_2048_25());
+//! assert!(timing.service_time_s(eq.freq_hz()) < 700e-6);
+//! ```
+
+pub mod accelerator;
+pub mod experiments;
+
+pub use accelerator::{Equinox, RunOptions};
+pub use experiments::ExperimentScale;

@@ -1,0 +1,324 @@
+//! Binary encoding of the accelerator ISA.
+//!
+//! Programs are installed into the 32 KB instruction buffer through the
+//! host interface (§3.1), which requires a concrete wire format. Each
+//! instruction encodes to a fixed 16-byte word: one opcode byte, one
+//! modifier byte, and up to three little-endian operand fields. The
+//! decoder is total over encoder output (round-trip property-tested) and
+//! rejects malformed words with a descriptive error.
+
+use crate::instruction::{BufferKind, Instruction, SimdOpKind};
+use crate::layers::GemmMode;
+
+/// Size of one encoded instruction word, bytes.
+pub const INSTRUCTION_BYTES: usize = 16;
+
+/// Errors produced by [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input was not a whole number of instruction words.
+    TruncatedWord {
+        /// Bytes left over.
+        remainder: usize,
+    },
+    /// Unknown opcode byte.
+    UnknownOpcode {
+        /// The offending opcode.
+        opcode: u8,
+        /// Word index in the stream.
+        index: usize,
+    },
+    /// Unknown modifier for the given opcode.
+    UnknownModifier {
+        /// The opcode whose modifier was invalid.
+        opcode: u8,
+        /// The offending modifier.
+        modifier: u8,
+        /// Word index in the stream.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::TruncatedWord { remainder } => {
+                write!(f, "truncated instruction word: {remainder} trailing bytes")
+            }
+            DecodeError::UnknownOpcode { opcode, index } => {
+                write!(f, "unknown opcode {opcode:#04x} at word {index}")
+            }
+            DecodeError::UnknownModifier { opcode, modifier, index } => {
+                write!(
+                    f,
+                    "unknown modifier {modifier:#04x} for opcode {opcode:#04x} at word {index}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const OP_MATMUL: u8 = 0x01;
+const OP_SIMD: u8 = 0x02;
+const OP_LOAD_DRAM: u8 = 0x03;
+const OP_STORE_DRAM: u8 = 0x04;
+const OP_HOST_IO: u8 = 0x05;
+const OP_SYNC: u8 = 0x06;
+
+fn buffer_code(kind: BufferKind) -> u8 {
+    match kind {
+        BufferKind::Activation => 0,
+        BufferKind::Weight => 1,
+        BufferKind::Instruction => 2,
+        BufferKind::SimdRegisters => 3,
+    }
+}
+
+fn buffer_from(code: u8) -> Option<BufferKind> {
+    match code {
+        0 => Some(BufferKind::Activation),
+        1 => Some(BufferKind::Weight),
+        2 => Some(BufferKind::Instruction),
+        3 => Some(BufferKind::SimdRegisters),
+        _ => None,
+    }
+}
+
+fn simd_code(kind: SimdOpKind) -> u8 {
+    match kind {
+        SimdOpKind::Activation => 0,
+        SimdOpKind::Elementwise => 1,
+        SimdOpKind::BatchNorm => 2,
+        SimdOpKind::Derivative => 3,
+        SimdOpKind::Loss => 4,
+        SimdOpKind::WeightUpdate => 5,
+    }
+}
+
+fn simd_from(code: u8) -> Option<SimdOpKind> {
+    match code {
+        0 => Some(SimdOpKind::Activation),
+        1 => Some(SimdOpKind::Elementwise),
+        2 => Some(SimdOpKind::BatchNorm),
+        3 => Some(SimdOpKind::Derivative),
+        4 => Some(SimdOpKind::Loss),
+        5 => Some(SimdOpKind::WeightUpdate),
+        _ => None,
+    }
+}
+
+/// Encodes one instruction into its 16-byte word.
+pub fn encode_instruction(instruction: &Instruction) -> [u8; INSTRUCTION_BYTES] {
+    let mut w = [0u8; INSTRUCTION_BYTES];
+    match *instruction {
+        Instruction::MatMulTile { rows, k_span, out_span, mode } => {
+            w[0] = OP_MATMUL;
+            w[1] = match mode {
+                GemmMode::VectorMatrix => 0,
+                GemmMode::WeightBroadcast => 1,
+            };
+            w[2..6].copy_from_slice(&(rows as u32).to_le_bytes());
+            w[6..10].copy_from_slice(&(k_span as u32).to_le_bytes());
+            w[10..14].copy_from_slice(&(out_span as u32).to_le_bytes());
+        }
+        Instruction::Simd { kind, elems } => {
+            w[0] = OP_SIMD;
+            w[1] = simd_code(kind);
+            w[2..10].copy_from_slice(&(elems as u64).to_le_bytes());
+        }
+        Instruction::LoadDram { target, bytes } => {
+            w[0] = OP_LOAD_DRAM;
+            w[1] = buffer_code(target);
+            w[2..10].copy_from_slice(&bytes.to_le_bytes());
+        }
+        Instruction::StoreDram { source, bytes } => {
+            w[0] = OP_STORE_DRAM;
+            w[1] = buffer_code(source);
+            w[2..10].copy_from_slice(&bytes.to_le_bytes());
+        }
+        Instruction::HostIo { bytes } => {
+            w[0] = OP_HOST_IO;
+            w[2..10].copy_from_slice(&bytes.to_le_bytes());
+        }
+        Instruction::Sync => {
+            w[0] = OP_SYNC;
+        }
+    }
+    w
+}
+
+/// Encodes a sequence of instructions into the installable byte stream.
+pub fn encode(instructions: &[Instruction]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(instructions.len() * INSTRUCTION_BYTES);
+    for i in instructions {
+        out.extend_from_slice(&encode_instruction(i));
+    }
+    out
+}
+
+/// Decodes a byte stream back into instructions.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for truncated input, unknown opcodes, or
+/// unknown modifiers.
+pub fn decode(bytes: &[u8]) -> Result<Vec<Instruction>, DecodeError> {
+    if bytes.len() % INSTRUCTION_BYTES != 0 {
+        return Err(DecodeError::TruncatedWord { remainder: bytes.len() % INSTRUCTION_BYTES });
+    }
+    let mut out = Vec::with_capacity(bytes.len() / INSTRUCTION_BYTES);
+    for (index, w) in bytes.chunks_exact(INSTRUCTION_BYTES).enumerate() {
+        let opcode = w[0];
+        let modifier = w[1];
+        let u32_at = |o: usize| u32::from_le_bytes(w[o..o + 4].try_into().expect("4 bytes"));
+        let u64_at = |o: usize| u64::from_le_bytes(w[o..o + 8].try_into().expect("8 bytes"));
+        let instr = match opcode {
+            OP_MATMUL => {
+                let mode = match modifier {
+                    0 => GemmMode::VectorMatrix,
+                    1 => GemmMode::WeightBroadcast,
+                    _ => return Err(DecodeError::UnknownModifier { opcode, modifier, index }),
+                };
+                Instruction::MatMulTile {
+                    rows: u32_at(2) as usize,
+                    k_span: u32_at(6) as usize,
+                    out_span: u32_at(10) as usize,
+                    mode,
+                }
+            }
+            OP_SIMD => Instruction::Simd {
+                kind: simd_from(modifier)
+                    .ok_or(DecodeError::UnknownModifier { opcode, modifier, index })?,
+                elems: u64_at(2) as usize,
+            },
+            OP_LOAD_DRAM => Instruction::LoadDram {
+                target: buffer_from(modifier)
+                    .ok_or(DecodeError::UnknownModifier { opcode, modifier, index })?,
+                bytes: u64_at(2),
+            },
+            OP_STORE_DRAM => Instruction::StoreDram {
+                source: buffer_from(modifier)
+                    .ok_or(DecodeError::UnknownModifier { opcode, modifier, index })?,
+                bytes: u64_at(2),
+            },
+            OP_HOST_IO => Instruction::HostIo { bytes: u64_at(2) },
+            OP_SYNC => Instruction::Sync,
+            _ => return Err(DecodeError::UnknownOpcode { opcode, index }),
+        };
+        out.push(instr);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_instructions() -> Vec<Instruction> {
+        vec![
+            Instruction::MatMulTile {
+                rows: 186,
+                k_span: 558,
+                out_span: 558,
+                mode: GemmMode::VectorMatrix,
+            },
+            Instruction::MatMulTile {
+                rows: 12544,
+                k_span: 147,
+                out_span: 64,
+                mode: GemmMode::WeightBroadcast,
+            },
+            Instruction::Simd { kind: SimdOpKind::Derivative, elems: 1 << 20 },
+            Instruction::LoadDram { target: BufferKind::Weight, bytes: 16 << 20 },
+            Instruction::StoreDram { source: BufferKind::Activation, bytes: 4096 },
+            Instruction::HostIo { bytes: 128 },
+            Instruction::Sync,
+        ]
+    }
+
+    #[test]
+    fn round_trip_sample() {
+        let instrs = sample_instructions();
+        let bytes = encode(&instrs);
+        assert_eq!(bytes.len(), instrs.len() * INSTRUCTION_BYTES);
+        assert_eq!(decode(&bytes).expect("valid stream"), instrs);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let mut bytes = encode(&sample_instructions());
+        bytes.pop();
+        assert_eq!(
+            decode(&bytes),
+            Err(DecodeError::TruncatedWord { remainder: INSTRUCTION_BYTES - 1 })
+        );
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let mut bytes = encode(&[Instruction::Sync]);
+        bytes[0] = 0xFF;
+        assert!(matches!(
+            decode(&bytes),
+            Err(DecodeError::UnknownOpcode { opcode: 0xFF, index: 0 })
+        ));
+    }
+
+    #[test]
+    fn unknown_modifier_rejected() {
+        let mut bytes = encode(&[Instruction::Simd {
+            kind: SimdOpKind::Loss,
+            elems: 4,
+        }]);
+        bytes[1] = 0x77;
+        let err = decode(&bytes).unwrap_err();
+        assert!(matches!(err, DecodeError::UnknownModifier { modifier: 0x77, .. }));
+        assert!(err.to_string().contains("modifier"));
+    }
+
+    #[test]
+    fn full_lstm_program_round_trips() {
+        use crate::lower::compile_inference;
+        use crate::models::ModelSpec;
+        use crate::ArrayDims;
+        let dims = ArrayDims { n: 16, w: 4, m: 8 };
+        let p = compile_inference(&ModelSpec::lstm_2048_25(), &dims, 16);
+        let bytes = encode(p.instructions());
+        let decoded = decode(&bytes).expect("compiler output is encodable");
+        assert_eq!(decoded, p.instructions());
+        // The paper's 32 KB instruction buffer holds 2048 words; bigger
+        // programs stream through it (sanity on sizes only).
+        assert_eq!(bytes.len() / INSTRUCTION_BYTES, p.len());
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_arbitrary_matmul(
+            rows in 0usize..u32::MAX as usize,
+            k in 0usize..u32::MAX as usize,
+            out in 0usize..u32::MAX as usize,
+            wb in any::<bool>(),
+        ) {
+            let i = Instruction::MatMulTile {
+                rows,
+                k_span: k,
+                out_span: out,
+                mode: if wb { GemmMode::WeightBroadcast } else { GemmMode::VectorMatrix },
+            };
+            prop_assert_eq!(decode(&encode(&[i])).unwrap(), vec![i]);
+        }
+
+        #[test]
+        fn round_trip_arbitrary_dram(bytes in any::<u64>(), load in any::<bool>()) {
+            let i = if load {
+                Instruction::LoadDram { target: BufferKind::Weight, bytes }
+            } else {
+                Instruction::StoreDram { source: BufferKind::Activation, bytes }
+            };
+            prop_assert_eq!(decode(&encode(&[i])).unwrap(), vec![i]);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The im2col unit: lowering convolutions to matrix multiplication.
+//!
+//! The accelerator's datapath contains a dedicated im2col block
+//! (Figure 3) that rewrites a convolution's input feature map into the
+//! activation-matrix layout a GEMM expects. This module provides both
+//! the shape arithmetic used by the compiler and a functional reference
+//! implementation over dense matrices (used by tests and the trainer's
+//! CNN path).
+
+use equinox_arith::Matrix;
+
+/// The GEMM shape a convolution lowers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoweredConv {
+    /// Activation-matrix rows per sample: `out_h · out_w`.
+    pub rows: usize,
+    /// Reduction dimension: `in_ch · kernel²`.
+    pub k: usize,
+    /// Output columns: `out_ch`.
+    pub out: usize,
+}
+
+/// Computes the output spatial size of a convolution.
+///
+/// # Panics
+///
+/// Panics if the kernel does not fit the padded input or `stride == 0`.
+pub fn conv_out_size(input: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    let padded = input + 2 * padding;
+    assert!(padded >= kernel, "kernel larger than padded input");
+    (padded - kernel) / stride + 1
+}
+
+/// Shape arithmetic of the im2col lowering.
+pub fn lower_shape(
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    input_hw: usize,
+    stride: usize,
+    padding: usize,
+) -> LoweredConv {
+    let o = conv_out_size(input_hw, kernel, stride, padding);
+    LoweredConv { rows: o * o, k: in_ch * kernel * kernel, out: out_ch }
+}
+
+/// Functional im2col over a single-channel-major input.
+///
+/// `input` is `in_ch` rows of `h·w` columns (channel-major feature map).
+/// The result has `out_h·out_w` rows and `in_ch·kernel²` columns, zero
+/// padded, so that `im2col(input) · weights` equals the convolution with
+/// `weights` of shape `(in_ch·kernel², out_ch)`.
+///
+/// # Panics
+///
+/// Panics if `input` dimensions are inconsistent with `h·w`.
+pub fn im2col(
+    input: &Matrix,
+    h: usize,
+    w: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> Matrix {
+    assert_eq!(input.cols(), h * w, "input columns must equal h*w");
+    let in_ch = input.rows();
+    let out_h = conv_out_size(h, kernel, stride, padding);
+    let out_w = conv_out_size(w, kernel, stride, padding);
+    let mut out = Matrix::zeros(out_h * out_w, in_ch * kernel * kernel);
+    for oy in 0..out_h {
+        for ox in 0..out_w {
+            let row = oy * out_w + ox;
+            for c in 0..in_ch {
+                for ky in 0..kernel {
+                    for kx in 0..kernel {
+                        let iy = (oy * stride + ky) as isize - padding as isize;
+                        let ix = (ox * stride + kx) as isize - padding as isize;
+                        let col = c * kernel * kernel + ky * kernel + kx;
+                        if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                            let v = input.get(c, iy as usize * w + ix as usize);
+                            out.set(row, col, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equinox_arith::gemm::gemm_f32;
+
+    #[test]
+    fn out_size_formulas() {
+        assert_eq!(conv_out_size(224, 7, 2, 3), 112);
+        assert_eq!(conv_out_size(56, 3, 1, 1), 56);
+        assert_eq!(conv_out_size(56, 1, 1, 0), 56);
+        assert_eq!(conv_out_size(5, 3, 2, 0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_panics() {
+        conv_out_size(8, 3, 0, 0);
+    }
+
+    #[test]
+    fn lower_shape_resnet_conv1() {
+        let l = lower_shape(3, 64, 7, 224, 2, 3);
+        assert_eq!(l.rows, 112 * 112);
+        assert_eq!(l.k, 147);
+        assert_eq!(l.out, 64);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1×1 kernel, stride 1: im2col is a transpose-like reshape.
+        let input = Matrix::from_fn(2, 9, |c, i| (c * 9 + i) as f32);
+        let cols = im2col(&input, 3, 3, 1, 1, 0);
+        assert_eq!(cols.rows(), 9);
+        assert_eq!(cols.cols(), 2);
+        assert_eq!(cols.get(4, 0), input.get(0, 4));
+        assert_eq!(cols.get(4, 1), input.get(1, 4));
+    }
+
+    #[test]
+    fn im2col_gemm_matches_direct_convolution() {
+        // 1 input channel, 3×3 input, 2×2 kernel, stride 1, no padding.
+        let input = Matrix::from_vec(1, 9, (0..9).map(|v| v as f32).collect());
+        let weights = Matrix::from_vec(4, 1, vec![1.0, 2.0, 3.0, 4.0]);
+        let cols = im2col(&input, 3, 3, 2, 1, 0);
+        let out = gemm_f32(&cols, &weights);
+        // Direct computation of the four output positions.
+        let direct = |y: usize, x: usize| {
+            input.get(0, y * 3 + x) * 1.0
+                + input.get(0, y * 3 + x + 1) * 2.0
+                + input.get(0, (y + 1) * 3 + x) * 3.0
+                + input.get(0, (y + 1) * 3 + x + 1) * 4.0
+        };
+        assert_eq!(out.get(0, 0), direct(0, 0));
+        assert_eq!(out.get(1, 0), direct(0, 1));
+        assert_eq!(out.get(2, 0), direct(1, 0));
+        assert_eq!(out.get(3, 0), direct(1, 1));
+    }
+
+    #[test]
+    fn im2col_padding_zero_fills() {
+        let input = Matrix::from_fn(1, 4, |_, i| (i + 1) as f32);
+        // 2×2 input, 3×3 kernel, padding 1 → 2×2 output.
+        let cols = im2col(&input, 2, 2, 3, 1, 1);
+        assert_eq!(cols.rows(), 4);
+        assert_eq!(cols.cols(), 9);
+        // First output position: top-left corner of the padded image;
+        // its first kernel row is entirely padding.
+        assert_eq!(cols.get(0, 0), 0.0);
+        assert_eq!(cols.get(0, 4), 1.0); // center = input (0,0)
+    }
+}

@@ -1,0 +1,209 @@
+//! The accelerator's instruction set (§3.1).
+//!
+//! Instructions are issued by the instruction dispatcher to the datapath;
+//! arithmetic instructions drive the MMU and SIMD unit, data-movement
+//! instructions drive the DRAM and host interfaces.
+
+use crate::layers::GemmMode;
+
+/// Which on-chip buffer a data-movement instruction targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufferKind {
+    /// The activation buffer (20 MB, broadcast-connected to all arrays).
+    Activation,
+    /// The weight buffer (50 MB, one bank per systolic array).
+    Weight,
+    /// The instruction buffer (32 KB).
+    Instruction,
+    /// The SIMD register file (5 MB).
+    SimdRegisters,
+}
+
+/// SIMD (vector-vector) operation classes.
+///
+/// The training enhancements overload the SIMD ISA with derivative and
+/// loss calculations (§3.2); those appear as distinct kinds so programs
+/// can be audited for which instructions the baseline inference
+/// accelerator lacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdOpKind {
+    /// Element-wise activation (sigmoid/tanh/relu) or pooling.
+    Activation,
+    /// Element-wise arithmetic (add/mul), incl. tile accumulation.
+    Elementwise,
+    /// Batch normalization.
+    BatchNorm,
+    /// Derivative computation (training-only overload).
+    Derivative,
+    /// Loss computation (training-only overload).
+    Loss,
+    /// Optimizer weight update (training-only overload).
+    WeightUpdate,
+}
+
+impl SimdOpKind {
+    /// True for the SIMD overloads added by Equinox for training.
+    pub fn is_training_only(self) -> bool {
+        matches!(
+            self,
+            SimdOpKind::Derivative | SimdOpKind::Loss | SimdOpKind::WeightUpdate
+        )
+    }
+}
+
+/// One instruction of the accelerator ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// Multiply one activation tile against `m` weight tiles (Figure 4):
+    /// streams `rows` activation rows through the arrays; `k_span ≤ n·w`
+    /// and `out_span ≤ m·n` give the useful extent of the tile (smaller
+    /// extents leave part of the arrays idle — "dimension mismatch"
+    /// stalls in the Figure 8 breakdown).
+    MatMulTile {
+        /// Activation rows streamed (batch dimension).
+        rows: usize,
+        /// Useful reduction extent of this tile.
+        k_span: usize,
+        /// Useful output extent across the `m` arrays.
+        out_span: usize,
+        /// Array mapping mode. `VectorMatrix` broadcasts activations
+        /// (occupancy = `rows` cycles); `WeightBroadcast` broadcasts
+        /// weights and splits rows across the `m` arrays (occupancy =
+        /// `⌈rows/m⌉` cycles).
+        mode: GemmMode,
+    },
+    /// Vector-vector operation on `elems` elements.
+    Simd {
+        /// Operation class.
+        kind: SimdOpKind,
+        /// Total elements processed.
+        elems: usize,
+    },
+    /// Move `bytes` from DRAM into an on-chip buffer.
+    LoadDram {
+        /// Destination buffer.
+        target: BufferKind,
+        /// Transfer size.
+        bytes: u64,
+    },
+    /// Move `bytes` from an on-chip buffer to DRAM.
+    StoreDram {
+        /// Source buffer.
+        source: BufferKind,
+        /// Transfer size.
+        bytes: u64,
+    },
+    /// Move `bytes` across the host interface (requests, responses,
+    /// parameter-server gradient/model traffic).
+    HostIo {
+        /// Transfer size.
+        bytes: u64,
+    },
+    /// Barrier: all prior instructions of this context must complete
+    /// before any later one issues (layer/timestep boundary).
+    Sync,
+}
+
+impl Instruction {
+    /// Useful multiply-accumulate operations performed by the
+    /// instruction (`rows × k_span × out_span` for a tile multiply).
+    pub fn macs(&self) -> u64 {
+        match *self {
+            Instruction::MatMulTile { rows, k_span, out_span, .. } => {
+                rows as u64 * k_span as u64 * out_span as u64
+            }
+            _ => 0,
+        }
+    }
+
+    /// MMU occupancy in cycles on an MMU with `m_arrays` systolic
+    /// arrays, or 0 for non-MMU instructions.
+    pub fn mmu_occupancy_cycles(&self, m_arrays: usize) -> u64 {
+        match *self {
+            Instruction::MatMulTile { rows, mode, .. } => match mode {
+                GemmMode::VectorMatrix => rows as u64,
+                GemmMode::WeightBroadcast => rows.div_ceil(m_arrays.max(1)) as u64,
+            },
+            _ => 0,
+        }
+    }
+
+    /// True for instructions that occupy the MMU.
+    pub fn uses_mmu(&self) -> bool {
+        matches!(self, Instruction::MatMulTile { .. })
+    }
+
+    /// True for instructions that occupy the SIMD unit.
+    pub fn uses_simd(&self) -> bool {
+        matches!(self, Instruction::Simd { .. })
+    }
+
+    /// Bytes moved over the DRAM interface, if any.
+    pub fn dram_bytes(&self) -> u64 {
+        match *self {
+            Instruction::LoadDram { bytes, .. } | Instruction::StoreDram { bytes, .. } => bytes,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_macs() {
+        let i = Instruction::MatMulTile {
+            rows: 4,
+            k_span: 8,
+            out_span: 16,
+            mode: GemmMode::VectorMatrix,
+        };
+        assert_eq!(i.macs(), 4 * 8 * 16);
+        assert!(i.uses_mmu());
+        assert!(!i.uses_simd());
+        assert_eq!(i.dram_bytes(), 0);
+    }
+
+    #[test]
+    fn occupancy_by_mode() {
+        let vm = Instruction::MatMulTile {
+            rows: 100,
+            k_span: 8,
+            out_span: 16,
+            mode: GemmMode::VectorMatrix,
+        };
+        let wb = Instruction::MatMulTile {
+            rows: 100,
+            k_span: 8,
+            out_span: 16,
+            mode: GemmMode::WeightBroadcast,
+        };
+        assert_eq!(vm.mmu_occupancy_cycles(4), 100);
+        assert_eq!(wb.mmu_occupancy_cycles(4), 25);
+        assert_eq!(wb.mmu_occupancy_cycles(3), 34);
+        assert_eq!(Instruction::Sync.mmu_occupancy_cycles(4), 0);
+    }
+
+    #[test]
+    fn simd_classification() {
+        let i = Instruction::Simd { kind: SimdOpKind::Activation, elems: 128 };
+        assert!(i.uses_simd());
+        assert_eq!(i.macs(), 0);
+        assert!(!SimdOpKind::Activation.is_training_only());
+        assert!(SimdOpKind::Derivative.is_training_only());
+        assert!(SimdOpKind::WeightUpdate.is_training_only());
+        assert!(SimdOpKind::Loss.is_training_only());
+        assert!(!SimdOpKind::Elementwise.is_training_only());
+        assert!(!SimdOpKind::BatchNorm.is_training_only());
+    }
+
+    #[test]
+    fn dram_bytes_both_directions() {
+        let l = Instruction::LoadDram { target: BufferKind::Weight, bytes: 100 };
+        let s = Instruction::StoreDram { source: BufferKind::Activation, bytes: 200 };
+        assert_eq!(l.dram_bytes(), 100);
+        assert_eq!(s.dram_bytes(), 200);
+        assert_eq!(Instruction::Sync.dram_bytes(), 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Workload building blocks: the GEMM steps a DNN lowers to.
+//!
+//! Every supported layer type (dense, LSTM/GRU timestep, lowered
+//! convolution) becomes a [`GemmStep`]: one matrix multiplication plus
+//! its surrounding element-wise SIMD work, separated from the next step
+//! by a dependence barrier.
+
+/// How the MMU maps a GEMM onto its arrays (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GemmMode {
+    /// Activations broadcast across arrays, weights unicast: used when
+    /// the activation matrix is short relative to its length
+    /// (vector-matrix models: RNN/MLP). Needs batch ≥ n for full
+    /// utilization.
+    VectorMatrix,
+    /// Weights broadcast, activations unicast: used for tall activation
+    /// matrices such as lowered convolutions; exhibits plenty of reuse.
+    WeightBroadcast,
+}
+
+/// One dependence-delimited GEMM step of a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmStep {
+    /// Reduction dimension of the multiplication.
+    pub k: usize,
+    /// Output columns produced.
+    pub out: usize,
+    /// Activation rows contributed per request/sample (1 for
+    /// vector-matrix models; the spatial extent for lowered
+    /// convolutions).
+    pub rows_per_sample: usize,
+    /// Element-wise SIMD work following the GEMM, elements per sample.
+    pub simd_elems_per_sample: usize,
+    /// Mapping mode.
+    pub mode: GemmMode,
+    /// Consecutive repetitions of this step (RNN timesteps, residual
+    /// blocks of identical shape).
+    pub repeats: usize,
+    /// True when all repetitions share one weight matrix (recurrent
+    /// layers): the weights are counted once for footprint purposes.
+    pub weights_shared_across_repeats: bool,
+}
+
+impl GemmStep {
+    /// MACs per sample across all repetitions.
+    pub fn macs_per_sample(&self) -> u64 {
+        self.repeats as u64 * self.rows_per_sample as u64 * self.k as u64 * self.out as u64
+    }
+
+    /// SIMD elements per sample across all repetitions.
+    pub fn simd_elems_total(&self) -> u64 {
+        self.repeats as u64 * self.simd_elems_per_sample as u64
+    }
+
+    /// Weight parameters, counting shared recurrent weights once.
+    pub fn weight_params(&self) -> u64 {
+        let per_repeat = self.k as u64 * self.out as u64;
+        if self.weights_shared_across_repeats {
+            per_repeat
+        } else {
+            per_repeat * self.repeats as u64
+        }
+    }
+}
+
+/// Builders for the common layer types.
+impl GemmStep {
+    /// A fully-connected layer.
+    pub fn dense(input: usize, output: usize) -> Self {
+        GemmStep {
+            k: input,
+            out: output,
+            rows_per_sample: 1,
+            simd_elems_per_sample: output,
+            mode: GemmMode::VectorMatrix,
+            repeats: 1,
+            weights_shared_across_repeats: false,
+        }
+    }
+
+    /// One LSTM layer: per timestep, the four gate GEMMs against the
+    /// hidden state fused into a single `hidden × 4·hidden`
+    /// multiplication, followed by the gate element-wise network
+    /// (3 sigmoids, 2 tanh, 3 multiplies ≈ 7·hidden element ops).
+    pub fn lstm(hidden: usize, steps: usize) -> Self {
+        GemmStep {
+            k: hidden,
+            out: 4 * hidden,
+            rows_per_sample: 1,
+            simd_elems_per_sample: 7 * hidden,
+            mode: GemmMode::VectorMatrix,
+            repeats: steps,
+            weights_shared_across_repeats: true,
+        }
+    }
+
+    /// One GRU layer: per timestep, the three gate GEMMs fused into a
+    /// `hidden × 3·hidden` multiplication plus ≈6·hidden element ops.
+    pub fn gru(hidden: usize, steps: usize) -> Self {
+        GemmStep {
+            k: hidden,
+            out: 3 * hidden,
+            rows_per_sample: 1,
+            simd_elems_per_sample: 6 * hidden,
+            mode: GemmMode::VectorMatrix,
+            repeats: steps,
+            weights_shared_across_repeats: true,
+        }
+    }
+
+    /// A 2-D convolution lowered to GEMM by the im2col unit: the
+    /// activation matrix has `out_h·out_w` rows per sample and
+    /// `in_ch·kernel²` columns; the weight matrix produces `out_ch`
+    /// outputs.
+    pub fn conv2d(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        out_h: usize,
+        out_w: usize,
+        repeats: usize,
+    ) -> Self {
+        GemmStep {
+            k: in_ch * kernel * kernel,
+            out: out_ch,
+            rows_per_sample: out_h * out_w,
+            simd_elems_per_sample: out_h * out_w * out_ch,
+            mode: GemmMode::WeightBroadcast,
+            repeats,
+            weights_shared_across_repeats: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_counts() {
+        let d = GemmStep::dense(100, 10);
+        assert_eq!(d.macs_per_sample(), 1000);
+        assert_eq!(d.weight_params(), 1000);
+        assert_eq!(d.simd_elems_total(), 10);
+        assert_eq!(d.mode, GemmMode::VectorMatrix);
+    }
+
+    #[test]
+    fn lstm_shares_weights() {
+        let l = GemmStep::lstm(2048, 25);
+        assert_eq!(l.k, 2048);
+        assert_eq!(l.out, 8192);
+        assert_eq!(l.repeats, 25);
+        // Weights counted once despite 25 steps.
+        assert_eq!(l.weight_params(), 2048 * 8192);
+        assert_eq!(l.macs_per_sample(), 25 * 2048 * 8192);
+    }
+
+    #[test]
+    fn gru_shapes() {
+        let g = GemmStep::gru(2816, 1500);
+        assert_eq!(g.out, 3 * 2816);
+        assert_eq!(g.weight_params(), 2816 * 3 * 2816);
+        assert_eq!(g.macs_per_sample(), 1500 * 2816 * 8448);
+    }
+
+    #[test]
+    fn conv_lowering_dims() {
+        let c = GemmStep::conv2d(64, 128, 3, 28, 28, 2);
+        assert_eq!(c.k, 64 * 9);
+        assert_eq!(c.out, 128);
+        assert_eq!(c.rows_per_sample, 784);
+        assert_eq!(c.mode, GemmMode::WeightBroadcast);
+        // Non-shared weights: counted per repeat.
+        assert_eq!(c.weight_params(), 2 * 576 * 128);
+    }
+
+    #[test]
+    fn lstm_macs_match_deepbench_scale() {
+        // 25 × 2048 × 8192 ≈ 0.42 GMACs ⇒ ≈0.84 GOp + SIMD ≈ the 0.94 GOp
+        // reference request cost the analytical model uses.
+        let l = GemmStep::lstm(2048, 25);
+        let gops = 2.0 * l.macs_per_sample() as f64 / 1e9;
+        assert!(gops > 0.8 && gops < 0.9, "{gops}");
+    }
+}

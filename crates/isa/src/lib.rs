@@ -1,0 +1,109 @@
+//! # equinox-isa
+//!
+//! The accelerator's instruction set, DNN workload descriptors, and the
+//! tiling compiler that lowers models onto a given matrix-multiply-unit
+//! geometry (§3.1 of the paper).
+//!
+//! The baseline accelerator executes a custom ISA covering matrix-vector
+//! multiplication, convolution (lowered through the im2col unit),
+//! vector-vector SIMD operations (activation, batch normalization,
+//! pooling — overloaded with derivative and loss calculations for
+//! training), and data movement among DRAM, host and the on-chip
+//! buffers. A matrix multiplication is divided into tiles as in the
+//! paper's Figure 4: each `MatMulTile` instruction addresses one
+//! activation tile and `m` weight tiles, producing `m` output tiles.
+//!
+//! The compiler in [`lower`] turns a [`models::ModelSpec`] into a
+//! [`program::Program`] for a given [`ArrayDims`], and the summaries in
+//! [`lower::InferenceTiming`] / [`training::TrainingProfile`] give the
+//! cycle-level aggregates consumed by the `equinox-sim` crate.
+//!
+//! ## Example
+//!
+//! ```
+//! use equinox_isa::{ArrayDims, models::ModelSpec, lower};
+//!
+//! let dims = ArrayDims { n: 16, w: 4, m: 8 };
+//! let lstm = ModelSpec::lstm_2048_25();
+//! let program = lower::compile_inference(&lstm, &dims, 16);
+//! let timing = lower::InferenceTiming::from_program(&program, &dims, 16);
+//! assert!(timing.total_cycles > 0);
+//! assert_eq!(timing.macs_per_request, lstm.macs_per_sample());
+//! ```
+
+pub mod encode;
+pub mod im2col;
+pub mod instruction;
+pub mod layers;
+pub mod lower;
+pub mod models;
+pub mod program;
+pub mod training;
+pub mod validate;
+
+pub use instruction::Instruction;
+pub use program::Program;
+
+/// Matrix-multiply-unit geometry: `m` systolic arrays of `n × n`
+/// processing elements, each `w` values wide (tile side `n·w`, see
+/// Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayDims {
+    /// Systolic array dimension (also the minimum fully-utilizing batch).
+    pub n: usize,
+    /// Values processed per PE.
+    pub w: usize,
+    /// Number of systolic arrays.
+    pub m: usize,
+}
+
+impl ArrayDims {
+    /// Reduction-dimension span of one tile: `n·w`.
+    pub fn tile_k(&self) -> usize {
+        self.n * self.w
+    }
+
+    /// Output columns covered by one instruction across all `m` arrays:
+    /// `m·n`.
+    pub fn tile_out(&self) -> usize {
+        self.m * self.n
+    }
+
+    /// Multiply-accumulate ALUs: `m·n²·w`.
+    pub fn alu_count(&self) -> u64 {
+        (self.m * self.n * self.n * self.w) as u64
+    }
+
+    /// Pipeline fill latency of a tile pass, cycles: the activation wave
+    /// must traverse the `n`-deep array and the `w`-wide PE lanes, and
+    /// results drain through `n` accumulator rows.
+    pub fn fill_cycles(&self) -> u64 {
+        (2 * self.n + self.w) as u64
+    }
+}
+
+impl std::fmt::Display for ArrayDims {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x({}x{})x{}w", self.m, self.n, self.n, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_derived_quantities() {
+        let d = ArrayDims { n: 16, w: 4, m: 8 };
+        assert_eq!(d.tile_k(), 64);
+        assert_eq!(d.tile_out(), 128);
+        assert_eq!(d.alu_count(), 8 * 256 * 4);
+        assert_eq!(d.fill_cycles(), 36);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let d = ArrayDims { n: 2, w: 3, m: 4 };
+        assert_eq!(d.to_string(), "4x(2x2)x3w");
+    }
+}

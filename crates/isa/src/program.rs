@@ -1,0 +1,141 @@
+//! Instruction sequences with simple aggregate queries.
+
+use crate::instruction::Instruction;
+
+/// A straight-line instruction sequence for one request batch (or one
+/// training iteration). `Sync` instructions delimit dependence regions
+/// (layer/timestep boundaries).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    name: String,
+    instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program { name: name.into(), instructions: Vec::new() }
+    }
+
+    /// The program's name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, instruction: Instruction) {
+        self.instructions.push(instruction);
+    }
+
+    /// The instruction sequence.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// True if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Total useful MACs across all instructions.
+    pub fn total_macs(&self) -> u64 {
+        self.instructions.iter().map(Instruction::macs).sum()
+    }
+
+    /// Total DRAM bytes moved.
+    pub fn total_dram_bytes(&self) -> u64 {
+        self.instructions.iter().map(Instruction::dram_bytes).sum()
+    }
+
+    /// Number of MMU instructions.
+    pub fn mmu_instruction_count(&self) -> usize {
+        self.instructions.iter().filter(|i| i.uses_mmu()).count()
+    }
+
+    /// Number of sync barriers.
+    pub fn sync_count(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| matches!(i, Instruction::Sync))
+            .count()
+    }
+}
+
+impl Extend<Instruction> for Program {
+    fn extend<T: IntoIterator<Item = Instruction>>(&mut self, iter: T) {
+        self.instructions.extend(iter);
+    }
+}
+
+impl std::fmt::Display for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Program '{}': {} instructions ({} MMU, {} syncs), {} MMACs, {} DRAM bytes",
+            self.name,
+            self.len(),
+            self.mmu_instruction_count(),
+            self.sync_count(),
+            self.total_macs() / 1_000_000,
+            self.total_dram_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::{BufferKind, SimdOpKind};
+
+    fn sample() -> Program {
+        let mut p = Program::new("test");
+        p.push(Instruction::MatMulTile {
+            rows: 2,
+            k_span: 3,
+            out_span: 4,
+            mode: crate::layers::GemmMode::VectorMatrix,
+        });
+        p.push(Instruction::Simd { kind: SimdOpKind::Activation, elems: 8 });
+        p.push(Instruction::Sync);
+        p.push(Instruction::LoadDram { target: BufferKind::Weight, bytes: 64 });
+        p
+    }
+
+    #[test]
+    fn aggregates() {
+        let p = sample();
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        assert_eq!(p.total_macs(), 24);
+        assert_eq!(p.total_dram_bytes(), 64);
+        assert_eq!(p.mmu_instruction_count(), 1);
+        assert_eq!(p.sync_count(), 1);
+        assert_eq!(p.name(), "test");
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut p = Program::new("x");
+        p.extend([Instruction::Sync, Instruction::Sync]);
+        assert_eq!(p.sync_count(), 2);
+    }
+
+    #[test]
+    fn display_summary() {
+        let s = sample().to_string();
+        assert!(s.contains("4 instructions"));
+        assert!(s.contains("1 MMU"));
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = Program::new("empty");
+        assert!(p.is_empty());
+        assert_eq!(p.total_macs(), 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Lowering of training iterations (§3.2) and their DRAM traffic.
+//!
+//! Training piggybacks as a best-effort context: a synchronous-SGD
+//! iteration is one forward pass, one backward pass (activation
+//! gradients `dX` and weight gradients `dW`), an optimizer update, and a
+//! parameter-server exchange. Because the training footprint is a few
+//! GBs, operands stream from DRAM and on-chip buffers only stage them
+//! right before computation — training is fundamentally bound by
+//! off-chip bandwidth (§2.2).
+
+use crate::layers::GemmMode;
+use crate::models::ModelSpec;
+use crate::ArrayDims;
+use equinox_arith::Encoding;
+
+/// Parameters of the training service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingSetup {
+    /// Mini-batch size (the paper models 128).
+    pub batch: usize,
+    /// Datapath encoding for streamed operands.
+    pub encoding: Encoding,
+    /// Multiplier on raw component traffic accounting for DRAM row
+    /// activation on strided tile accesses, transfer granularity,
+    /// refresh, and staging double-buffer duplication. Calibrated so the
+    /// LSTM training intensity matches the paper's HBM-saturated maximum
+    /// (≈105 TOp/s at 1 TB/s).
+    pub dram_inefficiency_factor: f64,
+}
+
+impl TrainingSetup {
+    /// The paper's configuration: batch 128, hbfp8 operands.
+    pub fn paper_default() -> Self {
+        TrainingSetup {
+            batch: 128,
+            encoding: Encoding::Hbfp8,
+            dram_inefficiency_factor: 3.5,
+        }
+    }
+}
+
+impl Default for TrainingSetup {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Occupancy cycles of one GEMM tiled onto `dims` (`rows × k → out`).
+fn gemm_occupancy(dims: &ArrayDims, rows: usize, k: usize, out: usize, mode: GemmMode) -> u64 {
+    let tile_k = dims.tile_k();
+    let tile_out = match mode {
+        GemmMode::VectorMatrix => dims.tile_out(),
+        GemmMode::WeightBroadcast => dims.n,
+    };
+    let row_cycles = match mode {
+        GemmMode::VectorMatrix => rows as u64,
+        GemmMode::WeightBroadcast => rows.div_ceil(dims.m.max(1)) as u64,
+    };
+    (k.div_ceil(tile_k) as u64) * (out.div_ceil(tile_out) as u64) * row_cycles
+}
+
+/// Aggregate cost of one training iteration on a given geometry — the
+/// quantities the simulator's training context streams from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingProfile {
+    /// Useful MACs per iteration (forward + dX + dW).
+    pub iteration_macs: u64,
+    /// MMU occupancy cycles per iteration.
+    pub iteration_mmu_cycles: u64,
+    /// DRAM bytes moved per iteration (weights both passes, gradients,
+    /// optimizer state, staged activations, parameter-server exchange),
+    /// including the calibrated inefficiency factor.
+    pub iteration_dram_bytes: u64,
+    /// SIMD cycles per iteration (derivatives, loss, weight update).
+    pub iteration_simd_cycles: u64,
+    /// Mini-batch size.
+    pub batch: usize,
+}
+
+impl TrainingProfile {
+    /// Profiles one synchronous-SGD iteration of `model` on `dims`.
+    ///
+    /// Backward-pass lowering: `dX = dY·Wᵀ` keeps the batch on the rows
+    /// (vector-matrix mode); `dW = Xᵀ·dY` has tall `k`-row activations
+    /// and a shallow `batch`-deep reduction, so it maps in
+    /// weight-broadcast mode (the paper's mode 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `setup.batch` is zero.
+    pub fn profile(model: &ModelSpec, dims: &ArrayDims, setup: &TrainingSetup) -> Self {
+        assert!(setup.batch > 0, "training batch must be positive");
+        let b = setup.batch;
+        let simd_lanes = (dims.m * dims.n).max(1) as u64;
+        let mut macs = 0u64;
+        let mut mmu_cycles = 0u64;
+        let mut simd_cycles = 0u64;
+        for step in model.steps() {
+            let reps = step.repeats as u64;
+            let rows = b * step.rows_per_sample;
+            // Forward: rows × k → out.
+            mmu_cycles += reps * gemm_occupancy(dims, rows, step.k, step.out, step.mode);
+            // dX: rows × out → k.
+            mmu_cycles += reps * gemm_occupancy(dims, rows, step.out, step.k, step.mode);
+            // dW: k rows × batch-deep reduction → out (tall: mode 2).
+            mmu_cycles += reps
+                * gemm_occupancy(
+                    dims,
+                    step.k * step.rows_per_sample.min(b),
+                    b,
+                    step.out,
+                    GemmMode::WeightBroadcast,
+                );
+            macs += 3 * reps * rows as u64 * step.k as u64 * step.out as u64;
+            // SIMD: forward activations, their derivatives, and the loss
+            // tail; plus the optimizer update over the step's weights.
+            let act = reps * b as u64 * step.simd_elems_per_sample as u64;
+            simd_cycles += (2 * act).div_ceil(simd_lanes);
+            simd_cycles += step.weight_params().div_ceil(simd_lanes);
+        }
+        let dram = Self::iteration_traffic_bytes(model, setup);
+        TrainingProfile {
+            iteration_macs: macs,
+            iteration_mmu_cycles: mmu_cycles,
+            iteration_dram_bytes: dram,
+            iteration_simd_cycles: simd_cycles,
+            batch: b,
+        }
+    }
+
+    /// Raw + calibrated DRAM traffic of one iteration, bytes.
+    ///
+    /// Components per iteration:
+    /// * weights: streamed for forward and backward (encoding width),
+    ///   fp32 gradients written, momentum + fp32 master copy
+    ///   read/written, re-quantized weights written;
+    /// * activations: written in fp32 during forward, re-read during
+    ///   backward, activation gradients written and re-read;
+    /// * parameter server: fp32 gradients out, new quantized model in.
+    pub fn iteration_traffic_bytes(model: &ModelSpec, setup: &TrainingSetup) -> u64 {
+        let enc = setup.encoding.bytes_per_value() as u64;
+        let params = model.weight_params();
+        let act = model.activation_elems_per_sample() * setup.batch as u64;
+        let weight_bytes = params * (2 * enc + 4 + 8 + 8 + enc);
+        let act_bytes = act * 16; // fp32: write, read, grad write, grad read
+        let sync_bytes = params * (4 + enc);
+        let raw = weight_bytes + act_bytes + sync_bytes;
+        (raw as f64 * setup.dram_inefficiency_factor) as u64
+    }
+
+    /// Arithmetic intensity, Ops per DRAM byte.
+    pub fn intensity_ops_per_byte(&self) -> f64 {
+        2.0 * self.iteration_macs as f64 / self.iteration_dram_bytes as f64
+    }
+
+    /// Training throughput if DRAM bandwidth is the only limit, Ops/s.
+    pub fn dram_limited_ops(&self, bandwidth_bytes_per_s: f64) -> f64 {
+        self.intensity_ops_per_byte() * bandwidth_bytes_per_s
+    }
+
+    /// Training throughput if the MMU is the only limit, Ops/s.
+    pub fn mmu_limited_ops(&self, freq_hz: f64) -> f64 {
+        2.0 * self.iteration_macs as f64 * freq_hz / self.iteration_mmu_cycles as f64
+    }
+
+    /// The maximum achievable training throughput — what a dedicated
+    /// training accelerator saturating both the compute and the DRAM
+    /// bandwidth would reach, Ops/s.
+    pub fn max_achievable_ops(&self, freq_hz: f64, bandwidth_bytes_per_s: f64) -> f64 {
+        self.dram_limited_ops(bandwidth_bytes_per_s)
+            .min(self.mmu_limited_ops(freq_hz))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims_500us() -> ArrayDims {
+        ArrayDims { n: 186, w: 3, m: 3 }
+    }
+
+    #[test]
+    fn lstm_intensity_matches_calibration_target() {
+        let p = TrainingProfile::profile(
+            &ModelSpec::lstm_2048_25(),
+            &dims_500us(),
+            &TrainingSetup::paper_default(),
+        );
+        // HBM-saturated max ≈ 100–115 TOp/s at 1 TB/s (the paper's
+        // Figure 9 plateau for Equinox_none).
+        let dram_tops = p.dram_limited_ops(1e12) / 1e12;
+        assert!(dram_tops > 90.0 && dram_tops < 125.0, "{dram_tops}");
+    }
+
+    #[test]
+    fn lstm_training_is_dram_bound_on_500us_config() {
+        let p = TrainingProfile::profile(
+            &ModelSpec::lstm_2048_25(),
+            &dims_500us(),
+            &TrainingSetup::paper_default(),
+        );
+        // The MMU could go much faster than DRAM lets it (§2.2).
+        assert!(p.mmu_limited_ops(610e6) > 1.5 * p.dram_limited_ops(1e12));
+        assert_eq!(
+            p.max_achievable_ops(610e6, 1e12),
+            p.dram_limited_ops(1e12)
+        );
+    }
+
+    #[test]
+    fn iteration_macs_three_passes() {
+        let model = ModelSpec::lstm_2048_25();
+        let p = TrainingProfile::profile(
+            &model,
+            &dims_500us(),
+            &TrainingSetup::paper_default(),
+        );
+        assert_eq!(p.iteration_macs, 3 * 128 * model.macs_per_sample());
+    }
+
+    #[test]
+    fn traffic_scales_with_inefficiency_factor() {
+        let model = ModelSpec::lstm_2048_25();
+        let base = TrainingSetup { dram_inefficiency_factor: 1.0, ..Default::default() };
+        let double = TrainingSetup { dram_inefficiency_factor: 2.0, ..Default::default() };
+        let b1 = TrainingProfile::iteration_traffic_bytes(&model, &base);
+        let b2 = TrainingProfile::iteration_traffic_bytes(&model, &double);
+        assert!((b2 as f64 / b1 as f64 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn footprint_is_a_few_gb() {
+        // §2.2: training footprints are in the range of a few GBs.
+        let model = ModelSpec::lstm_2048_25();
+        let bytes = TrainingProfile::iteration_traffic_bytes(
+            &model,
+            &TrainingSetup::paper_default(),
+        );
+        let gb = bytes as f64 / 1e9;
+        assert!(gb > 1.0 && gb < 10.0, "{gb}");
+    }
+
+    #[test]
+    fn gru_training_less_dram_bound_than_lstm() {
+        // GRU's 1500 steps reuse the same weights, raising intensity.
+        let setup = TrainingSetup::paper_default();
+        let lstm = TrainingProfile::profile(&ModelSpec::lstm_2048_25(), &dims_500us(), &setup);
+        let gru = TrainingProfile::profile(&ModelSpec::gru_2816_1500(), &dims_500us(), &setup);
+        assert!(gru.intensity_ops_per_byte() > lstm.intensity_ops_per_byte());
+    }
+
+    #[test]
+    #[should_panic(expected = "training batch must be positive")]
+    fn zero_batch_panics() {
+        let setup = TrainingSetup { batch: 0, ..Default::default() };
+        TrainingProfile::profile(&ModelSpec::lstm_2048_25(), &dims_500us(), &setup);
+    }
+
+    #[test]
+    fn mmu_utilization_reasonable() {
+        // Training keeps the arrays reasonably busy when it runs: the
+        // per-iteration effective rate is within [20%, 100%] of peak.
+        let d = dims_500us();
+        let p = TrainingProfile::profile(
+            &ModelSpec::lstm_2048_25(),
+            &d,
+            &TrainingSetup::paper_default(),
+        );
+        let peak = 2.0 * d.alu_count() as f64 * 610e6;
+        let eff = p.mmu_limited_ops(610e6);
+        assert!(eff > 0.2 * peak && eff <= peak, "eff {eff} peak {peak}");
+    }
+}

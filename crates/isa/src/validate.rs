@@ -1,0 +1,292 @@
+//! Static validation of programs against the accelerator's resources.
+//!
+//! Service installation (§3.1) loads a model's weights and instructions
+//! into on-chip buffers; installation must fail cleanly when a service
+//! does not fit. This module checks a workload against the §5 SRAM
+//! split (20 MB activation / 50 MB weight / 32 KB instruction / 5 MB
+//! SIMD registers) and the geometry's invariants.
+
+use crate::encode::INSTRUCTION_BYTES;
+use crate::models::ModelSpec;
+use crate::program::Program;
+use crate::ArrayDims;
+use equinox_arith::Encoding;
+
+/// The on-chip capacity limits a service installs against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferBudget {
+    /// Weight buffer capacity, bytes.
+    pub weight_bytes: u64,
+    /// Activation buffer capacity, bytes.
+    pub activation_bytes: u64,
+    /// Instruction buffer capacity, bytes.
+    pub instruction_bytes: u64,
+}
+
+impl BufferBudget {
+    /// The paper's SRAM split (§5).
+    pub fn paper_default() -> Self {
+        BufferBudget {
+            weight_bytes: 50 << 20,
+            activation_bytes: 20 << 20,
+            instruction_bytes: 32 << 10,
+        }
+    }
+}
+
+impl Default for BufferBudget {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Reasons an installation is rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The model's weights exceed the weight buffer.
+    WeightsDontFit {
+        /// Required bytes.
+        required: u64,
+        /// Available bytes.
+        available: u64,
+    },
+    /// One batch's live activations exceed the activation buffer.
+    ActivationsDontFit {
+        /// Required bytes.
+        required: u64,
+        /// Available bytes.
+        available: u64,
+    },
+    /// A tile instruction exceeds the MMU geometry.
+    TileTooLarge {
+        /// Instruction index in the program.
+        index: usize,
+    },
+    /// A program region between syncs would overflow the instruction
+    /// buffer (regions are the streaming granularity).
+    RegionTooLarge {
+        /// Instructions in the offending region.
+        instructions: usize,
+        /// Instruction-buffer capacity in instructions.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::WeightsDontFit { required, available } => write!(
+                f,
+                "model weights need {required} bytes but the weight buffer holds {available}"
+            ),
+            ValidationError::ActivationsDontFit { required, available } => write!(
+                f,
+                "batch activations need {required} bytes but the activation buffer holds {available}"
+            ),
+            ValidationError::TileTooLarge { index } => {
+                write!(f, "instruction {index} addresses a tile larger than the MMU geometry")
+            }
+            ValidationError::RegionTooLarge { instructions, capacity } => write!(
+                f,
+                "a dependence region holds {instructions} instructions but the buffer streams {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks whether `model` (served at `batch`) installs onto the
+/// geometry under `budget`.
+///
+/// # Errors
+///
+/// The first violated constraint, in the order weights → activations.
+pub fn validate_installation(
+    model: &ModelSpec,
+    encoding: Encoding,
+    batch: usize,
+    budget: &BufferBudget,
+) -> Result<(), ValidationError> {
+    let bytes_per_value = encoding.bytes_per_value() as u64;
+    let weight_bytes = model.weight_params() * bytes_per_value;
+    if weight_bytes > budget.weight_bytes {
+        return Err(ValidationError::WeightsDontFit {
+            required: weight_bytes,
+            available: budget.weight_bytes,
+        });
+    }
+    // Live activations: the widest step's outputs for a batch plus one
+    // staged im2col row of inputs (the im2col unit streams the lowered
+    // activation matrix; it is never materialized), double-buffered.
+    let widest: u64 = model
+        .steps()
+        .iter()
+        .map(|s| s.out as u64 * s.rows_per_sample as u64 + s.k as u64)
+        .max()
+        .unwrap_or(0);
+    let act_bytes = 2 * widest * batch as u64 * bytes_per_value;
+    if act_bytes > budget.activation_bytes {
+        return Err(ValidationError::ActivationsDontFit {
+            required: act_bytes,
+            available: budget.activation_bytes,
+        });
+    }
+    Ok(())
+}
+
+/// Checks a compiled program against the geometry and buffer limits.
+///
+/// # Errors
+///
+/// The first malformed instruction or oversized dependence region.
+pub fn validate_program(
+    program: &Program,
+    dims: &ArrayDims,
+    budget: &BufferBudget,
+) -> Result<(), ValidationError> {
+    let capacity = (budget.instruction_bytes as usize) / INSTRUCTION_BYTES;
+    let mut region = 0usize;
+    for (index, instr) in program.instructions().iter().enumerate() {
+        match instr {
+            crate::Instruction::MatMulTile { k_span, out_span, mode, .. } => {
+                let max_out = match mode {
+                    crate::layers::GemmMode::VectorMatrix => dims.tile_out(),
+                    crate::layers::GemmMode::WeightBroadcast => dims.n,
+                };
+                if *k_span > dims.tile_k() || *out_span > max_out {
+                    return Err(ValidationError::TileTooLarge { index });
+                }
+                region += 1;
+            }
+            crate::Instruction::Sync => {
+                if region > capacity {
+                    return Err(ValidationError::RegionTooLarge {
+                        instructions: region,
+                        capacity,
+                    });
+                }
+                region = 0;
+            }
+            _ => region += 1,
+        }
+    }
+    if region > capacity {
+        return Err(ValidationError::RegionTooLarge { instructions: region, capacity });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::GemmStep;
+    use crate::lower::compile_inference;
+
+    fn dims() -> ArrayDims {
+        ArrayDims { n: 186, w: 3, m: 3 }
+    }
+
+    #[test]
+    fn paper_workloads_install() {
+        let budget = BufferBudget::paper_default();
+        // The RNNs batch to the geometry's n; ResNet-50 batches at 8 —
+        // its conv1 feature maps exceed the activation buffer at larger
+        // batches, which is why Table 2 serves it in small batches.
+        for (model, batch) in [
+            (ModelSpec::lstm_2048_25(), 186),
+            (ModelSpec::gru_2816_1500(), 186),
+            (ModelSpec::resnet50(), 8),
+        ] {
+            validate_installation(&model, Encoding::Hbfp8, batch, &budget)
+                .unwrap_or_else(|e| panic!("{} should install: {e}", model.name()));
+        }
+        // And batch 16 ResNet-50 indeed does not fit.
+        assert!(matches!(
+            validate_installation(&ModelSpec::resnet50(), Encoding::Hbfp8, 16, &budget),
+            Err(ValidationError::ActivationsDontFit { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_model_rejected() {
+        // 100M-parameter dense layer at 2 B/value > 50 MB weight buffer.
+        let model = ModelSpec::new("huge", vec![GemmStep::dense(10_000, 10_000)]);
+        let err = validate_installation(&model, Encoding::Bfloat16, 1, &BufferBudget::default())
+            .unwrap_err();
+        assert!(matches!(err, ValidationError::WeightsDontFit { .. }));
+        assert!(err.to_string().contains("weight buffer"));
+    }
+
+    #[test]
+    fn bf16_doubles_footprint() {
+        // A model that fits in hbfp8 but not bfloat16.
+        let model = ModelSpec::new("edge", vec![GemmStep::dense(6_000, 6_000)]);
+        assert!(validate_installation(&model, Encoding::Hbfp8, 1, &BufferBudget::default()).is_ok());
+        assert!(
+            validate_installation(&model, Encoding::Bfloat16, 1, &BufferBudget::default()).is_err()
+        );
+    }
+
+    #[test]
+    fn huge_batch_activations_rejected() {
+        let model = ModelSpec::gru_2816_1500();
+        let err = validate_installation(&model, Encoding::Hbfp8, 4096, &BufferBudget::default())
+            .unwrap_err();
+        assert!(matches!(err, ValidationError::ActivationsDontFit { .. }));
+    }
+
+    #[test]
+    fn compiler_output_validates() {
+        let d = dims();
+        for model in [ModelSpec::lstm_2048_25(), ModelSpec::resnet50()] {
+            let batch = if model.is_vector_matrix() { d.n } else { 8 };
+            let p = compile_inference(&model, &d, batch);
+            validate_program(&p, &d, &BufferBudget::paper_default())
+                .unwrap_or_else(|e| panic!("{} program must validate: {e}", model.name()));
+        }
+    }
+
+    #[test]
+    fn oversized_tile_rejected() {
+        let mut p = Program::new("bad");
+        p.push(crate::Instruction::MatMulTile {
+            rows: 1,
+            k_span: dims().tile_k() + 1,
+            out_span: 1,
+            mode: crate::layers::GemmMode::VectorMatrix,
+        });
+        let err = validate_program(&p, &dims(), &BufferBudget::default()).unwrap_err();
+        assert_eq!(err, ValidationError::TileTooLarge { index: 0 });
+    }
+
+    #[test]
+    fn oversized_region_rejected() {
+        let mut p = Program::new("long");
+        for _ in 0..3000 {
+            p.push(crate::Instruction::MatMulTile {
+                rows: 1,
+                k_span: 1,
+                out_span: 1,
+                mode: crate::layers::GemmMode::VectorMatrix,
+            });
+        }
+        // 32 KB / 16 B = 2048 instructions per region.
+        let err = validate_program(&p, &dims(), &BufferBudget::default()).unwrap_err();
+        assert!(matches!(err, ValidationError::RegionTooLarge { capacity: 2048, .. }));
+        // With a sync in the middle it streams fine.
+        let mut ok = Program::new("split");
+        for i in 0..3000 {
+            ok.push(crate::Instruction::MatMulTile {
+                rows: 1,
+                k_span: 1,
+                out_span: 1,
+                mode: crate::layers::GemmMode::VectorMatrix,
+            });
+            if i == 1500 {
+                ok.push(crate::Instruction::Sync);
+            }
+        }
+        assert!(validate_program(&ok, &dims(), &BufferBudget::default()).is_ok());
+    }
+}

@@ -1,0 +1,8 @@
+use equinox_model::*;
+use equinox_arith::Encoding;
+fn main() {
+    let tech = TechnologyParams::tsmc28();
+    let b = DesignSpace::sweep(Encoding::Bfloat16, &tech);
+    let h = DesignSpace::sweep(Encoding::Hbfp8, &tech);
+    println!("{}", ParetoTable::build(&b, &h));
+}

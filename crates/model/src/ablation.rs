@@ -1,0 +1,129 @@
+//! Ablations of the §4 design choices: how the Pareto-optimal designs
+//! react to the platform parameters the paper fixes (power envelope,
+//! SRAM capacity, DRAM power, frequency/voltage scaling).
+//!
+//! These quantify the sensitivity of the headline "relax latency → 6×
+//! throughput" result to the calibration constants, which DESIGN.md
+//! flags as the substituted inputs.
+
+use crate::constants::TechnologyParams;
+use crate::sweep::DesignSpace;
+use crate::table1::LatencyConstraint;
+use equinox_arith::Encoding;
+
+/// One ablation point: a platform variation and the resulting designs.
+#[derive(Debug, Clone)]
+pub struct AblationPoint {
+    /// Description of the variation (e.g. `power=50W`).
+    pub label: String,
+    /// Min-latency design throughput, TOp/s.
+    pub min_tops: f64,
+    /// 500 µs design throughput, TOp/s.
+    pub relaxed_tops: f64,
+    /// The headline ratio between them.
+    pub ratio: f64,
+}
+
+/// Runs one sweep and extracts the headline pair.
+fn measure(label: String, tech: &TechnologyParams, encoding: Encoding) -> Option<AblationPoint> {
+    let space = DesignSpace::sweep(encoding, tech);
+    let min = space.best_under_latency(LatencyConstraint::MinLatency)?;
+    let relaxed = space.best_under_latency(LatencyConstraint::Micros(500))?;
+    Some(AblationPoint {
+        label,
+        min_tops: min.throughput_tops(),
+        relaxed_tops: relaxed.throughput_tops(),
+        ratio: relaxed.throughput_ops / min.throughput_ops,
+    })
+}
+
+/// Sweeps the total power envelope (the paper fixes 75 W).
+pub fn power_envelope_ablation(encoding: Encoding) -> Vec<AblationPoint> {
+    [40.0, 55.0, 75.0, 100.0, 150.0]
+        .into_iter()
+        .filter_map(|w| {
+            let mut tech = TechnologyParams::tsmc28();
+            tech.power_budget_w = w;
+            measure(format!("power={w:.0}W"), &tech, encoding)
+        })
+        .collect()
+}
+
+/// Sweeps the on-chip SRAM capacity (the paper fixes 75 MB).
+pub fn sram_capacity_ablation(encoding: Encoding) -> Vec<AblationPoint> {
+    [25.0, 50.0, 75.0, 100.0, 150.0]
+        .into_iter()
+        .filter_map(|mb| {
+            let mut tech = TechnologyParams::tsmc28();
+            tech.sram_capacity_mb = mb;
+            measure(format!("sram={mb:.0}MB"), &tech, encoding)
+        })
+        .collect()
+}
+
+/// Disables the frequency/voltage energy scaling (energy constant at
+/// the nominal voltage) to show why the paper's optimal designs favor
+/// low frequencies.
+pub fn voltage_scaling_ablation(encoding: Encoding) -> [Option<AblationPoint>; 2] {
+    let scaled = measure("with V/f scaling".into(), &TechnologyParams::tsmc28(), encoding);
+    let mut flat_tech = TechnologyParams::tsmc28();
+    flat_tech.vdd_min = flat_tech.vdd_nom;
+    let flat = measure("flat energy".into(), &flat_tech, encoding);
+    [scaled, flat]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_power_more_throughput() {
+        let pts = power_envelope_ablation(Encoding::Hbfp8);
+        assert!(pts.len() >= 4);
+        for pair in pts.windows(2) {
+            assert!(
+                pair[1].relaxed_tops >= pair[0].relaxed_tops * 0.99,
+                "{} -> {}",
+                pair[0].label,
+                pair[1].label
+            );
+        }
+        // The relax-latency ratio survives across the envelope range.
+        for p in &pts {
+            assert!(p.ratio > 3.0, "{}: ratio {}", p.label, p.ratio);
+        }
+    }
+
+    #[test]
+    fn sram_capacity_trades_alu_area() {
+        let pts = sram_capacity_ablation(Encoding::Hbfp8);
+        // More SRAM leaves less die for ALUs: relaxed throughput should
+        // not increase with capacity.
+        let first = pts.first().unwrap();
+        let last = pts.last().unwrap();
+        assert!(
+            last.relaxed_tops <= first.relaxed_tops * 1.01,
+            "{} {} -> {} {}",
+            first.label,
+            first.relaxed_tops,
+            last.label,
+            last.relaxed_tops
+        );
+    }
+
+    #[test]
+    fn voltage_scaling_is_load_bearing() {
+        // Without voltage scaling every design runs at the same
+        // energy/op, so the min-latency design no longer prefers the
+        // lowest frequency and the achievable relaxed throughput rises.
+        let [scaled, flat] = voltage_scaling_ablation(Encoding::Hbfp8);
+        let scaled = scaled.unwrap();
+        let flat = flat.unwrap();
+        assert!(
+            flat.relaxed_tops < scaled.relaxed_tops,
+            "flat energy at nominal V must reduce throughput: {} vs {}",
+            flat.relaxed_tops,
+            scaled.relaxed_tops
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! # equinox-model
+//!
+//! First-order analytical models and design-space exploration from §4 of
+//! the Equinox paper.
+//!
+//! The paper jointly optimizes an accelerator's matrix-multiply-unit
+//! dimensions — `m` systolic arrays of `n × n` processing elements, each
+//! `w` values wide — and its operating frequency, under a 300 mm² die and
+//! 75 W power envelope, producing a Pareto frontier of inference latency
+//! against throughput (Figure 6) and the four named configurations of
+//! Table 1 (`Equinox_min`, `Equinox_50µs`, `Equinox_500µs`,
+//! `Equinox_none`).
+//!
+//! The three governing equations are implemented verbatim:
+//!
+//! * Area (Eq. 1): `A = m·n²·w·a_alu + A_sram + A_dram`
+//! * Power (Eq. 2): `P = f·(m·n²·w·e_alu + e_sram·(w·n + m·w·n + m·n)) +
+//!   P_dram + P_static`, with the frequency-dependent energy scaling of
+//!   [Pahlevan et al., DATE'16] applied to the dynamic term.
+//! * Throughput (Eq. 3): `T = 2·m·n²·w·f`
+//!
+//! Calibration constants replace the paper's Synopsys/TSMC-28 nm and
+//! CACTI inputs; see [`constants`] for the derivation from the paper's
+//! published numbers.
+//!
+//! ## Example
+//!
+//! ```
+//! use equinox_model::{DesignSpace, LatencyConstraint, TechnologyParams};
+//! use equinox_arith::Encoding;
+//!
+//! let space = DesignSpace::sweep(Encoding::Hbfp8, &TechnologyParams::tsmc28());
+//! let best = space
+//!     .best_under_latency(LatencyConstraint::Micros(500))
+//!     .expect("a design exists under 500 µs");
+//! // Relaxing latency to 500 µs buys >5x the latency-optimal throughput.
+//! let min = space.best_under_latency(LatencyConstraint::MinLatency).unwrap();
+//! assert!(best.throughput_tops() > 5.0 * min.throughput_tops());
+//! ```
+
+pub mod ablation;
+pub mod constants;
+pub mod design;
+pub mod pareto;
+pub mod report;
+pub mod sweep;
+pub mod table1;
+
+pub use constants::{EncodingParams, TechnologyParams};
+pub use design::{DesignPoint, EvaluatedDesign};
+pub use sweep::DesignSpace;
+pub use table1::{LatencyConstraint, ParetoTable, ParetoTableRow};

@@ -1,0 +1,132 @@
+//! Pareto-frontier extraction over (throughput ↑, service time ↓).
+
+use crate::design::EvaluatedDesign;
+
+/// Returns the Pareto-optimal subset: designs for which no other design
+/// has both higher-or-equal throughput and lower-or-equal service time
+/// (with at least one strict). The result is sorted by ascending
+/// throughput (and therefore ascending service time).
+pub fn pareto_frontier(points: &[EvaluatedDesign]) -> Vec<EvaluatedDesign> {
+    let mut sorted: Vec<EvaluatedDesign> = points.to_vec();
+    // Sort by throughput descending, then service time ascending.
+    sorted.sort_by(|a, b| {
+        b.throughput_ops
+            .total_cmp(&a.throughput_ops)
+            .then(a.service_time_s.total_cmp(&b.service_time_s))
+    });
+    let mut frontier: Vec<EvaluatedDesign> = Vec::new();
+    let mut best_latency = f64::INFINITY;
+    for p in sorted {
+        if p.service_time_s < best_latency {
+            best_latency = p.service_time_s;
+            frontier.push(p);
+        }
+    }
+    frontier.reverse();
+    frontier
+}
+
+/// True if `a` dominates `b` (at least as good on both axes, strictly
+/// better on one).
+pub fn dominates(a: &EvaluatedDesign, b: &EvaluatedDesign) -> bool {
+    let ge_throughput = a.throughput_ops >= b.throughput_ops;
+    let le_latency = a.service_time_s <= b.service_time_s;
+    let strict = a.throughput_ops > b.throughput_ops || a.service_time_s < b.service_time_s;
+    ge_throughput && le_latency && strict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignPoint;
+    use equinox_arith::Encoding;
+    use proptest::prelude::*;
+
+    fn eval(throughput: f64, latency: f64) -> EvaluatedDesign {
+        EvaluatedDesign {
+            design: DesignPoint {
+                n: 1,
+                w: 1,
+                m: 1,
+                freq_hz: 532e6,
+                encoding: Encoding::Hbfp8,
+            },
+            area_mm2: 0.0,
+            power_w: 0.0,
+            throughput_ops: throughput,
+            service_time_s: latency,
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_point_is_frontier() {
+        let f = pareto_frontier(&[eval(1.0, 1.0)]);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn dominated_point_removed() {
+        let a = eval(10.0, 1.0);
+        let b = eval(5.0, 2.0); // worse on both axes
+        let f = pareto_frontier(&[a, b]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].throughput_ops, 10.0);
+    }
+
+    #[test]
+    fn tradeoff_points_kept() {
+        let a = eval(10.0, 2.0);
+        let b = eval(5.0, 1.0);
+        let f = pareto_frontier(&[a, b]);
+        assert_eq!(f.len(), 2);
+        // Sorted by ascending throughput.
+        assert!(f[0].throughput_ops < f[1].throughput_ops);
+    }
+
+    #[test]
+    fn duplicate_points_collapse() {
+        let f = pareto_frontier(&[eval(5.0, 1.0), eval(5.0, 1.0)]);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn dominates_relation() {
+        assert!(dominates(&eval(10.0, 1.0), &eval(5.0, 2.0)));
+        assert!(dominates(&eval(10.0, 1.0), &eval(10.0, 2.0)));
+        assert!(!dominates(&eval(10.0, 1.0), &eval(10.0, 1.0)));
+        assert!(!dominates(&eval(10.0, 2.0), &eval(5.0, 1.0)));
+    }
+
+    proptest! {
+        #[test]
+        fn frontier_has_no_dominated_pairs(
+            pts in proptest::collection::vec((1.0f64..100.0, 1.0f64..100.0), 1..40)
+        ) {
+            let evals: Vec<EvaluatedDesign> =
+                pts.iter().map(|&(t, l)| eval(t, l)).collect();
+            let frontier = pareto_frontier(&evals);
+            for a in &frontier {
+                for b in &frontier {
+                    prop_assert!(!dominates(a, b) || std::ptr::eq(a, b));
+                }
+            }
+            // Every input is dominated by or equal to some frontier point.
+            for p in &evals {
+                prop_assert!(frontier.iter().any(|f|
+                    dominates(f, p)
+                        || (f.throughput_ops == p.throughput_ops
+                            && f.service_time_s == p.service_time_s)));
+            }
+            // Frontier is sorted by throughput ascending and latency ascending.
+            for pair in frontier.windows(2) {
+                prop_assert!(pair[0].throughput_ops <= pair[1].throughput_ops);
+                prop_assert!(pair[0].service_time_s <= pair[1].service_time_s);
+            }
+        }
+    }
+}

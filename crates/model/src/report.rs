@@ -1,0 +1,91 @@
+//! Text rendering of Figure 6 data (latency-vs-throughput scatter).
+
+use crate::design::EvaluatedDesign;
+use crate::sweep::DesignSpace;
+
+/// One point of the Figure 6 scatter as a CSV-friendly record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScatterPoint {
+    /// Throughput, TOp/s (the paper's x-axis).
+    pub throughput_tops: f64,
+    /// Batch service time, µs (the paper's y-axis).
+    pub latency_us: f64,
+    /// Whether the point lies on the Pareto frontier (large dot).
+    pub on_frontier: bool,
+    /// Systolic dimension n.
+    pub n: usize,
+    /// Frequency, MHz.
+    pub freq_mhz: f64,
+}
+
+/// Extracts the Figure 6 scatter from a swept design space.
+pub fn figure6_scatter(space: &DesignSpace) -> Vec<ScatterPoint> {
+    let on_frontier = |p: &EvaluatedDesign| {
+        space.frontier().iter().any(|f| {
+            f.design.n == p.design.n
+                && f.design.w == p.design.w
+                && f.design.m == p.design.m
+                && f.design.freq_hz == p.design.freq_hz
+        })
+    };
+    space
+        .points()
+        .iter()
+        .map(|p| ScatterPoint {
+            throughput_tops: p.throughput_tops(),
+            latency_us: p.service_time_us(),
+            on_frontier: on_frontier(p),
+            n: p.design.n,
+            freq_mhz: p.design.freq_hz / 1e6,
+        })
+        .collect()
+}
+
+/// Renders the scatter as CSV with a header row, matching the series the
+/// paper plots.
+pub fn figure6_csv(space: &DesignSpace) -> String {
+    let mut out = String::from("throughput_tops,latency_us,on_frontier,n,freq_mhz\n");
+    for p in figure6_scatter(space) {
+        out.push_str(&format!(
+            "{:.2},{:.2},{},{},{:.0}\n",
+            p.throughput_tops, p.latency_us, p.on_frontier, p.n, p.freq_mhz
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::TechnologyParams;
+    use equinox_arith::Encoding;
+
+    #[test]
+    fn scatter_marks_frontier() {
+        let space = DesignSpace::sweep_with_limits(
+            Encoding::Hbfp8,
+            &TechnologyParams::tsmc28(),
+            16,
+            16,
+        );
+        let scatter = figure6_scatter(&space);
+        assert_eq!(scatter.len(), space.points().len());
+        let frontier_count = scatter.iter().filter(|p| p.on_frontier).count();
+        assert_eq!(frontier_count, space.frontier().len());
+        assert!(frontier_count >= 1);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let space = DesignSpace::sweep_with_limits(
+            Encoding::Hbfp8,
+            &TechnologyParams::tsmc28(),
+            4,
+            4,
+        );
+        let csv = figure6_csv(&space);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("throughput_tops"));
+        assert_eq!(lines.len(), space.points().len() + 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Table 1: Pareto-optimal designs under various latency constraints.
+
+use crate::design::EvaluatedDesign;
+use crate::sweep::DesignSpace;
+use equinox_arith::Encoding;
+
+/// A latency constraint on the batch service time (Table 1's rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatencyConstraint {
+    /// Pick the design with the lowest achievable service time.
+    MinLatency,
+    /// Service time strictly below this many microseconds.
+    Micros(u64),
+    /// No constraint: maximize throughput.
+    None,
+}
+
+impl LatencyConstraint {
+    /// The four constraints of Table 1, in row order.
+    pub fn table1_rows() -> [LatencyConstraint; 4] {
+        [
+            LatencyConstraint::MinLatency,
+            LatencyConstraint::Micros(50),
+            LatencyConstraint::Micros(500),
+            LatencyConstraint::None,
+        ]
+    }
+
+    /// The paper's row label.
+    pub fn label(&self) -> String {
+        match self {
+            LatencyConstraint::MinLatency => "Min. latency".to_string(),
+            LatencyConstraint::Micros(us) => format!("Latency < {us}us"),
+            LatencyConstraint::None => "No constraint".to_string(),
+        }
+    }
+
+    /// The `Equinox_c` configuration name used in §5/§6.
+    pub fn config_name(&self) -> String {
+        match self {
+            LatencyConstraint::MinLatency => "Equinox_min".to_string(),
+            LatencyConstraint::Micros(us) => format!("Equinox_{us}us"),
+            LatencyConstraint::None => "Equinox_none".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for LatencyConstraint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// One row of Table 1: the chosen design for each encoding under one
+/// latency constraint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoTableRow {
+    /// The latency constraint.
+    pub constraint: LatencyConstraint,
+    /// Best bfloat16 design, if any satisfies the constraint.
+    pub bf16: Option<EvaluatedDesign>,
+    /// Best hbfp8 design, if any satisfies the constraint.
+    pub hbfp8: Option<EvaluatedDesign>,
+}
+
+/// The full Table 1 for both encodings.
+#[derive(Debug, Clone)]
+pub struct ParetoTable {
+    /// Rows in the paper's order.
+    pub rows: Vec<ParetoTableRow>,
+}
+
+impl ParetoTable {
+    /// Builds Table 1 from already-swept design spaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spaces are not for the expected encodings.
+    pub fn build(bf16_space: &DesignSpace, hbfp8_space: &DesignSpace) -> Self {
+        assert_eq!(bf16_space.encoding(), Encoding::Bfloat16, "first space must be bfloat16");
+        assert_eq!(hbfp8_space.encoding(), Encoding::Hbfp8, "second space must be hbfp8");
+        let rows = LatencyConstraint::table1_rows()
+            .into_iter()
+            .map(|c| ParetoTableRow {
+                constraint: c,
+                bf16: bf16_space.best_under_latency(c),
+                hbfp8: hbfp8_space.best_under_latency(c),
+            })
+            .collect();
+        ParetoTable { rows }
+    }
+
+    /// The row for a given constraint.
+    pub fn row(&self, constraint: LatencyConstraint) -> Option<&ParetoTableRow> {
+        self.rows.iter().find(|r| r.constraint == constraint)
+    }
+}
+
+impl std::fmt::Display for ParetoTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<18} | {:>4} {:>6} {:>9} {:>8} | {:>4} {:>6} {:>9} {:>8}",
+            "Latency", "n", "MHz", "Svc (us)", "TOp/s", "n", "MHz", "Svc (us)", "TOp/s"
+        )?;
+        writeln!(f, "{:<18} | {:^31} | {:^31}", "constraint", "bfloat16", "hbfp8")?;
+        writeln!(f, "{}", "-".repeat(86))?;
+        for row in &self.rows {
+            let fmt_side = |d: &Option<EvaluatedDesign>| match d {
+                Some(d) => format!(
+                    "{:>4} {:>6.0} {:>9.1} {:>8.1}",
+                    d.design.n,
+                    d.design.freq_hz / 1e6,
+                    d.service_time_us(),
+                    d.throughput_tops()
+                ),
+                None => format!("{:>4} {:>6} {:>9} {:>8}", "-", "-", "-", "-"),
+            };
+            writeln!(
+                f,
+                "{:<18} | {} | {}",
+                row.constraint.label(),
+                fmt_side(&row.bf16),
+                fmt_side(&row.hbfp8)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::TechnologyParams;
+
+    #[test]
+    fn constraint_labels() {
+        assert_eq!(LatencyConstraint::MinLatency.label(), "Min. latency");
+        assert_eq!(LatencyConstraint::Micros(50).label(), "Latency < 50us");
+        assert_eq!(LatencyConstraint::None.label(), "No constraint");
+        assert_eq!(LatencyConstraint::Micros(500).config_name(), "Equinox_500us");
+        assert_eq!(LatencyConstraint::MinLatency.config_name(), "Equinox_min");
+    }
+
+    #[test]
+    fn table_builds_and_prints() {
+        let tech = TechnologyParams::tsmc28();
+        let bf16 = DesignSpace::sweep(Encoding::Bfloat16, &tech);
+        let hbfp8 = DesignSpace::sweep(Encoding::Hbfp8, &tech);
+        let table = ParetoTable::build(&bf16, &hbfp8);
+        assert_eq!(table.rows.len(), 4);
+        let s = table.to_string();
+        assert!(s.contains("Min. latency"));
+        assert!(s.contains("No constraint"));
+        // Every row has both sides populated for the standard platform.
+        for row in &table.rows {
+            assert!(row.bf16.is_some(), "{}", row.constraint);
+            assert!(row.hbfp8.is_some(), "{}", row.constraint);
+        }
+    }
+
+    #[test]
+    fn rows_monotone_in_throughput() {
+        let tech = TechnologyParams::tsmc28();
+        let bf16 = DesignSpace::sweep(Encoding::Bfloat16, &tech);
+        let hbfp8 = DesignSpace::sweep(Encoding::Hbfp8, &tech);
+        let table = ParetoTable::build(&bf16, &hbfp8);
+        for pair in table.rows.windows(2) {
+            let t0 = pair[0].hbfp8.unwrap().throughput_ops;
+            let t1 = pair[1].hbfp8.unwrap().throughput_ops;
+            assert!(t1 >= t0, "relaxing latency must not reduce throughput");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "first space must be bfloat16")]
+    fn wrong_space_order_panics() {
+        let tech = TechnologyParams::tsmc28();
+        let hbfp8 = DesignSpace::sweep_with_limits(Encoding::Hbfp8, &tech, 4, 4);
+        ParetoTable::build(&hbfp8, &hbfp8);
+    }
+
+    #[test]
+    fn row_lookup() {
+        let tech = TechnologyParams::tsmc28();
+        let bf16 = DesignSpace::sweep_with_limits(Encoding::Bfloat16, &tech, 8, 8);
+        let hbfp8 = DesignSpace::sweep_with_limits(Encoding::Hbfp8, &tech, 8, 8);
+        let table = ParetoTable::build(&bf16, &hbfp8);
+        assert!(table.row(LatencyConstraint::Micros(500)).is_some());
+        assert!(table.row(LatencyConstraint::Micros(123)).is_none());
+    }
+}

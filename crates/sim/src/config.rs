@@ -1,0 +1,169 @@
+//! Simulated accelerator configuration (§5's `Equinox_c` family).
+
+use equinox_arith::Encoding;
+use equinox_isa::ArrayDims;
+
+/// Request-batching policy of the request dispatcher (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchingPolicy {
+    /// Only full batches are issued; requests wait until `n` have
+    /// gathered.
+    Static,
+    /// Incomplete batches are issued (padded with dummy requests) when
+    /// batch formation time exceeds `threshold_x ×` the batch service
+    /// time. The paper selects 2× (Figure 11).
+    Adaptive {
+        /// Formation-time threshold as a multiple of service time.
+        threshold_x: f64,
+    },
+}
+
+impl BatchingPolicy {
+    /// The paper's default adaptive policy (2× service time).
+    pub fn adaptive_default() -> Self {
+        BatchingPolicy::Adaptive { threshold_x: 2.0 }
+    }
+}
+
+/// Execution-unit scheduling policy of the instruction dispatcher
+/// (§3.2, Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerPolicy {
+    /// No training context: the baseline inference-only accelerator.
+    InferenceOnly,
+    /// Hardware priority scheduler: round-robin between inference and
+    /// training while the number of queued inference requests is at or
+    /// below `queue_threshold`; inference-only above it.
+    Priority {
+        /// Maximum queued inference requests before training pauses.
+        queue_threshold: usize,
+    },
+    /// Fair-share scheduler: always round-robin, regardless of load.
+    Fair,
+    /// Software scheduler: training is dispatched in non-preemptible
+    /// blocks of `block_cycles` whenever the accelerator is idle, with a
+    /// decision turnaround that cannot react within a block.
+    Software {
+        /// Cycles of one non-preemptible training block (a training
+        /// batch at software granularity).
+        block_cycles: u64,
+    },
+}
+
+/// DRAM (HBM) interface parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramParams {
+    /// Sustained bandwidth, bytes per second (1 TB/s HBM stack).
+    pub bandwidth_bytes_per_s: f64,
+    /// Access latency, cycles (hidden by staging, charged once per
+    /// staging refill burst).
+    pub latency_cycles: u64,
+}
+
+impl DramParams {
+    /// The paper's HBM configuration.
+    pub fn hbm() -> Self {
+        DramParams { bandwidth_bytes_per_s: 1e12, latency_cycles: 64 }
+    }
+}
+
+/// Full configuration of one simulated accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Human-readable name (e.g. `Equinox_500us`).
+    pub name: String,
+    /// MMU geometry.
+    pub dims: ArrayDims,
+    /// Operating frequency, Hz.
+    pub freq_hz: f64,
+    /// Datapath encoding.
+    pub encoding: Encoding,
+    /// Request batching policy.
+    pub batching: BatchingPolicy,
+    /// Execution scheduling policy.
+    pub scheduler: SchedulerPolicy,
+    /// Training staging-buffer capacity, bytes (< 2 % of on-chip SRAM,
+    /// §2.2).
+    pub staging_buffer_bytes: f64,
+    /// DRAM interface.
+    pub dram: DramParams,
+}
+
+impl AcceleratorConfig {
+    /// A configuration with the paper's defaults: adaptive batching at
+    /// 2×, hardware priority scheduling with a queue threshold of two
+    /// batches, 1.5 MB staging, HBM DRAM.
+    pub fn new(name: impl Into<String>, dims: ArrayDims, freq_hz: f64, encoding: Encoding) -> Self {
+        AcceleratorConfig {
+            name: name.into(),
+            dims,
+            freq_hz,
+            encoding,
+            batching: BatchingPolicy::adaptive_default(),
+            scheduler: SchedulerPolicy::Priority { queue_threshold: 2 * dims.n },
+            staging_buffer_bytes: 1.5e6,
+            dram: DramParams::hbm(),
+        }
+    }
+
+    /// DRAM bandwidth in bytes per cycle at this configuration's clock.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram.bandwidth_bytes_per_s / self.freq_hz
+    }
+
+    /// Peak MMU throughput, Ops/s.
+    pub fn peak_throughput_ops(&self) -> f64 {
+        2.0 * self.dims.alu_count() as f64 * self.freq_hz
+    }
+}
+
+impl std::fmt::Display for AcceleratorConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{} {} @{:.0} MHz, {:.0} TOp/s peak]",
+            self.name,
+            self.encoding,
+            self.dims,
+            self.freq_hz / 1e6,
+            self.peak_throughput_ops() / 1e12
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> AcceleratorConfig {
+        AcceleratorConfig::new(
+            "Equinox_test",
+            ArrayDims { n: 16, w: 4, m: 8 },
+            1e9,
+            Encoding::Hbfp8,
+        )
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = config();
+        assert_eq!(c.batching, BatchingPolicy::Adaptive { threshold_x: 2.0 });
+        assert_eq!(c.scheduler, SchedulerPolicy::Priority { queue_threshold: 32 });
+        assert!(c.staging_buffer_bytes <= 0.02 * 75e6);
+        assert_eq!(c.dram.bandwidth_bytes_per_s, 1e12);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let c = config();
+        assert_eq!(c.dram_bytes_per_cycle(), 1000.0);
+        assert_eq!(c.peak_throughput_ops(), 2.0 * 8192.0 * 1e9);
+    }
+
+    #[test]
+    fn display_contains_name_and_encoding() {
+        let s = config().to_string();
+        assert!(s.contains("Equinox_test"));
+        assert!(s.contains("hbfp8"));
+    }
+}

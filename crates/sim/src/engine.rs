@@ -1,0 +1,701 @@
+//! The hybrid event-driven simulation engine.
+//!
+//! Instruction timing comes from the `equinox-isa` compiler as exact
+//! per-batch aggregates; the engine advances between *state-change
+//! events* (request arrivals, batch-formation deadlines, batch
+//! completions, staging-buffer regime changes), integrating resource
+//! occupancy in between. This is cycle-resolution timing without
+//! per-cycle iteration, which is what makes 10⁵-request tail-latency
+//! sweeps tractable.
+//!
+//! ## Sharing model
+//!
+//! The MMU is one resource. When an inference batch is in flight and the
+//! scheduler admits training, the hardware round-robin interleaves the
+//! two contexts, so each gets half the cycles ("equally dividing the
+//! accelerator's execution resources", §6-Scheduling) — unless training
+//! is starved by DRAM staging, in which case inference takes the
+//! remainder. When the inference queue exceeds the priority threshold,
+//! training is paused entirely.
+
+use crate::config::{AcceleratorConfig, BatchingPolicy, SchedulerPolicy};
+use crate::report::SimReport;
+use crate::stats::{CycleBreakdown, LatencyStats};
+use equinox_isa::lower::InferenceTiming;
+use equinox_isa::training::TrainingProfile;
+use std::collections::VecDeque;
+
+/// Fraction of the horizon treated as warm-up (excluded from latency
+/// statistics but fully simulated).
+const WARMUP_FRACTION: f64 = 0.05;
+
+/// Numerical slack on cycle comparisons.
+const EPS: f64 = 1e-6;
+
+/// Below this the staging buffer counts as empty: fractions of a byte
+/// are integration residue, and chasing them produces drain events
+/// smaller than the f64 resolution of the clock.
+const STAGED_EPS: f64 = 1.0;
+
+/// An inference batch that has been formed and possibly started.
+#[derive(Debug, Clone)]
+struct Batch {
+    /// Arrival cycles of the real requests in the batch.
+    arrivals: Vec<u64>,
+    /// Dummy (padding) slots.
+    dummy: usize,
+}
+
+/// A configured simulation ready to run.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: AcceleratorConfig,
+    inference: InferenceTiming,
+    training: Option<TrainingProfile>,
+}
+
+impl Simulation {
+    /// Creates a simulation of `config` serving batches with the given
+    /// compiled timing, optionally co-hosting a training service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timing was compiled for a different batch size than
+    /// the configuration's `n`.
+    /// The batch-formation size is the timing's compiled batch (usually
+    /// the geometry's `n` for vector-matrix models, but convolutional
+    /// models may batch differently).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timing was compiled for a zero batch.
+    pub fn new(
+        config: AcceleratorConfig,
+        inference: InferenceTiming,
+        training: Option<TrainingProfile>,
+    ) -> Self {
+        assert!(inference.batch > 0, "inference timing batch must be positive");
+        Simulation { config, inference, training }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Saturation request rate, requests per cycle: a full batch every
+    /// batch-service interval.
+    pub fn max_request_rate_per_cycle(&self) -> f64 {
+        self.inference.batch as f64 / self.inference.total_cycles as f64
+    }
+
+    /// Runs the simulation over pre-generated `arrivals` (cycle
+    /// timestamps, sorted ascending) up to `horizon_cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` is not sorted.
+    pub fn run(&self, arrivals: &[u64], horizon_cycles: u64) -> SimReport {
+        assert!(
+            arrivals.windows(2).all(|w| w[0] <= w[1]),
+            "arrivals must be sorted"
+        );
+        Engine::new(self, arrivals, horizon_cycles).run()
+    }
+}
+
+/// Mutable simulation state.
+struct Engine<'a> {
+    sim: &'a Simulation,
+    arrivals: &'a [u64],
+    horizon: f64,
+    warmup: f64,
+    now: f64,
+    next_arrival: usize,
+    /// Requests gathered toward the next batch.
+    forming: VecDeque<u64>,
+    /// Formed batches waiting for the MMU.
+    formed: VecDeque<Batch>,
+    /// The batch in service and its remaining allocated cycles.
+    in_flight: Option<(Batch, f64)>,
+    /// Remaining cycles of a non-preemptible software training block.
+    software_block: f64,
+    /// Staged training bytes available on chip.
+    staged_bytes: f64,
+    // Accumulators.
+    training_cycles: f64,
+    idle_cycles: f64,
+    breakdown: CycleBreakdown,
+    latencies: Vec<f64>,
+    completed: u64,
+    completed_measured: u64,
+    batches_issued: u64,
+    incomplete_batches: u64,
+    training_block_count: u64,
+}
+
+/// Resource allocation over one interval: rates sum to ≤ 1.
+#[derive(Debug, Clone, Copy)]
+struct Regime {
+    /// Fraction of MMU cycles given to the inference batch in flight.
+    r_inf: f64,
+    /// Fraction given to training execution.
+    r_train: f64,
+    /// Net staging-buffer fill rate, bytes per cycle (may be negative).
+    staging_net: f64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(sim: &'a Simulation, arrivals: &'a [u64], horizon_cycles: u64) -> Self {
+        Engine {
+            sim,
+            arrivals,
+            horizon: horizon_cycles as f64,
+            warmup: horizon_cycles as f64 * WARMUP_FRACTION,
+            now: 0.0,
+            next_arrival: 0,
+            forming: VecDeque::new(),
+            formed: VecDeque::new(),
+            in_flight: None,
+            software_block: 0.0,
+            staged_bytes: 0.0,
+            training_cycles: 0.0,
+            idle_cycles: 0.0,
+            breakdown: CycleBreakdown::default(),
+            latencies: Vec::new(),
+            completed: 0,
+            completed_measured: 0,
+            batches_issued: 0,
+            incomplete_batches: 0,
+            training_block_count: 0,
+        }
+    }
+
+    /// Requests waiting but not yet in service (the queue the priority
+    /// scheduler monitors).
+    fn queued_requests(&self) -> usize {
+        self.forming.len() + self.formed.iter().map(|b| b.arrivals.len()).sum::<usize>()
+    }
+
+    /// Batch-formation deadline threshold, cycles.
+    fn formation_threshold(&self) -> Option<f64> {
+        match self.sim.config.batching {
+            BatchingPolicy::Static => None,
+            BatchingPolicy::Adaptive { threshold_x } => {
+                Some(threshold_x * self.sim.inference.total_cycles as f64)
+            }
+        }
+    }
+
+    /// Training execution cost per cycle of MMU occupancy.
+    fn training_rates(&self) -> Option<(f64, f64)> {
+        self.sim.training.as_ref().map(|t| {
+            let macs_per_cycle = t.iteration_macs as f64 / t.iteration_mmu_cycles as f64;
+            let bytes_per_cycle = t.iteration_dram_bytes as f64 / t.iteration_mmu_cycles as f64;
+            (macs_per_cycle, bytes_per_cycle)
+        })
+    }
+
+    /// Does the scheduling policy admit training right now?
+    fn training_admitted(&self) -> bool {
+        if self.sim.training.is_none() {
+            return false;
+        }
+        match self.sim.config.scheduler {
+            SchedulerPolicy::InferenceOnly => false,
+            SchedulerPolicy::Fair => true,
+            SchedulerPolicy::Priority { queue_threshold } => {
+                self.queued_requests() <= queue_threshold
+            }
+            // Software scheduling admits training only inside a block.
+            SchedulerPolicy::Software { .. } => self.software_block > EPS,
+        }
+    }
+
+    /// Computes the current resource allocation.
+    fn regime(&self) -> Regime {
+        let supply_bpc = self.sim.config.dram_bytes_per_cycle();
+        let Some((_, bytes_per_exec)) = self.training_rates() else {
+            return Regime {
+                r_inf: if self.in_flight.is_some() { 1.0 } else { 0.0 },
+                r_train: 0.0,
+                staging_net: 0.0,
+            };
+        };
+        let admitted = self.training_admitted();
+        let share_cap: f64 = if self.software_block > EPS {
+            1.0
+        } else if self.in_flight.is_some() {
+            0.5
+        } else {
+            1.0
+        };
+        let r_train = if admitted {
+            if self.staged_bytes > STAGED_EPS {
+                share_cap
+            } else {
+                // Starved: limited to what DRAM can deliver live.
+                share_cap.min(supply_bpc / bytes_per_exec)
+            }
+        } else {
+            0.0
+        };
+        let r_inf = if self.software_block > EPS {
+            0.0
+        } else if self.in_flight.is_some() {
+            1.0 - r_train
+        } else {
+            0.0
+        };
+        // Staging refills whenever the buffer has room; DRAM throttles
+        // at the cap.
+        let consume = r_train * bytes_per_exec;
+        let refill = if self.staged_bytes < self.sim.config.staging_buffer_bytes {
+            supply_bpc
+        } else {
+            supply_bpc.min(consume)
+        };
+        Regime { r_inf, r_train, staging_net: refill - consume }
+    }
+
+    /// Processes all zero-time actions at `self.now`: batch formation,
+    /// service start, software-block start.
+    fn settle(&mut self) {
+        let n = self.sim.inference.batch;
+        // Full batches.
+        while self.forming.len() >= n {
+            let arrivals: Vec<u64> = self.forming.drain(..n).collect();
+            self.formed.push_back(Batch { arrivals, dummy: 0 });
+            self.batches_issued += 1;
+        }
+        // Deadline-triggered incomplete batch.
+        if let Some(thr) = self.formation_threshold() {
+            if let Some(&first) = self.forming.front() {
+                if self.now + EPS >= first as f64 + thr {
+                    let real = self.forming.len();
+                    let arrivals: Vec<u64> = self.forming.drain(..).collect();
+                    self.formed.push_back(Batch { arrivals, dummy: n - real });
+                    self.batches_issued += 1;
+                    self.incomplete_batches += 1;
+                }
+            }
+        }
+        // Start service.
+        if self.in_flight.is_none() && self.software_block <= EPS {
+            if let Some(batch) = self.formed.pop_front() {
+                let duration = self.sim.inference.total_cycles as f64;
+                self.in_flight = Some((batch, duration));
+            } else if matches!(self.sim.config.scheduler, SchedulerPolicy::Software { .. })
+                && self.sim.training.is_some()
+                && self.forming.is_empty()
+            {
+                // Fully idle: the software scheduler commits a
+                // non-preemptible training block.
+                if let SchedulerPolicy::Software { block_cycles } = self.sim.config.scheduler {
+                    self.software_block = block_cycles as f64;
+                    self.training_block_count += 1;
+                }
+            }
+        }
+    }
+
+    /// The next event strictly after `now`, bounded by the horizon.
+    fn next_event(&self, regime: &Regime) -> f64 {
+        let mut t = self.horizon;
+        if self.next_arrival < self.arrivals.len() {
+            t = t.min(self.arrivals[self.next_arrival] as f64);
+        }
+        if let Some(thr) = self.formation_threshold() {
+            if let Some(&first) = self.forming.front() {
+                t = t.min(first as f64 + thr);
+            }
+        }
+        if let Some((_, remaining)) = &self.in_flight {
+            if regime.r_inf > EPS {
+                t = t.min(self.now + remaining / regime.r_inf);
+            }
+        }
+        if self.software_block > EPS && regime.r_train > EPS {
+            t = t.min(self.now + self.software_block / regime.r_train);
+        }
+        // Staging buffer draining to empty changes the training rate.
+        if regime.staging_net < -EPS && self.staged_bytes > STAGED_EPS {
+            t = t.min(self.now + self.staged_bytes / -regime.staging_net);
+        }
+        t.max(self.now)
+    }
+
+    /// Integrates state over `[now, t]` under `regime`.
+    fn advance(&mut self, regime: &Regime, t: f64) {
+        let dt = t - self.now;
+        if dt <= 0.0 {
+            self.now = t;
+            return;
+        }
+        if let Some((_, remaining)) = &mut self.in_flight {
+            *remaining -= regime.r_inf * dt;
+        }
+        if self.software_block > EPS {
+            self.software_block = (self.software_block - regime.r_train * dt).max(0.0);
+        }
+        self.training_cycles += regime.r_train * dt;
+        self.idle_cycles += (1.0 - regime.r_inf - regime.r_train).max(0.0) * dt;
+        self.staged_bytes = (self.staged_bytes + regime.staging_net * dt)
+            .clamp(0.0, self.sim.config.staging_buffer_bytes);
+        if self.staged_bytes < STAGED_EPS && regime.staging_net < 0.0 {
+            self.staged_bytes = 0.0;
+        }
+        self.now = t;
+    }
+
+    /// Handles completions and arrivals that fall exactly at `now`.
+    fn fire(&mut self) {
+        // Batch completion.
+        let done = matches!(&self.in_flight, Some((_, rem)) if *rem <= EPS);
+        if done {
+            let (batch, _) = self.in_flight.take().expect("checked above");
+            self.complete_batch(&batch);
+        }
+        if self.software_block <= EPS {
+            self.software_block = 0.0;
+        }
+        // Arrivals at the current time.
+        while self.next_arrival < self.arrivals.len()
+            && (self.arrivals[self.next_arrival] as f64) <= self.now + EPS
+        {
+            self.forming.push_back(self.arrivals[self.next_arrival]);
+            self.next_arrival += 1;
+        }
+    }
+
+    /// Records a finished batch: latencies and the cycle breakdown.
+    fn complete_batch(&mut self, batch: &Batch) {
+        let freq = self.sim.config.freq_hz;
+        for &arrival in &batch.arrivals {
+            self.completed += 1;
+            if (arrival as f64) >= self.warmup {
+                self.latencies.push((self.now - arrival as f64) / freq);
+                self.completed_measured += 1;
+            }
+        }
+        let t = &self.sim.inference;
+        let n = t.batch as f64;
+        let useful = t.mmu_busy_cycles as f64 * t.mmu_utilization;
+        let mismatch = t.mmu_busy_cycles as f64 - useful;
+        self.breakdown.working += useful * batch.arrivals.len() as f64 / n;
+        self.breakdown.dummy += useful * batch.dummy as f64 / n;
+        self.breakdown.other += mismatch + t.stall_cycles as f64;
+    }
+
+    fn run(mut self) -> SimReport {
+        let mut stalled_iterations = 0u32;
+        while self.now < self.horizon {
+            self.settle();
+            let regime = self.regime();
+            let t = self.next_event(&regime);
+            if t <= self.now + EPS && self.next_arrival >= self.arrivals.len() {
+                // Nothing can happen anymore and time cannot advance:
+                // everything idle until the horizon.
+                let regime = self.regime();
+                let end = self.horizon;
+                self.advance(&regime, end);
+                break;
+            }
+            // Livelock guard: if repeated events land within the f64
+            // resolution of the clock (so time cannot move), force one
+            // cycle of progress rather than spinning.
+            if t <= self.now || (t - self.now) < self.now * f64::EPSILON {
+                stalled_iterations += 1;
+                if stalled_iterations > 64 {
+                    let step = (self.now + 1.0).min(self.horizon);
+                    self.advance(&regime, step);
+                    self.fire();
+                    stalled_iterations = 0;
+                    continue;
+                }
+            } else {
+                stalled_iterations = 0;
+            }
+            self.advance(&regime, t);
+            self.fire();
+        }
+        self.finish()
+    }
+
+    fn finish(self) -> SimReport {
+        let freq = self.sim.config.freq_hz;
+        let elapsed_s = self.horizon / freq;
+        let measured_s = elapsed_s * (1.0 - WARMUP_FRACTION);
+        let training_macs = self
+            .training_rates()
+            .map(|(macs_per_cycle, _)| self.training_cycles * macs_per_cycle)
+            .unwrap_or(0.0);
+        let request_macs = self.sim.inference.macs_per_request as f64;
+        let mut breakdown = self.breakdown;
+        breakdown.working += self.training_cycles;
+        breakdown.idle = self.idle_cycles;
+        SimReport {
+            name: self.sim.config.name.clone(),
+            horizon_cycles: self.horizon as u64,
+            freq_hz: freq,
+            latency: LatencyStats::from_samples(self.latencies),
+            completed_requests: self.completed,
+            inference_throughput_ops: 2.0 * self.completed_measured as f64 * request_macs
+                / measured_s,
+            training_throughput_ops: 2.0 * training_macs / elapsed_s,
+            training_mmu_cycles: self.training_cycles,
+            breakdown,
+            batches_issued: self.batches_issued,
+            incomplete_batches: self.incomplete_batches,
+            training_blocks: self.training_block_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::poisson_arrivals;
+    use equinox_arith::Encoding;
+    use equinox_isa::lower::compile_inference;
+    use equinox_isa::models::ModelSpec;
+    use equinox_isa::training::{TrainingProfile, TrainingSetup};
+    use equinox_isa::ArrayDims;
+
+    fn dims() -> ArrayDims {
+        ArrayDims { n: 16, w: 4, m: 8 }
+    }
+
+    fn timing(d: &ArrayDims) -> InferenceTiming {
+        let p = compile_inference(&ModelSpec::lstm_2048_25(), d, d.n);
+        InferenceTiming::from_program(&p, d, d.n)
+    }
+
+    fn config(scheduler: SchedulerPolicy) -> AcceleratorConfig {
+        let mut c = AcceleratorConfig::new("test", dims(), 1e9, Encoding::Hbfp8);
+        c.scheduler = scheduler;
+        c
+    }
+
+    fn sim_with(scheduler: SchedulerPolicy, train: bool) -> Simulation {
+        let d = dims();
+        let t = timing(&d);
+        let training = train.then(|| {
+            TrainingProfile::profile(
+                &ModelSpec::lstm_2048_25(),
+                &d,
+                &TrainingSetup::paper_default(),
+            )
+        });
+        Simulation::new(config(scheduler), t, training)
+    }
+
+    fn run_at_load(sim: &Simulation, load: f64, horizon: u64, seed: u64) -> SimReport {
+        let rate = load * sim.max_request_rate_per_cycle();
+        let arrivals = poisson_arrivals(rate, horizon, seed);
+        sim.run(&arrivals, horizon)
+    }
+
+    #[test]
+    fn no_arrivals_no_training_all_idle() {
+        let sim = sim_with(SchedulerPolicy::InferenceOnly, false);
+        let r = sim.run(&[], 1_000_000);
+        assert_eq!(r.completed_requests, 0);
+        assert_eq!(r.training_throughput_ops, 0.0);
+        let f = r.breakdown.fractions();
+        assert!(f.idle > 0.999, "{f:?}");
+    }
+
+    #[test]
+    fn no_arrivals_with_training_reclaims_everything() {
+        let sim = sim_with(SchedulerPolicy::Priority { queue_threshold: 32 }, true);
+        let r = sim.run(&[], 10_000_000);
+        assert!(r.training_throughput_ops > 0.0);
+        let f = r.breakdown.fractions();
+        // Training works whenever DRAM staging lets it.
+        assert!(f.working > 0.2, "{f:?}");
+        assert!(f.idle < 0.8, "{f:?}");
+    }
+
+    #[test]
+    fn single_request_latency_is_deadline_plus_service() {
+        let sim = sim_with(SchedulerPolicy::InferenceOnly, false);
+        let horizon = 50_000_000;
+        // Arrival placed after the warm-up window so it is measured.
+        let r = sim.run(&[10_000_000], horizon);
+        assert_eq!(r.completed_requests, 1);
+        // Adaptive threshold 2× service + service itself.
+        let d = sim.inference.total_cycles as f64;
+        let expect = 3.0 * d / 1e9;
+        let got = r.latency.max();
+        assert!((got - expect).abs() / expect < 0.01, "got {got} expect {expect}");
+    }
+
+    #[test]
+    fn full_batch_no_padding() {
+        let sim = sim_with(SchedulerPolicy::InferenceOnly, false);
+        let arrivals: Vec<u64> = (0..16).map(|i| i as u64).collect();
+        let r = sim.run(&arrivals, 10_000_000);
+        assert_eq!(r.completed_requests, 16);
+        assert_eq!(r.batches_issued, 1);
+        assert_eq!(r.incomplete_batches, 0);
+        assert_eq!(r.breakdown.dummy, 0.0);
+    }
+
+    #[test]
+    fn partial_batch_padded() {
+        let sim = sim_with(SchedulerPolicy::InferenceOnly, false);
+        let r = sim.run(&[0, 1, 2, 3], 50_000_000);
+        assert_eq!(r.completed_requests, 4);
+        assert_eq!(r.incomplete_batches, 1);
+        assert!(r.breakdown.dummy > 0.0);
+        // 12 of 16 slots were dummies.
+        let ratio = r.breakdown.dummy / (r.breakdown.dummy + r.breakdown.working);
+        assert!((ratio - 0.75).abs() < 0.01, "{ratio}");
+    }
+
+    #[test]
+    fn static_batching_waits_for_full_batches() {
+        let d = dims();
+        let mut c = config(SchedulerPolicy::InferenceOnly);
+        c.batching = BatchingPolicy::Static;
+        let sim = Simulation::new(c, timing(&d), None);
+        // Only 4 requests ever arrive: never a full batch of 16.
+        let r = sim.run(&[0, 1, 2, 3], 50_000_000);
+        assert_eq!(r.completed_requests, 0);
+        assert_eq!(r.batches_issued, 0);
+    }
+
+    #[test]
+    fn throughput_tracks_offered_load() {
+        let sim = sim_with(SchedulerPolicy::InferenceOnly, false);
+        let horizon = 400_000_000;
+        let lo = run_at_load(&sim, 0.2, horizon, 11);
+        let hi = run_at_load(&sim, 0.6, horizon, 11);
+        let ratio = hi.inference_throughput_ops / lo.inference_throughput_ops;
+        assert!(ratio > 2.4 && ratio < 3.6, "{ratio}");
+    }
+
+    #[test]
+    fn p99_explodes_beyond_saturation() {
+        let sim = sim_with(SchedulerPolicy::InferenceOnly, false);
+        let horizon = 400_000_000;
+        let ok = run_at_load(&sim, 0.7, horizon, 5);
+        let over = run_at_load(&sim, 1.2, horizon, 5);
+        assert!(over.latency.p99() > 5.0 * ok.latency.p99());
+    }
+
+    #[test]
+    fn training_reduces_idle_at_moderate_load() {
+        let horizon = 400_000_000;
+        let inf_only = run_at_load(&sim_with(SchedulerPolicy::InferenceOnly, false), 0.5, horizon, 9);
+        let with_train = run_at_load(
+            &sim_with(SchedulerPolicy::Priority { queue_threshold: 32 }, true),
+            0.5,
+            horizon,
+            9,
+        );
+        let fi = inf_only.breakdown.fractions();
+        let ft = with_train.breakdown.fractions();
+        assert!(ft.idle < fi.idle * 0.7, "idle {0} -> {1}", fi.idle, ft.idle);
+        assert!(with_train.training_throughput_ops > 0.0);
+    }
+
+    #[test]
+    fn priority_beats_fair_for_inference_latency_at_high_load() {
+        let horizon = 600_000_000;
+        let pri = run_at_load(
+            &sim_with(SchedulerPolicy::Priority { queue_threshold: 32 }, true),
+            0.85,
+            horizon,
+            13,
+        );
+        let fair = run_at_load(&sim_with(SchedulerPolicy::Fair, true), 0.85, horizon, 13);
+        assert!(
+            fair.latency.p99() > 1.5 * pri.latency.p99(),
+            "fair p99 {} vs priority p99 {}",
+            fair.latency.p99(),
+            pri.latency.p99()
+        );
+    }
+
+    #[test]
+    fn training_throughput_decreases_with_load() {
+        let sim = sim_with(SchedulerPolicy::Priority { queue_threshold: 32 }, true);
+        let horizon = 400_000_000;
+        let lo = run_at_load(&sim, 0.2, horizon, 21);
+        let hi = run_at_load(&sim, 0.9, horizon, 21);
+        assert!(
+            lo.training_throughput_ops > hi.training_throughput_ops,
+            "lo {} hi {}",
+            lo.training_throughput_ops,
+            hi.training_throughput_ops
+        );
+    }
+
+    #[test]
+    fn cycle_conservation() {
+        let sim = sim_with(SchedulerPolicy::Priority { queue_threshold: 32 }, true);
+        let horizon = 200_000_000u64;
+        let r = run_at_load(&sim, 0.5, horizon, 31);
+        let total = r.breakdown.total();
+        // All accounted cycles within 2% of the horizon (in-flight
+        // remainder at the end accounts for the slack).
+        assert!(
+            (total - horizon as f64).abs() / (horizon as f64) < 0.02,
+            "total {total} vs horizon {horizon}"
+        );
+    }
+
+    #[test]
+    fn software_scheduler_blocks_inference() {
+        // A long software training block delays requests arriving inside it.
+        let d = dims();
+        let block = 5_000_000u64;
+        let mut c = config(SchedulerPolicy::Software { block_cycles: block });
+        c.batching = BatchingPolicy::Adaptive { threshold_x: 2.0 };
+        let t = timing(&d);
+        let train = TrainingProfile::profile(
+            &ModelSpec::lstm_2048_25(),
+            &d,
+            &TrainingSetup::paper_default(),
+        );
+        let sim = Simulation::new(c, t, Some(train));
+        // Blocks chain back-to-back from t=0 while idle; this arrival
+        // (past warm-up) lands mid-block and must wait the block out.
+        let r = sim.run(&[10_200_000], 50_000_000);
+        assert_eq!(r.completed_requests, 1);
+        assert!(r.training_blocks >= 2);
+        // Without blocking the latency would be exactly 3× the batch
+        // service time (formation deadline + service); the block forces
+        // a much longer wait.
+        let unblocked = 3.0 * sim.inference.total_cycles as f64 / 1e9;
+        assert!(
+            r.latency.max() > 1.5 * unblocked,
+            "latency {} should exceed unblocked {unblocked}",
+            r.latency.max()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be sorted")]
+    fn unsorted_arrivals_panic() {
+        let sim = sim_with(SchedulerPolicy::InferenceOnly, false);
+        sim.run(&[5, 1], 1_000_000);
+    }
+
+    #[test]
+    fn smaller_batch_than_n_forms_batches_of_timing_size() {
+        // A model compiled at batch 8 on an n=16 geometry forms batches
+        // of 8 (convolutional workloads batch independently of n).
+        let d = dims();
+        let p = compile_inference(&ModelSpec::lstm_2048_25(), &d, 8);
+        let t = InferenceTiming::from_program(&p, &d, 8);
+        let sim = Simulation::new(config(SchedulerPolicy::InferenceOnly), t, None);
+        let arrivals: Vec<u64> = (0..8).map(|i| 10_000_000 + i as u64).collect();
+        let r = sim.run(&arrivals, 50_000_000);
+        assert_eq!(r.completed_requests, 8);
+        assert_eq!(r.batches_issued, 1);
+        assert_eq!(r.incomplete_batches, 0);
+    }
+}

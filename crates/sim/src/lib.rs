@@ -1,0 +1,46 @@
+//! # equinox-sim
+//!
+//! Cycle-accurate simulator of the Equinox accelerator (Figures 3 and 5
+//! of the paper): the matrix-multiply unit, SIMD unit, on-chip buffers,
+//! DRAM/host interfaces, the request dispatcher (batch formation with
+//! static or adaptive policies) and the instruction dispatcher
+//! (hardware priority / fair / software scheduling between the
+//! inference and training contexts).
+//!
+//! Instruction timing comes from the `equinox-isa` compiler; the engine
+//! in [`engine`] advances between state-change events at cycle
+//! resolution. See `DESIGN.md` for the validation strategy (the role the
+//! authors' RTL traces and DRAMSim comparison played).
+//!
+//! ## Example
+//!
+//! ```
+//! use equinox_sim::{AcceleratorConfig, Simulation, loadgen};
+//! use equinox_isa::{ArrayDims, models::ModelSpec, lower};
+//! use equinox_arith::Encoding;
+//!
+//! let dims = ArrayDims { n: 16, w: 4, m: 8 };
+//! let config = AcceleratorConfig::new("Equinox_demo", dims, 1e9, Encoding::Hbfp8);
+//! let program = lower::compile_inference(&ModelSpec::lstm_2048_25(), &dims, dims.n);
+//! let timing = lower::InferenceTiming::from_program(&program, &dims, dims.n);
+//! let sim = Simulation::new(config, timing, None);
+//! let rate = 0.5 * sim.max_request_rate_per_cycle();
+//! let arrivals = loadgen::poisson_arrivals(rate, 50_000_000, 42);
+//! let report = sim.run(&arrivals, 50_000_000);
+//! assert!(report.completed_requests > 0);
+//! ```
+
+pub mod buffers;
+pub mod config;
+pub mod dram;
+pub mod engine;
+pub mod loadgen;
+pub mod report;
+pub mod stats;
+pub mod trace;
+pub mod validate;
+
+pub use config::{AcceleratorConfig, BatchingPolicy, DramParams, SchedulerPolicy};
+pub use engine::Simulation;
+pub use report::SimReport;
+pub use stats::{CycleBreakdown, LatencyStats};

@@ -1,0 +1,193 @@
+//! Poisson request traffic (§5: "a load generator that creates inference
+//! requests following Poisson arrival rates").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates Poisson arrival times (in cycles) with a deterministic
+/// seed.
+///
+/// # Example
+///
+/// ```
+/// use equinox_sim::loadgen::poisson_arrivals;
+/// let arrivals = poisson_arrivals(1e-3, 1_000_000, 42);
+/// // Rate 1e-3 per cycle over 1e6 cycles ⇒ ≈1000 arrivals.
+/// assert!(arrivals.len() > 800 && arrivals.len() < 1200);
+/// ```
+pub fn poisson_arrivals(rate_per_cycle: f64, horizon_cycles: u64, seed: u64) -> Vec<u64> {
+    assert!(rate_per_cycle >= 0.0, "rate must be non-negative");
+    let mut arrivals = Vec::new();
+    if rate_per_cycle == 0.0 {
+        return arrivals;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    loop {
+        // Exponential inter-arrival: -ln(U)/λ.
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        t += -u.ln() / rate_per_cycle;
+        if t >= horizon_cycles as f64 {
+            break;
+        }
+        arrivals.push(t as u64);
+    }
+    arrivals
+}
+
+/// Converts an offered load fraction into an arrival rate per cycle.
+///
+/// `max_request_rate_per_cycle` is the accelerator's saturation request
+/// rate (batch size / batch service cycles); `load` is the fraction of
+/// it to offer.
+pub fn rate_for_load(load: f64, max_request_rate_per_cycle: f64) -> f64 {
+    assert!(load >= 0.0, "load must be non-negative");
+    load * max_request_rate_per_cycle
+}
+
+/// A diurnal load profile: the service-demand variability that leaves
+/// inference accelerators at ≈30 % average load (§1, citing the
+/// warehouse-scale-computing literature). The profile is a raised
+/// sinusoid over the day with a peak-hours plateau.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalProfile {
+    /// Lowest load fraction (deep night).
+    pub trough: f64,
+    /// Highest load fraction (peak hour).
+    pub peak: f64,
+}
+
+impl DiurnalProfile {
+    /// A profile averaging ≈30 % load, matching the paper's motivation.
+    pub fn thirty_percent_average() -> Self {
+        DiurnalProfile { trough: 0.08, peak: 0.62 }
+    }
+
+    /// Load fraction at `t` in [0, 1) of the day.
+    pub fn load_at(&self, t: f64) -> f64 {
+        let phase = (t.fract() * std::f64::consts::TAU - std::f64::consts::PI).cos();
+        self.trough + (self.peak - self.trough) * 0.5 * (1.0 + phase)
+    }
+
+    /// Mean load over the day (closed form: midpoint of trough/peak).
+    pub fn mean_load(&self) -> f64 {
+        0.5 * (self.trough + self.peak)
+    }
+}
+
+/// Generates non-homogeneous Poisson arrivals following a diurnal
+/// profile over `horizon_cycles` (one simulated "day"), by thinning a
+/// homogeneous process at the peak rate.
+pub fn diurnal_arrivals(
+    profile: &DiurnalProfile,
+    max_request_rate_per_cycle: f64,
+    horizon_cycles: u64,
+    seed: u64,
+) -> Vec<u64> {
+    let peak_rate = profile.peak * max_request_rate_per_cycle;
+    let candidates = poisson_arrivals(peak_rate, horizon_cycles, seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x5EED));
+    candidates
+        .into_iter()
+        .filter(|&t| {
+            let day_t = t as f64 / horizon_cycles as f64;
+            let keep = profile.load_at(day_t) / profile.peak;
+            rng.random::<f64>() < keep
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = poisson_arrivals(1e-4, 1_000_000, 7);
+        let b = poisson_arrivals(1e-4, 1_000_000, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = poisson_arrivals(1e-4, 1_000_000, 7);
+        let b = poisson_arrivals(1e-4, 1_000_000, 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrivals_sorted_and_in_horizon() {
+        let a = poisson_arrivals(1e-3, 500_000, 3);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert!(a.iter().all(|&t| t < 500_000));
+    }
+
+    #[test]
+    fn rate_matches_count_statistically() {
+        let a = poisson_arrivals(1e-3, 10_000_000, 1);
+        let expected = 10_000.0;
+        let got = a.len() as f64;
+        assert!((got - expected).abs() < 5.0 * expected.sqrt(), "{got}");
+    }
+
+    #[test]
+    fn zero_rate_empty() {
+        assert!(poisson_arrivals(0.0, 1_000_000, 1).is_empty());
+    }
+
+    #[test]
+    fn load_to_rate() {
+        assert_eq!(rate_for_load(0.5, 1e-3), 5e-4);
+        assert_eq!(rate_for_load(0.0, 1e-3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "load must be non-negative")]
+    fn negative_load_panics() {
+        rate_for_load(-0.1, 1.0);
+    }
+
+    #[test]
+    fn diurnal_profile_shape() {
+        let p = DiurnalProfile::thirty_percent_average();
+        // Peak at midday (t = 0.5), trough at midnight (t = 0).
+        assert!((p.load_at(0.0) - p.trough).abs() < 1e-9);
+        assert!((p.load_at(0.5) - p.peak).abs() < 1e-9);
+        assert!((p.mean_load() - 0.35).abs() < 0.06);
+        // Monotone rise through the morning.
+        assert!(p.load_at(0.25) > p.load_at(0.1));
+    }
+
+    #[test]
+    fn diurnal_arrivals_track_profile() {
+        let p = DiurnalProfile::thirty_percent_average();
+        let horizon = 40_000_000u64;
+        let arrivals = diurnal_arrivals(&p, 1e-3, horizon, 9);
+        // Total volume ≈ mean load × peak-equivalent volume.
+        let expected = p.mean_load() * 1e-3 * horizon as f64;
+        let got = arrivals.len() as f64;
+        assert!((got - expected).abs() < 6.0 * expected.sqrt(), "{got} vs {expected}");
+        // Midday density exceeds midnight density several-fold.
+        let in_window = |lo: f64, hi: f64| {
+            arrivals
+                .iter()
+                .filter(|&&t| {
+                    let x = t as f64 / horizon as f64;
+                    x >= lo && x < hi
+                })
+                .count() as f64
+        };
+        let night = in_window(0.0, 0.1) + in_window(0.9, 1.0);
+        let midday = in_window(0.45, 0.65);
+        assert!(midday > 2.0 * night, "midday {midday} vs night {night}");
+    }
+
+    #[test]
+    fn diurnal_arrivals_sorted_and_deterministic() {
+        let p = DiurnalProfile::thirty_percent_average();
+        let a = diurnal_arrivals(&p, 1e-4, 10_000_000, 3);
+        let b = diurnal_arrivals(&p, 1e-4, 10_000_000, 3);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,177 @@
+//! Batch-lifecycle tracing.
+//!
+//! A lightweight trace of request/batch milestones, used to debug
+//! scheduling behaviour and to validate the engine against closed-form
+//! expectations (the role RTL traces played for the paper's simulator).
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A request arrived (cycle, request id).
+    Arrival {
+        /// Arrival cycle.
+        cycle: f64,
+        /// Request index.
+        request: u64,
+    },
+    /// A batch was issued to the MMU queue.
+    BatchFormed {
+        /// Formation cycle.
+        cycle: f64,
+        /// Real requests in the batch.
+        real: usize,
+        /// Dummy padding slots.
+        dummy: usize,
+    },
+    /// A batch finished.
+    BatchCompleted {
+        /// Completion cycle.
+        cycle: f64,
+        /// Real requests completed.
+        real: usize,
+    },
+    /// Training was paused by the priority scheduler.
+    TrainingPaused {
+        /// Cycle of the pause.
+        cycle: f64,
+    },
+    /// Training resumed.
+    TrainingResumed {
+        /// Cycle of the resume.
+        cycle: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn cycle(&self) -> f64 {
+        match *self {
+            TraceEvent::Arrival { cycle, .. }
+            | TraceEvent::BatchFormed { cycle, .. }
+            | TraceEvent::BatchCompleted { cycle, .. }
+            | TraceEvent::TrainingPaused { cycle }
+            | TraceEvent::TrainingResumed { cycle } => cycle,
+        }
+    }
+}
+
+/// An append-only trace with a capacity cap (tracing is for debugging,
+/// not bulk logging; the cap keeps long simulations bounded).
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace retaining at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace { events: Vec::new(), capacity, dropped: 0 }
+    }
+
+    /// Records an event (dropped once the capacity is reached).
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained events, in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events dropped past the capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// True if timestamps never decrease — the basic sanity invariant
+    /// of an event-driven simulation.
+    pub fn is_monotone(&self) -> bool {
+        self.events
+            .windows(2)
+            .all(|w| w[0].cycle() <= w[1].cycle() + 1e-9)
+    }
+
+    /// Batches formed in the trace.
+    pub fn batches_formed(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::BatchFormed { .. }))
+            .count()
+    }
+
+    /// Renders as one line per event (for dumping to a file).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            let line = match *e {
+                TraceEvent::Arrival { cycle, request } => {
+                    format!("{cycle:.0} arrival request={request}")
+                }
+                TraceEvent::BatchFormed { cycle, real, dummy } => {
+                    format!("{cycle:.0} batch-formed real={real} dummy={dummy}")
+                }
+                TraceEvent::BatchCompleted { cycle, real } => {
+                    format!("{cycle:.0} batch-completed real={real}")
+                }
+                TraceEvent::TrainingPaused { cycle } => format!("{cycle:.0} training-paused"),
+                TraceEvent::TrainingResumed { cycle } => format!("{cycle:.0} training-resumed"),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("… {} events dropped\n", self.dropped));
+        }
+        out
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::with_capacity(65_536)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders() {
+        let mut t = Trace::with_capacity(10);
+        t.record(TraceEvent::Arrival { cycle: 1.0, request: 0 });
+        t.record(TraceEvent::BatchFormed { cycle: 5.0, real: 3, dummy: 13 });
+        t.record(TraceEvent::BatchCompleted { cycle: 100.0, real: 3 });
+        assert_eq!(t.events().len(), 3);
+        assert!(t.is_monotone());
+        assert_eq!(t.batches_formed(), 1);
+        let s = t.render();
+        assert!(s.contains("batch-formed real=3 dummy=13"));
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_cap_drops() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..5 {
+            t.record(TraceEvent::Arrival { cycle: i as f64, request: i });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert!(t.render().contains("3 events dropped"));
+    }
+
+    #[test]
+    fn monotonicity_detects_disorder() {
+        let mut t = Trace::default();
+        t.record(TraceEvent::TrainingPaused { cycle: 10.0 });
+        t.record(TraceEvent::TrainingResumed { cycle: 5.0 });
+        assert!(!t.is_monotone());
+    }
+}

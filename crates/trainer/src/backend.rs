@@ -1,0 +1,194 @@
+//! Arithmetic backends: where each encoding touches the training loop.
+//!
+//! A backend controls three datapath boundaries:
+//!
+//! * [`Backend::gemm`] — how matrix multiplications execute (the MMU);
+//! * [`Backend::store_weights`] — the precision of weights as read from
+//!   the weight buffer (the fp32 master copy lives with the optimizer,
+//!   as in the HBFP paper);
+//! * [`Backend::writeback`] — the activation path through the SIMD unit
+//!   back into the activation buffer.
+
+use equinox_arith::convert::{matrix_to_bf16, simd_writeback_hbfp};
+use equinox_arith::gemm::{gemm_bf16, gemm_f32, gemm_hbfp, HbfpGemmConfig};
+use equinox_arith::{HbfpSpec, Matrix};
+
+/// An arithmetic backend for training.
+///
+/// Implementations must be stateless (shared references are used from
+/// the training loop).
+pub trait Backend {
+    /// The encoding's display name (matches the paper's labels).
+    fn name(&self) -> &'static str;
+
+    /// Matrix multiply `a (m×k) · b (k×n)` in this encoding.
+    fn gemm(&self, a: &Matrix, b: &Matrix) -> Matrix;
+
+    /// The weights as the datapath sees them (quantize + dequantize the
+    /// fp32 master copy).
+    fn store_weights(&self, weights: &Matrix) -> Matrix;
+
+    /// The activation write-back path (SIMD output precision).
+    fn writeback(&self, values: &Matrix) -> Matrix;
+}
+
+/// Exact single-precision baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fp32Backend;
+
+impl Backend for Fp32Backend {
+    fn name(&self) -> &'static str {
+        "fp32"
+    }
+
+    fn gemm(&self, a: &Matrix, b: &Matrix) -> Matrix {
+        gemm_f32(a, b)
+    }
+
+    fn store_weights(&self, weights: &Matrix) -> Matrix {
+        weights.clone()
+    }
+
+    fn writeback(&self, values: &Matrix) -> Matrix {
+        values.clone()
+    }
+}
+
+/// bfloat16 operands with fp32 accumulation (TPU-style).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bf16Backend;
+
+impl Backend for Bf16Backend {
+    fn name(&self) -> &'static str {
+        "bfloat16"
+    }
+
+    fn gemm(&self, a: &Matrix, b: &Matrix) -> Matrix {
+        gemm_bf16(a, b)
+    }
+
+    fn store_weights(&self, weights: &Matrix) -> Matrix {
+        matrix_to_bf16(weights)
+    }
+
+    fn writeback(&self, values: &Matrix) -> Matrix {
+        matrix_to_bf16(values)
+    }
+}
+
+/// Hybrid block floating point with 8-bit mantissas (Equinox's
+/// encoding): fixed-point tile GEMMs, bfloat16 SIMD boundary, HBFP
+/// buffer storage.
+#[derive(Debug, Clone)]
+pub struct Hbfp8Backend {
+    config: HbfpGemmConfig,
+}
+
+impl Hbfp8Backend {
+    /// hbfp8 with the default 16-value blocks.
+    pub fn new() -> Self {
+        Hbfp8Backend { config: HbfpGemmConfig::default() }
+    }
+
+    /// hbfp8 with a custom block size (for block-size ablations).
+    pub fn with_block_size(block: usize) -> Self {
+        Hbfp8Backend {
+            config: HbfpGemmConfig {
+                spec: HbfpSpec::hbfp8_with_block(block),
+                ..Default::default()
+            },
+        }
+    }
+}
+
+impl Default for Hbfp8Backend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Backend for Hbfp8Backend {
+    fn name(&self) -> &'static str {
+        "hbfp8"
+    }
+
+    fn gemm(&self, a: &Matrix, b: &Matrix) -> Matrix {
+        gemm_hbfp(a, b, &self.config)
+    }
+
+    fn store_weights(&self, weights: &Matrix) -> Matrix {
+        use equinox_arith::hbfp::{BlockAxis, HbfpMatrix};
+        HbfpMatrix::quantize(weights, BlockAxis::Col, self.config.spec).dequantize()
+    }
+
+    fn writeback(&self, values: &Matrix) -> Matrix {
+        simd_writeback_hbfp(values, self.config.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn operands() -> (Matrix, Matrix) {
+        let a = Matrix::from_fn(4, 16, |r, c| ((r * 16 + c) as f32).sin() * 0.5);
+        let b = Matrix::from_fn(16, 4, |r, c| ((r + c) as f32).cos() * 0.5);
+        (a, b)
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(Fp32Backend.name(), "fp32");
+        assert_eq!(Bf16Backend.name(), "bfloat16");
+        assert_eq!(Hbfp8Backend::new().name(), "hbfp8");
+    }
+
+    #[test]
+    fn fp32_is_exact() {
+        let (a, b) = operands();
+        assert_eq!(Fp32Backend.gemm(&a, &b), gemm_f32(&a, &b));
+        assert_eq!(Fp32Backend.store_weights(&a), a);
+        assert_eq!(Fp32Backend.writeback(&a), a);
+    }
+
+    #[test]
+    fn quantized_backends_approximate_fp32() {
+        let (a, b) = operands();
+        let exact = gemm_f32(&a, &b);
+        for backend in [&Bf16Backend as &dyn Backend, &Hbfp8Backend::new()] {
+            let approx = backend.gemm(&a, &b);
+            let err = equinox_arith::metrics::relative_frobenius_error(&exact, &approx);
+            assert!(err < 0.05, "{}: {err}", backend.name());
+        }
+    }
+
+    #[test]
+    fn store_weights_is_lossy_for_quantized() {
+        let w = Matrix::from_fn(8, 8, |r, c| ((r * 8 + c) as f32).sin());
+        assert_ne!(Bf16Backend.store_weights(&w), w);
+        assert_ne!(Hbfp8Backend::new().store_weights(&w), w);
+    }
+
+    #[test]
+    fn store_weights_idempotent() {
+        let w = Matrix::from_fn(8, 8, |r, c| ((r * 3 + c) as f32).sin());
+        for backend in [&Bf16Backend as &dyn Backend, &Hbfp8Backend::new()] {
+            let once = backend.store_weights(&w);
+            let twice = backend.store_weights(&once);
+            let err = equinox_arith::metrics::relative_frobenius_error(&once, &twice);
+            assert!(err < 1e-2, "{}: {err}", backend.name());
+        }
+    }
+
+    #[test]
+    fn block_size_ablation_constructor() {
+        let b = Hbfp8Backend::with_block_size(64);
+        let (x, y) = operands();
+        // Must still compute a sane product.
+        let err = equinox_arith::metrics::relative_frobenius_error(
+            &gemm_f32(&x, &y),
+            &b.gemm(&x, &y),
+        );
+        assert!(err < 0.1, "{err}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Softmax cross-entropy loss and classification metrics.
+
+use equinox_arith::Matrix;
+
+/// Row-wise softmax with the usual max-subtraction stabilization.
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(logits.rows(), logits.cols());
+    for r in 0..logits.rows() {
+        let row = logits.row(r);
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        for (c, e) in exps.iter().enumerate() {
+            out.set(r, c, e / sum);
+        }
+    }
+    out
+}
+
+/// Mean cross-entropy of `logits` against integer `targets`.
+///
+/// # Panics
+///
+/// Panics if `targets.len() != logits.rows()` or a target is out of
+/// range.
+pub fn cross_entropy(logits: &Matrix, targets: &[usize]) -> f32 {
+    assert_eq!(logits.rows(), targets.len(), "one target per row required");
+    let probs = softmax(logits);
+    let mut total = 0.0f64;
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(t < logits.cols(), "target class out of range");
+        total += -(probs.get(r, t).max(1e-12) as f64).ln();
+    }
+    (total / targets.len() as f64) as f32
+}
+
+/// Gradient of mean cross-entropy w.r.t. the logits:
+/// `(softmax - onehot) / batch`.
+///
+/// # Panics
+///
+/// Panics if shapes mismatch.
+pub fn cross_entropy_grad(logits: &Matrix, targets: &[usize]) -> Matrix {
+    assert_eq!(logits.rows(), targets.len(), "one target per row required");
+    let mut grad = softmax(logits);
+    let scale = 1.0 / targets.len() as f32;
+    for (r, &t) in targets.iter().enumerate() {
+        let v = grad.get(r, t);
+        grad.set(r, t, v - 1.0);
+    }
+    grad.map(|v| v * scale)
+}
+
+/// Fraction of rows whose argmax disagrees with the target.
+pub fn error_rate(logits: &Matrix, targets: &[usize]) -> f32 {
+    assert_eq!(logits.rows(), targets.len(), "one target per row required");
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let mut wrong = 0usize;
+    for (r, &t) in targets.iter().enumerate() {
+        let row = logits.row(r);
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        if pred != t {
+            wrong += 1;
+        }
+    }
+    wrong as f32 / targets.len() as f32
+}
+
+/// Perplexity: `exp(cross-entropy)` — the Figure 2b metric.
+pub fn perplexity(logits: &Matrix, targets: &[usize]) -> f32 {
+    cross_entropy(logits, targets).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Matrix::from_fn(3, 4, |r, c| (r * c) as f32 - 2.0);
+        let p = softmax(&logits);
+        for r in 0..3 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(p.row(r).iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let logits = Matrix::from_vec(1, 2, vec![1000.0, 0.0]);
+        let p = softmax(&logits);
+        assert!((p.get(0, 0) - 1.0).abs() < 1e-6);
+        assert!(p.get(0, 1) >= 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_near_zero() {
+        let logits = Matrix::from_vec(1, 3, vec![100.0, 0.0, 0.0]);
+        assert!(cross_entropy(&logits, &[0]) < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_classes() {
+        let logits = Matrix::zeros(5, 4);
+        let ce = cross_entropy(&logits, &[0, 1, 2, 3, 0]);
+        assert!((ce - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grad_points_down() {
+        // Moving along the negative gradient must reduce the loss.
+        let logits = Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.1, 0.0, 0.3, -0.4]);
+        let targets = [2, 0];
+        let g = cross_entropy_grad(&logits, &targets);
+        let mut stepped = logits.clone();
+        stepped.axpy(-0.5, &g);
+        assert!(cross_entropy(&stepped, &targets) < cross_entropy(&logits, &targets));
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        let logits = Matrix::from_fn(3, 4, |r, c| ((r + c) as f32).sin());
+        let g = cross_entropy_grad(&logits, &[1, 2, 3]);
+        for r in 0..3 {
+            let s: f32 = g.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn error_rate_counts_mistakes() {
+        let logits = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(error_rate(&logits, &[0, 1]), 0.0);
+        assert_eq!(error_rate(&logits, &[1, 0]), 1.0);
+        assert_eq!(error_rate(&logits, &[0, 0]), 0.5);
+    }
+
+    #[test]
+    fn perplexity_uniform_is_vocab_size() {
+        let logits = Matrix::zeros(4, 8);
+        let ppl = perplexity(&logits, &[0, 1, 2, 3]);
+        assert!((ppl - 8.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one target per row")]
+    fn mismatched_targets_panic() {
+        cross_entropy(&Matrix::zeros(2, 2), &[0]);
+    }
+}

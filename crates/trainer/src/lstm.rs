@@ -1,0 +1,388 @@
+//! A single-layer LSTM language model trained with backpropagation
+//! through time, generic over the arithmetic backend.
+//!
+//! The paper's evaluation workloads are recurrent (LSTM/GRU); this
+//! module closes the loop by *training* an actual LSTM cell through the
+//! hbfp8/bfloat16 datapaths: gate GEMMs on the modeled MMU encoding,
+//! gate nonlinearities and their derivatives on the bfloat16 SIMD unit
+//! (the training-only overloads of §3.2), fp32 master weights with the
+//! optimizer.
+
+use crate::backend::Backend;
+use crate::dataset::SequenceData;
+use crate::loss;
+use crate::sgd::SgdMomentum;
+use crate::train::{ConvergenceCurve, EpochPoint};
+use equinox_arith::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// LSTM hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LstmConfig {
+    /// Hidden-state width.
+    pub hidden: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Epochs over the training sequences.
+    pub epochs: usize,
+    /// Sequences per mini-batch.
+    pub batch: usize,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+impl Default for LstmConfig {
+    fn default() -> Self {
+        LstmConfig { hidden: 32, lr: 0.5, epochs: 12, batch: 16, seed: 41 }
+    }
+}
+
+/// The LSTM LM: one cell plus an output projection.
+pub struct LstmLm {
+    /// Gate weights, `(vocab + hidden) × 4·hidden`, gate order i,f,g,o.
+    w_gates: Matrix,
+    b_gates: Matrix,
+    /// Output projection `hidden × vocab`.
+    w_out: Matrix,
+    b_out: Matrix,
+    vocab: usize,
+    hidden: usize,
+    opt_w_gates: SgdMomentum,
+    opt_b_gates: SgdMomentum,
+    opt_w_out: SgdMomentum,
+    opt_b_out: SgdMomentum,
+}
+
+/// Per-step values saved for BPTT.
+struct StepCache {
+    x_h: Matrix,
+    i: Matrix,
+    f: Matrix,
+    g: Matrix,
+    o: Matrix,
+    c_prev: Matrix,
+    tanh_c: Matrix,
+    h: Matrix,
+}
+
+fn sigmoid_m(m: &Matrix) -> Matrix {
+    m.map(|v| 1.0 / (1.0 + (-v).exp()))
+}
+
+fn tanh_m(m: &Matrix) -> Matrix {
+    m.map(f32::tanh)
+}
+
+fn slice_cols(m: &Matrix, start: usize, width: usize) -> Matrix {
+    Matrix::from_fn(m.rows(), width, |r, c| m.get(r, start + c))
+}
+
+fn add_bias(m: &mut Matrix, bias: &Matrix) {
+    for r in 0..m.rows() {
+        for c in 0..m.cols() {
+            let v = m.get(r, c) + bias.get(0, c);
+            m.set(r, c, v);
+        }
+    }
+}
+
+fn sum_rows(m: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(1, m.cols());
+    for r in 0..m.rows() {
+        for c in 0..m.cols() {
+            let v = out.get(0, c) + m.get(r, c);
+            out.set(0, c, v);
+        }
+    }
+    out
+}
+
+/// Concatenates matrices column-wise.
+fn hcat(a: &Matrix, b: &Matrix) -> Matrix {
+    debug_assert_eq!(a.rows(), b.rows());
+    Matrix::from_fn(a.rows(), a.cols() + b.cols(), |r, c| {
+        if c < a.cols() {
+            a.get(r, c)
+        } else {
+            b.get(r, c - a.cols())
+        }
+    })
+}
+
+impl LstmLm {
+    /// Creates an LSTM LM with uniform initialization and forget-gate
+    /// bias 1 (the standard trainability trick).
+    pub fn new(vocab: usize, config: &LstmConfig) -> Self {
+        let hidden = config.hidden;
+        let input = vocab + hidden;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let scale = (1.0 / input as f32).sqrt();
+        let mut init = |rows: usize, cols: usize| {
+            Matrix::from_fn(rows, cols, |_, _| (rng.random::<f32>() * 2.0 - 1.0) * scale)
+        };
+        let w_gates = init(input, 4 * hidden);
+        let w_out = init(hidden, vocab);
+        let mut b_gates = Matrix::zeros(1, 4 * hidden);
+        for c in hidden..2 * hidden {
+            b_gates.set(0, c, 1.0);
+        }
+        LstmLm {
+            opt_w_gates: SgdMomentum::new(input, 4 * hidden, config.lr, 0.9),
+            opt_b_gates: SgdMomentum::new(1, 4 * hidden, config.lr, 0.9),
+            opt_w_out: SgdMomentum::new(hidden, vocab, config.lr, 0.9),
+            opt_b_out: SgdMomentum::new(1, vocab, config.lr, 0.9),
+            w_gates,
+            b_gates,
+            w_out,
+            b_out: Matrix::zeros(1, vocab),
+            vocab,
+            hidden,
+        }
+    }
+
+    /// One forward pass over a batch of equal-length sequences.
+    /// Returns the per-step caches and the per-step logits.
+    fn forward(
+        &self,
+        backend: &dyn Backend,
+        batch: &[&[usize]],
+    ) -> (Vec<StepCache>, Vec<Matrix>) {
+        let b = batch.len();
+        let t_len = batch[0].len();
+        let w_gates = backend.store_weights(&self.w_gates);
+        let w_out = backend.store_weights(&self.w_out);
+        let mut h = Matrix::zeros(b, self.hidden);
+        let mut c = Matrix::zeros(b, self.hidden);
+        let mut caches = Vec::with_capacity(t_len - 1);
+        let mut logits = Vec::with_capacity(t_len - 1);
+        for t in 0..t_len - 1 {
+            let mut x = Matrix::zeros(b, self.vocab);
+            for (r, seq) in batch.iter().enumerate() {
+                x.set(r, seq[t], 1.0);
+            }
+            let x_h = hcat(&x, &h);
+            let mut gates = backend.gemm(&x_h, &w_gates);
+            add_bias(&mut gates, &self.b_gates);
+            let gates = backend.writeback(&gates);
+            let i = sigmoid_m(&slice_cols(&gates, 0, self.hidden));
+            let f = sigmoid_m(&slice_cols(&gates, self.hidden, self.hidden));
+            let g = tanh_m(&slice_cols(&gates, 2 * self.hidden, self.hidden));
+            let o = sigmoid_m(&slice_cols(&gates, 3 * self.hidden, self.hidden));
+            let c_prev = c.clone();
+            c = f.zip_map(&c_prev, |fv, cv| fv * cv)
+                .zip_map(&i.zip_map(&g, |iv, gv| iv * gv), |a, bv| a + bv);
+            let tanh_c = tanh_m(&c);
+            h = backend.writeback(&o.zip_map(&tanh_c, |ov, tv| ov * tv));
+            let mut step_logits = backend.gemm(&h, &w_out);
+            add_bias(&mut step_logits, &self.b_out);
+            caches.push(StepCache {
+                x_h,
+                i,
+                f,
+                g,
+                o,
+                c_prev,
+                tanh_c,
+                h: h.clone(),
+            });
+            logits.push(step_logits);
+        }
+        (caches, logits)
+    }
+
+    /// One BPTT training step over a batch of sequences. Returns the
+    /// mean next-token cross-entropy.
+    pub fn train_step(&mut self, backend: &dyn Backend, batch: &[&[usize]]) -> f32 {
+        assert!(!batch.is_empty(), "batch must be non-empty");
+        let t_len = batch[0].len();
+        assert!(t_len >= 2, "sequences need at least two tokens");
+        assert!(
+            batch.iter().all(|s| s.len() == t_len),
+            "sequences must share a length"
+        );
+        let b = batch.len();
+        let (caches, logits) = self.forward(backend, batch);
+        let w_gates_q = backend.store_weights(&self.w_gates);
+        let w_out_q = backend.store_weights(&self.w_out);
+        let mut dw_gates = Matrix::zeros(self.vocab + self.hidden, 4 * self.hidden);
+        let mut db_gates = Matrix::zeros(1, 4 * self.hidden);
+        let mut dw_out = Matrix::zeros(self.hidden, self.vocab);
+        let mut db_out = Matrix::zeros(1, self.vocab);
+        let mut dh_next = Matrix::zeros(b, self.hidden);
+        let mut dc_next = Matrix::zeros(b, self.hidden);
+        let mut total_loss = 0.0f32;
+        for t in (0..t_len - 1).rev() {
+            let targets: Vec<usize> = batch.iter().map(|s| s[t + 1]).collect();
+            total_loss += loss::cross_entropy(&logits[t], &targets);
+            let dlogits = loss::cross_entropy_grad(&logits[t], &targets);
+            let cache = &caches[t];
+            dw_out.axpy(1.0, &backend.gemm(&cache.h.transpose(), &dlogits));
+            db_out.axpy(1.0, &sum_rows(&dlogits));
+            let mut dh = backend.gemm(&dlogits, &w_out_q.transpose());
+            dh.axpy(1.0, &dh_next);
+            // dc = dh·o·tanh'(c) + dc_next.
+            let mut dc = dh
+                .zip_map(&cache.o, |a, bv| a * bv)
+                .zip_map(&cache.tanh_c, |a, tv| a * (1.0 - tv * tv));
+            dc.axpy(1.0, &dc_next);
+            // Gate gradients (pre-activation).
+            let di = dc
+                .zip_map(&cache.g, |a, bv| a * bv)
+                .zip_map(&cache.i, |a, iv| a * iv * (1.0 - iv));
+            let df = dc
+                .zip_map(&cache.c_prev, |a, bv| a * bv)
+                .zip_map(&cache.f, |a, fv| a * fv * (1.0 - fv));
+            let dg = dc
+                .zip_map(&cache.i, |a, bv| a * bv)
+                .zip_map(&cache.g, |a, gv| a * (1.0 - gv * gv));
+            let do_ = dh
+                .zip_map(&cache.tanh_c, |a, bv| a * bv)
+                .zip_map(&cache.o, |a, ov| a * ov * (1.0 - ov));
+            let dgates = Matrix::from_fn(b, 4 * self.hidden, |r, cidx| {
+                let k = cidx % self.hidden;
+                match cidx / self.hidden {
+                    0 => di.get(r, k),
+                    1 => df.get(r, k),
+                    2 => dg.get(r, k),
+                    _ => do_.get(r, k),
+                }
+            });
+            dw_gates.axpy(1.0, &backend.gemm(&cache.x_h.transpose(), &dgates));
+            db_gates.axpy(1.0, &sum_rows(&dgates));
+            let dx_h = backend.gemm(&dgates, &w_gates_q.transpose());
+            dh_next = slice_cols(&dx_h, self.vocab, self.hidden);
+            dc_next = dc.zip_map(&cache.f, |a, fv| a * fv);
+        }
+        let steps = (t_len - 1) as f32;
+        self.opt_w_gates.step(&mut self.w_gates, &dw_gates.map(|v| v / steps));
+        self.opt_b_gates.step(&mut self.b_gates, &db_gates.map(|v| v / steps));
+        self.opt_w_out.step(&mut self.w_out, &dw_out.map(|v| v / steps));
+        self.opt_b_out.step(&mut self.b_out, &db_out.map(|v| v / steps));
+        total_loss / steps
+    }
+
+    /// Mean next-token perplexity over validation sequences.
+    pub fn validation_perplexity(&self, backend: &dyn Backend, seqs: &[Vec<usize>]) -> f32 {
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        for seq in seqs {
+            let batch = [seq.as_slice()];
+            let (_, logits) = self.forward(backend, &batch);
+            for (t, l) in logits.iter().enumerate() {
+                total += loss::cross_entropy(l, &[seq[t + 1]]) as f64;
+                count += 1;
+            }
+        }
+        ((total / count.max(1) as f64) as f32).exp()
+    }
+}
+
+/// Trains the LSTM LM under `backend`, returning a perplexity curve.
+pub fn train_lstm_lm(
+    backend: &dyn Backend,
+    data: &SequenceData,
+    config: &LstmConfig,
+) -> ConvergenceCurve {
+    let mut model = LstmLm::new(data.vocab, config);
+    let mut points = Vec::with_capacity(config.epochs);
+    for epoch in 1..=config.epochs {
+        let mut losses = Vec::new();
+        for chunk in data.train.chunks(config.batch) {
+            let batch: Vec<&[usize]> = chunk.iter().map(Vec::as_slice).collect();
+            losses.push(model.train_step(backend, &batch));
+        }
+        let val = model.validation_perplexity(backend, &data.val);
+        points.push(EpochPoint {
+            epoch,
+            train_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
+            val_metric: val,
+        });
+    }
+    ConvergenceCurve { label: backend.name().to_string(), points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Fp32Backend, Hbfp8Backend};
+    use crate::dataset::markov_sequences;
+
+    fn data() -> SequenceData {
+        markov_sequences(192, 48, 20, 8, 55)
+    }
+
+    #[test]
+    fn lstm_learns_order2_structure() {
+        let d = data();
+        let cfg = LstmConfig { epochs: 15, ..Default::default() };
+        let curve = train_lstm_lm(&Fp32Backend, &d, &cfg);
+        let first = curve.points[0].val_metric;
+        let last = curve.final_metric();
+        // Starts near the uniform baseline (8) and beats it clearly:
+        // the order-2 structure (85% peaked) has entropy well below
+        // log(8).
+        assert!(last < first * 0.7, "ppl {first} -> {last}");
+        assert!(last < 4.0, "{last}");
+    }
+
+    #[test]
+    fn hbfp8_lstm_matches_fp32() {
+        let d = data();
+        let cfg = LstmConfig { epochs: 10, ..Default::default() };
+        let fp32 = train_lstm_lm(&Fp32Backend, &d, &cfg);
+        let hbfp = train_lstm_lm(&Hbfp8Backend::new(), &d, &cfg);
+        let rel = (hbfp.final_metric() - fp32.final_metric()).abs() / fp32.final_metric();
+        assert!(
+            rel < 0.12,
+            "fp32 {} vs hbfp8 {}",
+            fp32.final_metric(),
+            hbfp.final_metric()
+        );
+    }
+
+    #[test]
+    fn recurrence_beats_stateless_context() {
+        // An order-1 (stateless previous-token) model cannot predict an
+        // order-2 chain: the LSTM's hidden state must buy a clearly
+        // lower perplexity than the best stateless baseline measured on
+        // the same data.
+        let d = data();
+        // Stateless baseline: empirical P(next | prev), perplexity via
+        // the validation set.
+        let mut counts = vec![vec![1.0f64; d.vocab]; d.vocab];
+        for seq in &d.train {
+            for w in seq.windows(2) {
+                counts[w[0]][w[1]] += 1.0;
+            }
+        }
+        let mut total = 0.0f64;
+        let mut n = 0usize;
+        for seq in &d.val {
+            for w in seq.windows(2) {
+                let row_sum: f64 = counts[w[0]].iter().sum();
+                total += -(counts[w[0]][w[1]] / row_sum).ln();
+                n += 1;
+            }
+        }
+        let stateless_ppl = (total / n as f64).exp() as f32;
+        let cfg = LstmConfig { epochs: 20, ..Default::default() };
+        let lstm = train_lstm_lm(&Fp32Backend, &d, &cfg);
+        assert!(
+            lstm.final_metric() < stateless_ppl * 0.9,
+            "LSTM {} should beat the stateless bound {}",
+            lstm.final_metric(),
+            stateless_ppl
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "share a length")]
+    fn ragged_batch_panics() {
+        let cfg = LstmConfig::default();
+        let mut model = LstmLm::new(4, &cfg);
+        let a = vec![0usize, 1, 2];
+        let b = vec![0usize, 1];
+        model.train_step(&Fp32Backend, &[&a, &b]);
+    }
+}

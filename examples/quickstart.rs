@@ -1,0 +1,48 @@
+//! Quickstart: build an Equinox accelerator, serve LSTM inference, and
+//! piggyback training on the idle cycles.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use equinox::core::{Equinox, RunOptions};
+use equinox::isa::models::ModelSpec;
+use equinox::model::LatencyConstraint;
+use equinox_arith::Encoding;
+
+fn main() {
+    // 1. Pick a Pareto-optimal design for a 500 µs latency constraint
+    //    via the paper's §4 design-space exploration.
+    let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(500))
+        .expect("a 500 µs design exists under the 75 W / 300 mm² envelope");
+    println!("Selected design: {eq}");
+    println!(
+        "  analytical: {:.0} TOp/s peak, {:.0} µs batch service time",
+        eq.design().throughput_tops(),
+        eq.design().service_time_us()
+    );
+
+    // 2. Compile the DeepBench LSTM onto the geometry.
+    let model = ModelSpec::lstm_2048_25();
+    let timing = eq.compile(&model);
+    println!(
+        "Compiled {}: {} cycles per batch of {} ({:.0} µs at {:.0} MHz)",
+        model,
+        timing.total_cycles,
+        timing.batch,
+        timing.service_time_s(eq.freq_hz()) * 1e6,
+        eq.freq_hz() / 1e6
+    );
+
+    // 3. Serve Poisson traffic at 50 % load, inference only.
+    let inference_only = eq.run(&RunOptions::inference(0.5));
+    println!("\nInference only @50% load:\n  {inference_only}");
+
+    // 4. Same load, now piggybacking an LSTM training service.
+    let colocated = eq.run(&RunOptions::colocated(0.5));
+    println!("\nWith piggybacked training @50% load:\n  {colocated}");
+    println!(
+        "\nTraining reclaimed {:.1} TOp/s from idle cycles; inference p99 moved {:.2} ms -> {:.2} ms",
+        colocated.training_tops(),
+        inference_only.p99_ms(),
+        colocated.p99_ms()
+    );
+}

@@ -1,0 +1,29 @@
+//! # equinox
+//!
+//! Top-level facade for the Equinox reproduction (MICRO'21): *Training
+//! (for Free) on a Custom Inference Accelerator*.
+//!
+//! This crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`arith`] — bfloat16 / fixed-point / hybrid-block-floating-point
+//!   arithmetic and GEMM kernels.
+//! * [`model`] — the paper's first-order analytical area/power/performance
+//!   models and the §4 design-space exploration.
+//! * [`isa`] — the accelerator ISA, DNN model descriptors, and the
+//!   tiling compiler.
+//! * [`sim`] — the cycle-accurate simulator of the Figure 3/5 blocks.
+//! * [`trainer`] — software HBFP training for the Figure 2 convergence
+//!   study.
+//! * [`synth`] — area/power roll-up (Table 3 substitute for synthesis).
+//! * [`core`] — the `Equinox` facade plus one experiment driver per
+//!   paper table and figure.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use equinox_arith as arith;
+pub use equinox_core as core;
+pub use equinox_isa as isa;
+pub use equinox_model as model;
+pub use equinox_sim as sim;
+pub use equinox_synth as synth;
+pub use equinox_trainer as trainer;
