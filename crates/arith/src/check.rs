@@ -1,0 +1,112 @@
+//! A minimal deterministic property-check harness.
+//!
+//! The offline build cannot depend on `proptest`, so the workspace's
+//! property tests run through this helper instead: a fixed number of
+//! cases, each handed a seeded [`SplitMix64`] generator, with the case
+//! index and seed reported on failure so any case replays exactly.
+//! There is no shrinking — cases are kept small enough that the failing
+//! input is directly readable from the panic message.
+
+use crate::rng::SplitMix64;
+
+/// Default number of cases per property (matches the `proptest` default
+/// closely enough for the error-bound style properties used here).
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Runs `property` for `cases` deterministic cases derived from `seed`.
+///
+/// Each case receives its own generator so properties can draw as many
+/// values as they need without perturbing later cases.
+///
+/// # Panics
+///
+/// Re-panics the property's failure, prefixed with the case index and
+/// per-case seed (replay with `SplitMix64::seed_from_u64(case_seed)`).
+pub fn for_each_case(cases: u32, seed: u64, mut property: impl FnMut(&mut SplitMix64)) {
+    for case in 0..cases {
+        let case_seed = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(case as u64);
+        let mut gen = SplitMix64::seed_from_u64(case_seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            property(&mut gen);
+        }));
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!("property failed at case {case}/{cases} (case seed {case_seed:#x}): {msg}");
+        }
+    }
+}
+
+/// Runs `property` for [`DEFAULT_CASES`] cases.
+pub fn check(seed: u64, property: impl FnMut(&mut SplitMix64)) {
+    for_each_case(DEFAULT_CASES, seed, property);
+}
+
+/// Draws a `Vec<f32>` with length in `[min_len, max_len)` and elements
+/// in `[lo, hi)` — the common shape of the HBFP error-bound properties.
+pub fn vec_f32(
+    gen: &mut SplitMix64,
+    lo: f32,
+    hi: f32,
+    min_len: usize,
+    max_len: usize,
+) -> Vec<f32> {
+    let len = gen.usize_in(min_len, max_len);
+    (0..len).map(|_| gen.f32_in(lo, hi)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut count = 0;
+        for_each_case(17, 1, |_| count += 1);
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn deterministic_inputs() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for_each_case(5, 9, |g| a.push(g.next_u64()));
+        for_each_case(5, 9, |g| b.push(g.next_u64()));
+        assert_eq!(a, b);
+        // Cases see distinct streams.
+        assert!(a.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn failure_reports_case_seed() {
+        let err = std::panic::catch_unwind(|| {
+            for_each_case(10, 3, |g| {
+                let v = g.usize_in(0, 100);
+                assert!(v < 1000, "v was {v}");
+            });
+        });
+        assert!(err.is_ok());
+        let err = std::panic::catch_unwind(|| {
+            for_each_case(10, 3, |_| panic!("always fails"));
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("case 0/10"), "{msg}");
+        assert!(msg.contains("always fails"), "{msg}");
+    }
+
+    #[test]
+    fn vec_f32_respects_bounds() {
+        let mut g = SplitMix64::seed_from_u64(5);
+        for _ in 0..100 {
+            let v = vec_f32(&mut g, -2.0, 2.0, 1, 16);
+            assert!(!v.is_empty() && v.len() < 16);
+            assert!(v.iter().all(|&x| (-2.0..2.0).contains(&x)));
+        }
+    }
+}

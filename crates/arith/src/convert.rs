@@ -34,7 +34,7 @@ pub fn simd_writeback_hbfp(m: &Matrix, spec: HbfpSpec) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::check;
 
     #[test]
     fn bf16_matrix_rounding_is_elementwise() {
@@ -62,9 +62,10 @@ mod tests {
         assert!(err < 1e-2, "writeback drifted: {err}");
     }
 
-    proptest! {
-        #[test]
-        fn writeback_error_bounded(seed in 0u64..100) {
+    #[test]
+    fn writeback_error_bounded() {
+        check::check(0x637601, |g| {
+            let seed = g.next_u64() % 100;
             let mut s = seed.wrapping_mul(0x9E37_79B9) | 1;
             let m = Matrix::from_fn(4, 8, |_, _| {
                 s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
@@ -72,7 +73,7 @@ mod tests {
             });
             let r = simd_writeback_hbfp(&m, HbfpSpec::hbfp8());
             let err = crate::metrics::relative_frobenius_error(&m, &r);
-            prop_assert!(err < 0.05, "error {err}");
-        }
+            assert!(err < 0.05, "error {err}");
+        });
     }
 }

@@ -117,7 +117,7 @@ impl Accumulator25 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::check;
 
     #[test]
     fn q8_widening_mul_extremes() {
@@ -185,11 +185,11 @@ mod tests {
         assert_eq!(acc.value(), 1023 * 16384);
     }
 
-    proptest! {
-        #[test]
-        fn accumulator_matches_i64_when_in_range(
-            pairs in proptest::collection::vec((any::<i8>(), any::<i8>()), 0..512)
-        ) {
+    #[test]
+    fn accumulator_matches_i64_when_in_range() {
+        check::check(0x666901, |g| {
+            let len = g.usize_in(0, 512);
+            let pairs: Vec<(i8, i8)> = (0..len).map(|_| (g.next_i8(), g.next_i8())).collect();
             let mut acc = Accumulator25::new();
             let mut exact: i64 = 0;
             for &(a, b) in &pairs {
@@ -198,22 +198,25 @@ mod tests {
             }
             // 512 products can never leave the 25-bit range mid-stream
             // unless exact itself leaves it.
-            if exact <= Accumulator25::MAX as i64 && exact >= Accumulator25::MIN as i64
-                && !acc.has_saturated() {
-                prop_assert_eq!(acc.value() as i64, exact);
+            if exact <= Accumulator25::MAX as i64
+                && exact >= Accumulator25::MIN as i64
+                && !acc.has_saturated()
+            {
+                assert_eq!(acc.value() as i64, exact);
             }
-        }
+        });
+    }
 
-        #[test]
-        fn accumulator_never_exceeds_25_bits(
-            pairs in proptest::collection::vec((any::<i8>(), any::<i8>()), 0..4096)
-        ) {
+    #[test]
+    fn accumulator_never_exceeds_25_bits() {
+        check::check(0x666902, |g| {
+            let len = g.usize_in(0, 4096);
             let mut acc = Accumulator25::new();
-            for &(a, b) in &pairs {
-                acc.mac(Q8(a), Q8(b));
-                prop_assert!(acc.value() <= Accumulator25::MAX);
-                prop_assert!(acc.value() >= Accumulator25::MIN);
+            for _ in 0..len {
+                acc.mac(Q8(g.next_i8()), Q8(g.next_i8()));
+                assert!(acc.value() <= Accumulator25::MAX);
+                assert!(acc.value() >= Accumulator25::MIN);
             }
-        }
+        });
     }
 }

@@ -273,8 +273,8 @@ impl HbfpMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::check;
     use crate::Matrix;
-    use proptest::prelude::*;
 
     #[test]
     fn spec_defaults() {
@@ -387,24 +387,26 @@ mod tests {
         assert!(block.dequantize().iter().all(|v| v.is_finite()));
     }
 
-    proptest! {
-        #[test]
-        fn quantize_error_half_step(values in proptest::collection::vec(-1e4f32..1e4f32, 1..16)) {
+    #[test]
+    fn quantize_error_half_step() {
+        check::check(0x686201, |g| {
+            let values = check::vec_f32(g, -1e4, 1e4, 1, 16);
             let spec = HbfpSpec::hbfp8();
             let block = HbfpBlock::quantize(&values, &spec);
             let step = 2.0f32.powi(block.exponent());
             for (&v, &d) in values.iter().zip(block.dequantize().iter()) {
-                prop_assert!((v - d).abs() <= step / 2.0 + step * 1e-3);
+                assert!((v - d).abs() <= step / 2.0 + step * 1e-3);
             }
-        }
+        });
+    }
 
-        #[test]
-        fn dot_close_to_f32_dot(
-            pairs in proptest::collection::vec((-8.0f32..8.0, -8.0f32..8.0), 1..16)
-        ) {
+    #[test]
+    fn dot_close_to_f32_dot() {
+        check::check(0x686202, |g| {
+            let len = g.usize_in(1, 16);
+            let xs: Vec<f32> = (0..len).map(|_| g.f32_in(-8.0, 8.0)).collect();
+            let ys: Vec<f32> = (0..len).map(|_| g.f32_in(-8.0, 8.0)).collect();
             let spec = HbfpSpec::hbfp8();
-            let xs: Vec<f32> = pairs.iter().map(|p| p.0).collect();
-            let ys: Vec<f32> = pairs.iter().map(|p| p.1).collect();
             let a = HbfpBlock::quantize(&xs, &spec);
             let b = HbfpBlock::quantize(&ys, &spec);
             let exact: f32 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
@@ -412,21 +414,27 @@ mod tests {
             // Error bound: n * (step_a * max_b + step_b * max_a) / 2 rounded generously.
             let max_x = xs.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
             let max_y = ys.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
-            let bound = pairs.len() as f32
+            let bound = len as f32
                 * (max_x / 64.0 * max_y.max(1.0) + max_y / 64.0 * max_x.max(1.0)).max(0.25);
-            prop_assert!((exact - approx).abs() <= bound,
-                "exact {exact} approx {approx} bound {bound}");
-        }
+            assert!(
+                (exact - approx).abs() <= bound,
+                "exact {exact} approx {approx} bound {bound}"
+            );
+        });
+    }
 
-        #[test]
-        fn matrix_quantize_dims_preserved(rows in 1usize..10, cols in 1usize..20) {
+    #[test]
+    fn matrix_quantize_dims_preserved() {
+        check::check(0x686203, |g| {
+            let rows = g.usize_in(1, 10);
+            let cols = g.usize_in(1, 20);
             let m = Matrix::from_fn(rows, cols, |r, c| (r as f32 * 0.3) - (c as f32 * 0.7));
             let q = HbfpMatrix::quantize(&m, BlockAxis::Row, HbfpSpec::hbfp8_with_block(5));
-            prop_assert_eq!(q.rows(), rows);
-            prop_assert_eq!(q.cols(), cols);
+            assert_eq!(q.rows(), rows);
+            assert_eq!(q.cols(), cols);
             let d = q.dequantize();
-            prop_assert_eq!(d.rows(), rows);
-            prop_assert_eq!(d.cols(), cols);
-        }
+            assert_eq!(d.rows(), rows);
+            assert_eq!(d.cols(), cols);
+        });
     }
 }

@@ -32,12 +32,14 @@
 //! ```
 
 pub mod bf16;
+pub mod check;
 pub mod convert;
 pub mod fixed;
 pub mod gemm;
 pub mod hbfp;
 pub mod matrix;
 pub mod metrics;
+pub mod rng;
 pub mod vector;
 pub mod wide;
 
@@ -45,6 +47,7 @@ pub use bf16::Bf16;
 pub use fixed::{Accumulator25, Q8};
 pub use hbfp::{HbfpBlock, HbfpMatrix, HbfpSpec};
 pub use matrix::Matrix;
+pub use rng::SplitMix64;
 
 /// The numeric encodings evaluated by the paper.
 ///

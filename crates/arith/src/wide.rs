@@ -175,10 +175,10 @@ pub fn gemm_wide_hbfp(a: &Matrix, b: &Matrix, spec: WideHbfpSpec) -> Matrix {
     let qa = quant_lanes(a);
     let qb = quant_lanes(&bt);
     let mut out = Matrix::zeros(m, n);
-    for i in 0..m {
-        for j in 0..n {
+    for (i, qa_row) in qa.iter().enumerate() {
+        for (j, qb_row) in qb.iter().enumerate() {
             let mut acc = 0.0f32;
-            for (ab, bb) in qa[i].iter().zip(&qb[j]) {
+            for (ab, bb) in qa_row.iter().zip(qb_row) {
                 acc += ab.dot(bb);
             }
             out.set(i, j, Bf16::from_f32(acc).to_f32());

@@ -1,21 +1,13 @@
 //! Benchmarks the design-choice ablations (quick scale).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use equinox_bench::harness;
 use equinox_core::experiments::ablation;
 use equinox_core::ExperimentScale;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
-    group.bench_function("design_choices_quick", |b| {
-        b.iter(|| {
-            let a = ablation::run(ExperimentScale::Quick);
-            assert!(!a.power.is_empty());
-            a
-        })
+fn main() {
+    harness::time("ablation", "design_choices_quick", 3, || {
+        let a = ablation::run(ExperimentScale::Quick);
+        assert!(!a.power.is_empty());
+        a
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

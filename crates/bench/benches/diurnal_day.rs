@@ -1,21 +1,13 @@
 //! Benchmarks the day-long diurnal co-location extension (quick scale).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use equinox_bench::harness;
 use equinox_core::experiments::diurnal;
 use equinox_core::ExperimentScale;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("diurnal");
-    group.sample_size(10);
-    group.bench_function("day_quick", |b| {
-        b.iter(|| {
-            let d = diurnal::run(ExperimentScale::Quick);
-            assert!(d.training_tops > 0.0);
-            d
-        })
+fn main() {
+    harness::time("diurnal", "day_quick", 3, || {
+        let d = diurnal::run(ExperimentScale::Quick);
+        assert!(d.training_tops > 0.0);
+        d
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,21 +1,13 @@
 //! Benchmarks the Figure 10 scheduling comparison (quick scale).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use equinox_bench::harness;
 use equinox_core::experiments::fig10;
 use equinox_core::ExperimentScale;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig10");
-    group.sample_size(10);
-    group.bench_function("scheduling_quick", |b| {
-        b.iter(|| {
-            let fig = fig10::run(ExperimentScale::Quick);
-            assert_eq!(fig.series.len(), 3);
-            fig
-        })
+fn main() {
+    harness::time("fig10", "scheduling_quick", 3, || {
+        let fig = fig10::run(ExperimentScale::Quick);
+        assert_eq!(fig.series.len(), 3);
+        fig
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

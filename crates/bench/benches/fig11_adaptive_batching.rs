@@ -1,21 +1,13 @@
 //! Benchmarks the Figure 11 adaptive-batching panels (quick scale).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use equinox_bench::harness;
 use equinox_core::experiments::fig11;
 use equinox_core::ExperimentScale;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig11");
-    group.sample_size(10);
-    group.bench_function("batching_quick", |b| {
-        b.iter(|| {
-            let fig = fig11::run(ExperimentScale::Quick);
-            assert_eq!(fig.panel_a.len(), 2);
-            fig
-        })
+fn main() {
+    harness::time("fig11", "batching_quick", 3, || {
+        let fig = fig11::run(ExperimentScale::Quick);
+        assert_eq!(fig.panel_a.len(), 2);
+        fig
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

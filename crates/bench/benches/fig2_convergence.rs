@@ -1,21 +1,13 @@
 //! Benchmarks the Figure 2 convergence pipeline (quick scale).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use equinox_bench::harness;
 use equinox_core::experiments::fig2;
 use equinox_core::ExperimentScale;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig2");
-    group.sample_size(10);
-    group.bench_function("convergence_quick", |b| {
-        b.iter(|| {
-            let fig = fig2::run(ExperimentScale::Quick);
-            assert!(fig.classification_gap() < 0.15);
-            fig
-        })
+fn main() {
+    harness::time("fig2", "convergence_quick", 3, || {
+        let fig = fig2::run(ExperimentScale::Quick);
+        assert!(fig.classification_gap() < 0.15);
+        fig
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,20 +1,12 @@
 //! Benchmarks the Figure 6 design-space sweep (both encodings).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use equinox_bench::harness;
 use equinox_core::experiments::fig6;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6");
-    group.sample_size(10);
-    group.bench_function("design_space_sweep", |b| {
-        b.iter(|| {
-            let fig = fig6::run();
-            assert!(!fig.hbfp8.is_empty());
-            fig
-        })
+fn main() {
+    harness::time("fig6", "design_space_sweep", 3, || {
+        let fig = fig6::run();
+        assert!(!fig.hbfp8.is_empty());
+        fig
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

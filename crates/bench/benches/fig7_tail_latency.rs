@@ -1,22 +1,14 @@
 //! Benchmarks the Figure 7 tail-latency load sweep (quick scale).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use equinox_bench::harness;
 use equinox_arith::Encoding;
 use equinox_core::experiments::fig7;
 use equinox_core::ExperimentScale;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7");
-    group.sample_size(10);
-    group.bench_function("hbfp8_panel_quick", |b| {
-        b.iter(|| {
-            let fig = fig7::run(Encoding::Hbfp8, ExperimentScale::Quick);
-            assert_eq!(fig.series.len(), 4);
-            fig
-        })
+fn main() {
+    harness::time("fig7", "hbfp8_panel_quick", 3, || {
+        let fig = fig7::run(Encoding::Hbfp8, ExperimentScale::Quick);
+        assert_eq!(fig.series.len(), 4);
+        fig
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

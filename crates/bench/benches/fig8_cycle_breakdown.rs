@@ -1,21 +1,13 @@
 //! Benchmarks the Figure 8 cycle-breakdown experiment (quick scale).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use equinox_bench::harness;
 use equinox_core::experiments::fig8;
 use equinox_core::ExperimentScale;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8");
-    group.sample_size(10);
-    group.bench_function("breakdown_quick", |b| {
-        b.iter(|| {
-            let fig = fig8::run(ExperimentScale::Quick);
-            assert_eq!(fig.bars.len(), 6);
-            fig
-        })
+fn main() {
+    harness::time("fig8", "breakdown_quick", 3, || {
+        let fig = fig8::run(ExperimentScale::Quick);
+        assert_eq!(fig.bars.len(), 6);
+        fig
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,21 +1,13 @@
 //! Benchmarks the Figure 9 training-throughput sweep (quick scale).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use equinox_bench::harness;
 use equinox_core::experiments::fig9;
 use equinox_core::ExperimentScale;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9");
-    group.sample_size(10);
-    group.bench_function("training_sweep_quick", |b| {
-        b.iter(|| {
-            let fig = fig9::run(ExperimentScale::Quick);
-            assert_eq!(fig.series.len(), 4);
-            fig
-        })
+fn main() {
+    harness::time("fig9", "training_sweep_quick", 3, || {
+        let fig = fig9::run(ExperimentScale::Quick);
+        assert_eq!(fig.series.len(), 4);
+        fig
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

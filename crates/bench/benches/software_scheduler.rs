@@ -1,21 +1,13 @@
 //! Benchmarks the software-vs-hardware scheduling study (quick scale).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use equinox_bench::harness;
 use equinox_core::experiments::software_sched;
 use equinox_core::ExperimentScale;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("software_sched");
-    group.sample_size(10);
-    group.bench_function("study_quick", |b| {
-        b.iter(|| {
-            let study = software_sched::run(ExperimentScale::Quick);
-            assert!(study.software_violates_target());
-            study
-        })
+fn main() {
+    harness::time("software_sched", "study_quick", 3, || {
+        let study = software_sched::run(ExperimentScale::Quick);
+        assert!(study.software_violates_target());
+        study
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,20 +1,12 @@
 //! Benchmarks the Table 1 Pareto selection.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use equinox_bench::harness;
 use equinox_core::experiments::table1;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10);
-    group.bench_function("pareto_table", |b| {
-        b.iter(|| {
-            let t = table1::run();
-            assert_eq!(t.rows.len(), 4);
-            t
-        })
+fn main() {
+    harness::time("table1", "pareto_table", 3, || {
+        let t = table1::run();
+        assert_eq!(t.rows.len(), 4);
+        t
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,21 +1,13 @@
 //! Benchmarks the Table 2 workload-sensitivity experiment (quick scale).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use equinox_bench::harness;
 use equinox_core::experiments::table2;
 use equinox_core::ExperimentScale;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2");
-    group.sample_size(10);
-    group.bench_function("workloads_quick", |b| {
-        b.iter(|| {
-            let t = table2::run(ExperimentScale::Quick);
-            assert_eq!(t.rows.len(), 3);
-            t
-        })
+fn main() {
+    harness::time("table2", "workloads_quick", 3, || {
+        let t = table2::run(ExperimentScale::Quick);
+        assert_eq!(t.rows.len(), 3);
+        t
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

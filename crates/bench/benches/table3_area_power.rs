@@ -1,20 +1,12 @@
 //! Benchmarks the Table 3 synthesis roll-up.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use equinox_bench::harness;
 use equinox_core::experiments::table3;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3");
-    group.sample_size(10);
-    group.bench_function("area_power", |b| {
-        b.iter(|| {
-            let r = table3::run();
-            assert!(r.total_area_mm2() > 200.0);
-            r
-        })
+fn main() {
+    harness::time("table3", "area_power", 3, || {
+        let r = table3::run();
+        assert!(r.total_area_mm2() > 200.0);
+        r
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! A self-timed micro-benchmark harness (Criterion substitute).
+//!
+//! The offline build cannot depend on `criterion`, and the paper-artifact
+//! benches time whole experiment pipelines (milliseconds to seconds per
+//! iteration), where wall-clock min/mean over a handful of samples is
+//! plenty. Results print in a `group/name  min … mean … max` line per
+//! benchmark.
+
+use std::time::Instant;
+
+/// Times `f` for `samples` iterations (after one untimed warm-up) and
+/// prints min/mean/max wall-clock seconds. The closure's result is
+/// returned from the last timed iteration so benches can assert on it.
+pub fn time<T>(group: &str, name: &str, samples: u32, mut f: impl FnMut() -> T) -> T {
+    assert!(samples > 0, "need at least one sample");
+    let mut result = f(); // warm-up
+    let mut times = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let start = Instant::now();
+        result = f();
+        times.push(start.elapsed().as_secs_f64());
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0f64, f64::max);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!("{group}/{name}: min {min:.4}s  mean {mean:.4}s  max {max:.4}s  ({samples} samples)");
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_returns_last_result() {
+        let mut count = 0;
+        let r = time("test", "counter", 3, || {
+            count += 1;
+            count
+        });
+        // One warm-up + three timed iterations.
+        assert_eq!(count, 4);
+        assert_eq!(r, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panics() {
+        time("test", "empty", 0, || ());
+    }
+}

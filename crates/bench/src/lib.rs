@@ -3,15 +3,19 @@
 //! The benchmark harness that regenerates every table and figure of the
 //! paper's evaluation.
 //!
-//! * `cargo bench -p equinox-bench` runs one Criterion benchmark per
-//!   paper artifact at reduced (`Quick`) scale, timing the experiment
-//!   pipelines end to end.
+//! * `cargo bench -p equinox-bench --features paper-bench` runs one
+//!   self-timed benchmark per paper artifact at reduced (`Quick`)
+//!   scale, timing the experiment pipelines end to end. The benches are
+//!   gated behind the non-default `paper-bench` feature so default
+//!   builds stay fast and fully offline.
 //! * `cargo run --release -p equinox-bench --bin regen-results [ids…]`
 //!   regenerates the artifacts at full scale and prints the paper-style
 //!   rows/series. With no arguments it regenerates everything.
 //!
 //! See `DESIGN.md` for the per-experiment index and `EXPERIMENTS.md`
 //! for paper-vs-measured numbers.
+
+pub mod harness;
 
 /// The experiment identifiers accepted by `regen-results`.
 pub const EXPERIMENT_IDS: [&str; 13] = [

@@ -1,0 +1,225 @@
+//! Command-line front end of the static analyzer.
+//!
+//! With no arguments, sweeps every built-in workload across the paper's
+//! accelerator family (both encodings), runs all pass families, prints
+//! a human summary, and writes a machine-readable report to
+//! `results/equinox_check.json`.
+//!
+//! With file arguments, each file is treated as an installable
+//! instruction stream (the 16-byte-word wire format), decoded, and
+//! analyzed against the paper's `Equinox_500us` geometry.
+//!
+//! The exit code is non-zero iff any error-severity diagnostic was
+//! produced.
+
+use equinox_arith::Encoding;
+use equinox_check::{analyze_config, analyze_installation, analyze_program, analyze_training};
+use equinox_check::{encoding as wire, BufferBudget, Report};
+use equinox_isa::layers::GemmMode;
+use equinox_isa::lower::compile_inference;
+use equinox_isa::models::ModelSpec;
+use equinox_isa::training::{TrainingProfile, TrainingSetup};
+use equinox_isa::{ArrayDims, Program};
+use equinox_model::{DesignSpace, LatencyConstraint, TechnologyParams};
+use equinox_sim::AcceleratorConfig;
+
+fn builtin_models() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::lstm_2048_25(),
+        ModelSpec::gru_2816_1500(),
+        ModelSpec::resnet50(),
+        ModelSpec::mlp_2048x5(),
+        ModelSpec::transformer_encoder_768(),
+    ]
+}
+
+/// The Table 1 configuration family for one encoding.
+fn paper_family(encoding: Encoding, space: &DesignSpace) -> Vec<AcceleratorConfig> {
+    LatencyConstraint::table1_rows()
+        .into_iter()
+        .filter_map(|c| {
+            let best = space.best_under_latency(c)?;
+            let dims = ArrayDims { n: best.design.n, w: best.design.w, m: best.design.m };
+            Some(AcceleratorConfig::new(
+                c.config_name(),
+                dims,
+                best.design.freq_hz,
+                encoding,
+            ))
+        })
+        .collect()
+}
+
+/// Batch size a workload is served at (RNN/MLP batch to the geometry's
+/// `n`; im2col/attention workloads serve small batches, cf. Table 2).
+fn serving_batch(model: &ModelSpec, dims: &ArrayDims) -> usize {
+    if model.is_vector_matrix() {
+        dims.n
+    } else {
+        8
+    }
+}
+
+/// Upper bound on the sweep's per-program instruction count: tiny
+/// geometries shatter the large RNNs into hundreds of millions of
+/// tiles, which is a compiler stress test rather than a useful check.
+const MAX_SWEEP_INSTRUCTIONS: u64 = 2_000_000;
+
+/// Cheap pre-compilation estimate of the tile-instruction count.
+fn estimated_instructions(model: &ModelSpec, dims: &ArrayDims) -> u64 {
+    model
+        .steps()
+        .iter()
+        .map(|s| {
+            let tile_out = match s.mode {
+                GemmMode::VectorMatrix => dims.tile_out(),
+                GemmMode::WeightBroadcast => dims.n,
+            };
+            s.repeats as u64
+                * s.k.div_ceil(dims.tile_k().max(1)) as u64
+                * s.out.div_ceil(tile_out.max(1)) as u64
+        })
+        .sum()
+}
+
+fn run_sweep() -> (Vec<Report>, bool) {
+    let tech = TechnologyParams::tsmc28();
+    let budget = BufferBudget::paper_default();
+    let mut reports = Vec::new();
+    let mut failed = false;
+    for encoding in [Encoding::Hbfp8, Encoding::Bfloat16] {
+        let space = DesignSpace::sweep(encoding, &tech);
+        for config in paper_family(encoding, &space) {
+            let config_report = analyze_config(&config, Some(&space));
+            failed |= config_report.has_errors();
+            reports.push(config_report);
+            for model in builtin_models() {
+                let batch = serving_batch(&model, &config.dims);
+                let install = analyze_installation(&model, encoding, batch, &budget);
+                let installs = !install.has_errors();
+                // Whether a workload fits the buffers is a property of
+                // the workload (Transformer and large-batch ResNet-50
+                // legitimately exceed them, cf. Table 2), so install
+                // findings are reported without failing the sweep; only
+                // defects in compiled programs or configurations do.
+                reports.push(install);
+                // Only analyze programs for models that install, and only
+                // when the lowered program stays a tractable size.
+                if installs {
+                    let estimate = estimated_instructions(&model, &config.dims);
+                    let subject = format!("{}/{}", config.name, model.name());
+                    if estimate > MAX_SWEEP_INSTRUCTIONS {
+                        let mut skipped = Report::new(subject);
+                        skipped.push(equinox_check::Diagnostic::note(
+                            equinox_check::Code::ANALYSIS_SKIPPED,
+                            format!(
+                                "~{estimate} tile instructions on this geometry; \
+                                 skipped (sweep cap {MAX_SWEEP_INSTRUCTIONS})"
+                            ),
+                        ));
+                        reports.push(skipped);
+                    } else {
+                        let program = compile_inference(&model, &config.dims, batch);
+                        let mut report =
+                            analyze_program(&program, &config.dims, &budget, encoding);
+                        rename(&mut report, subject);
+                        failed |= report.has_errors();
+                        reports.push(report);
+                    }
+                }
+                let profile =
+                    TrainingProfile::profile(&model, &config.dims, &TrainingSetup::paper_default());
+                let training = analyze_training(&profile, &config);
+                failed |= training.has_errors();
+                reports.push(training);
+            }
+        }
+    }
+    (reports, failed)
+}
+
+/// Rebuilds a report under a new subject (reports are subject-named at
+/// construction; the sweep qualifies them with the configuration).
+fn rename(report: &mut Report, subject: String) {
+    let mut renamed = Report::new(subject);
+    renamed.extend(report.diagnostics().iter().cloned());
+    *report = renamed;
+}
+
+fn check_file(path: &str) -> Report {
+    let dims = ArrayDims { n: 186, w: 3, m: 3 };
+    let budget = BufferBudget::paper_default();
+    let mut report = Report::new(path.to_string());
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            report.push(equinox_check::Diagnostic::error(
+                equinox_check::Code::DECODE_ERROR,
+                format!("cannot read {path}: {e}"),
+            ));
+            return report;
+        }
+    };
+    match wire::decode_stream(&bytes) {
+        Ok(instructions) => {
+            let mut program = Program::new(path.to_string());
+            program.extend(instructions);
+            analyze_program(&program, &dims, &budget, Encoding::Hbfp8)
+        }
+        Err(diag) => {
+            report.push(diag);
+            report
+        }
+    }
+}
+
+fn write_json(reports: &[Report]) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    let mut json = String::from("{\"tool\":\"equinox-check\",\"reports\":[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&r.to_json());
+    }
+    json.push_str("]}\n");
+    std::fs::write("results/equinox_check.json", json)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (reports, failed) = if args.is_empty() {
+        run_sweep()
+    } else {
+        let reports: Vec<Report> = args.iter().map(|p| check_file(p)).collect();
+        let failed = reports.iter().any(Report::has_errors);
+        (reports, failed)
+    };
+
+    let mut errors = 0;
+    let mut warnings = 0;
+    for report in &reports {
+        if !report.is_clean() {
+            print!("{}", report.render_human());
+        }
+        errors += report.error_count();
+        warnings += report.warning_count();
+    }
+    println!(
+        "equinox-check: {} subject(s) analyzed, {errors} error(s), {warnings} warning(s)",
+        reports.len()
+    );
+
+    if args.is_empty() {
+        match write_json(&reports) {
+            Ok(()) => println!("report written to results/equinox_check.json"),
+            Err(e) => {
+                eprintln!("equinox-check: cannot write results/equinox_check.json: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Pass family 4: scheduler and configuration lints.
+//!
+//! The simulator accepts any [`AcceleratorConfig`]; the experiments
+//! deliberately sweep degenerate corners (Figure 10's scheduler
+//! comparison, Figure 11's batching thresholds), so most findings here
+//! are warnings rather than errors — drivers tolerate them, reports
+//! surface them.
+
+use crate::diag::{Code, Diagnostic};
+use equinox_model::{DesignSpace, EvaluatedDesign};
+use equinox_sim::{AcceleratorConfig, BatchingPolicy, SchedulerPolicy};
+
+/// Lints the batching and scheduling policies of `config`.
+pub fn analyze(config: &AcceleratorConfig) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    match config.batching {
+        BatchingPolicy::Adaptive { threshold_x } => {
+            if !threshold_x.is_finite() || threshold_x <= 0.0 {
+                diags.push(Diagnostic::error(
+                    Code::DEGENERATE_BATCHING,
+                    format!(
+                        "adaptive batching threshold {threshold_x}× is degenerate; \
+                         the dispatcher would issue empty batches"
+                    ),
+                ));
+            } else if threshold_x < 0.5 {
+                diags.push(Diagnostic::warning(
+                    Code::DEGENERATE_BATCHING,
+                    format!(
+                        "adaptive batching threshold {threshold_x}× issues mostly \
+                         padded batches (the paper selects 2×)"
+                    ),
+                ));
+            }
+        }
+        BatchingPolicy::Static => {}
+    }
+    match config.scheduler {
+        SchedulerPolicy::Priority { queue_threshold } => {
+            if queue_threshold == 0 {
+                diags.push(Diagnostic::warning(
+                    Code::PRIORITY_STARVATION,
+                    "priority scheduler with queue threshold 0 runs training only \
+                     on an empty queue; any sustained load starves the training \
+                     context"
+                        .to_string(),
+                ));
+            }
+        }
+        SchedulerPolicy::Software { block_cycles } => {
+            if block_cycles == 0 {
+                diags.push(Diagnostic::error(
+                    Code::ZERO_BLOCK_CYCLES,
+                    "software scheduler with zero-cycle training blocks makes no \
+                     training progress"
+                        .to_string(),
+                ));
+            }
+        }
+        SchedulerPolicy::InferenceOnly | SchedulerPolicy::Fair => {}
+    }
+    diags
+}
+
+/// Checks whether `config`'s geometry and frequency sit on the Pareto
+/// frontier of `space` (§4's sweep). Off-frontier designs are legal —
+/// Figure 6 plots hundreds of them — so this is a note, not an error.
+pub fn pareto_lint(config: &AcceleratorConfig, space: &DesignSpace) -> Option<Diagnostic> {
+    let on_frontier = |p: &EvaluatedDesign| {
+        p.design.n == config.dims.n
+            && p.design.w == config.dims.w
+            && p.design.m == config.dims.m
+            && p.design.freq_hz == config.freq_hz
+    };
+    if space.frontier().iter().any(on_frontier) {
+        None
+    } else {
+        Some(Diagnostic::note(
+            Code::NON_PARETO_DESIGN,
+            format!(
+                "{} at {:.0} MHz is not on the {} Pareto frontier; another \
+                 design dominates it in both throughput and service time",
+                config.dims,
+                config.freq_hz / 1e6,
+                space.encoding()
+            ),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equinox_arith::Encoding;
+    use equinox_isa::ArrayDims;
+    use equinox_model::TechnologyParams;
+
+    fn base() -> AcceleratorConfig {
+        AcceleratorConfig::new(
+            "test",
+            ArrayDims { n: 16, w: 4, m: 8 },
+            1e9,
+            Encoding::Hbfp8,
+        )
+    }
+
+    #[test]
+    fn paper_defaults_are_clean() {
+        assert!(analyze(&base()).is_empty());
+    }
+
+    #[test]
+    fn zero_threshold_warns_starvation() {
+        let mut c = base();
+        c.scheduler = SchedulerPolicy::Priority { queue_threshold: 0 };
+        let d = analyze(&c);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::PRIORITY_STARVATION);
+        assert_eq!(d[0].severity, crate::diag::Severity::Warning);
+    }
+
+    #[test]
+    fn zero_block_cycles_is_error() {
+        let mut c = base();
+        c.scheduler = SchedulerPolicy::Software { block_cycles: 0 };
+        let d = analyze(&c);
+        assert_eq!(d[0].code, Code::ZERO_BLOCK_CYCLES);
+        assert_eq!(d[0].severity, crate::diag::Severity::Error);
+    }
+
+    #[test]
+    fn degenerate_thresholds_graded() {
+        let mut c = base();
+        c.batching = BatchingPolicy::Adaptive { threshold_x: 0.0 };
+        assert_eq!(analyze(&c)[0].severity, crate::diag::Severity::Error);
+        c.batching = BatchingPolicy::Adaptive { threshold_x: f64::NAN };
+        assert_eq!(analyze(&c)[0].code, Code::DEGENERATE_BATCHING);
+        c.batching = BatchingPolicy::Adaptive { threshold_x: 0.25 };
+        assert_eq!(analyze(&c)[0].severity, crate::diag::Severity::Warning);
+        c.batching = BatchingPolicy::Adaptive { threshold_x: 2.0 };
+        assert!(analyze(&c).is_empty());
+    }
+
+    #[test]
+    fn pareto_lint_flags_off_frontier_points() {
+        let tech = TechnologyParams::tsmc28();
+        let space = DesignSpace::sweep_with_limits(Encoding::Hbfp8, &tech, 32, 16);
+        // An arbitrary geometry is (almost surely) off-frontier.
+        let off = AcceleratorConfig::new(
+            "off",
+            ArrayDims { n: 3, w: 1, m: 1 },
+            123e6,
+            Encoding::Hbfp8,
+        );
+        let d = pareto_lint(&off, &space).expect("off-frontier design");
+        assert_eq!(d.code, Code::NON_PARETO_DESIGN);
+        // A frontier point passes the lint.
+        let best = space.frontier().last().expect("non-empty frontier");
+        let on = AcceleratorConfig::new(
+            "on",
+            ArrayDims { n: best.design.n, w: best.design.w, m: best.design.m },
+            best.design.freq_hz,
+            Encoding::Hbfp8,
+        );
+        assert!(pareto_lint(&on, &space).is_none());
+    }
+}

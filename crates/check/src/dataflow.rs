@@ -1,0 +1,288 @@
+//! Pass family 1: def-use and occupancy-timeline analysis over the
+//! on-chip buffers.
+//!
+//! The ISA has no register operands — data movement is expressed as
+//! whole-buffer transfers (`LoadDram`/`StoreDram`) and the compute
+//! instructions implicitly read the weight/activation buffers and write
+//! the activation buffer. The analyzer therefore models each buffer as
+//! an *occupancy timeline* in bytes:
+//!
+//! * `LoadDram { target, bytes }` **defines** `bytes` into `target`;
+//! * `StoreDram { source, bytes }` **consumes** `bytes` from `source` —
+//!   storing more than is resident is a use-before-define;
+//! * `MatMulTile` reads both operand buffers and transiently occupies
+//!   the activation buffer with its output tile
+//!   (`rows × out_span × bytes_per_value`), which the SIMD unit drains
+//!   at the MMU→SIMD boundary (§3.2);
+//! * `Simd` reads the activation buffer.
+//!
+//! Occupancy exceeding the [`BufferBudget`] at any instruction is an
+//! error ([`Code::ACTIVATION_OVERFLOW`] / [`Code::BUFFER_OVERFLOW`]);
+//! bytes loaded but never read by any later instruction are a
+//! dead-store warning ([`Code::DEAD_STORE`]).
+
+use crate::diag::{Code, Diagnostic, Span};
+use equinox_arith::Encoding;
+use equinox_isa::instruction::BufferKind;
+use equinox_isa::validate::BufferBudget;
+use equinox_isa::{Instruction, Program};
+
+/// SIMD register file capacity (§5's SRAM split: 5 MB).
+pub const SIMD_REGISTER_BYTES: u64 = 5 << 20;
+
+const BUFFERS: [BufferKind; 4] = [
+    BufferKind::Activation,
+    BufferKind::Weight,
+    BufferKind::Instruction,
+    BufferKind::SimdRegisters,
+];
+
+fn buffer_index(kind: BufferKind) -> usize {
+    match kind {
+        BufferKind::Activation => 0,
+        BufferKind::Weight => 1,
+        BufferKind::Instruction => 2,
+        BufferKind::SimdRegisters => 3,
+    }
+}
+
+fn buffer_name(kind: BufferKind) -> &'static str {
+    match kind {
+        BufferKind::Activation => "activation buffer",
+        BufferKind::Weight => "weight buffer",
+        BufferKind::Instruction => "instruction buffer",
+        BufferKind::SimdRegisters => "SIMD register file",
+    }
+}
+
+/// Capacity of one on-chip buffer under `budget`, bytes.
+pub fn buffer_capacity(budget: &BufferBudget, kind: BufferKind) -> u64 {
+    match kind {
+        BufferKind::Activation => budget.activation_bytes,
+        BufferKind::Weight => budget.weight_bytes,
+        BufferKind::Instruction => budget.instruction_bytes,
+        BufferKind::SimdRegisters => SIMD_REGISTER_BYTES,
+    }
+}
+
+/// Per-buffer dataflow state.
+#[derive(Default, Clone, Copy)]
+struct BufferState {
+    /// Resident bytes defined by loads and not yet stored back.
+    occupancy: u64,
+    /// Index of the first load whose data has not been read since.
+    unread_since: Option<usize>,
+    /// Whether the current occupancy has already been reported as an
+    /// overflow (avoids one diagnostic per subsequent instruction).
+    overflow_reported: bool,
+}
+
+/// Runs the dataflow pass over `program`.
+///
+/// `encoding` sizes the transient MatMul output tiles.
+pub fn analyze(program: &Program, budget: &BufferBudget, encoding: Encoding) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut state = [BufferState::default(); 4];
+    let bytes_per_value = encoding.bytes_per_value() as u64;
+
+    let read = |state: &mut [BufferState; 4], kind: BufferKind| {
+        state[buffer_index(kind)].unread_since = None;
+    };
+
+    for (index, instr) in program.instructions().iter().enumerate() {
+        match *instr {
+            Instruction::LoadDram { target, bytes } => {
+                let s = &mut state[buffer_index(target)];
+                s.occupancy = s.occupancy.saturating_add(bytes);
+                if s.unread_since.is_none() {
+                    s.unread_since = Some(index);
+                }
+                let cap = buffer_capacity(budget, target);
+                if s.occupancy > cap && !s.overflow_reported {
+                    s.overflow_reported = true;
+                    let code = if target == BufferKind::Activation {
+                        Code::ACTIVATION_OVERFLOW
+                    } else {
+                        Code::BUFFER_OVERFLOW
+                    };
+                    diags.push(
+                        Diagnostic::error(
+                            code,
+                            format!(
+                                "{} occupancy reaches {} bytes, exceeding its {} byte budget",
+                                buffer_name(target),
+                                s.occupancy,
+                                cap
+                            ),
+                        )
+                        .with_span(Span::at(index)),
+                    );
+                }
+            }
+            Instruction::StoreDram { source, bytes } => {
+                let s = &mut state[buffer_index(source)];
+                if bytes > s.occupancy {
+                    diags.push(
+                        Diagnostic::error(
+                            Code::USE_BEFORE_DEFINE,
+                            format!(
+                                "store of {} bytes from the {} but only {} bytes are resident",
+                                bytes,
+                                buffer_name(source),
+                                s.occupancy
+                            ),
+                        )
+                        .with_span(Span::at(index)),
+                    );
+                    s.occupancy = 0;
+                } else {
+                    s.occupancy -= bytes;
+                }
+                if s.occupancy <= buffer_capacity(budget, source) {
+                    s.overflow_reported = false;
+                }
+                s.unread_since = None;
+            }
+            Instruction::MatMulTile { rows, out_span, .. } => {
+                read(&mut state, BufferKind::Weight);
+                read(&mut state, BufferKind::Activation);
+                let transient = rows as u64 * out_span as u64 * bytes_per_value;
+                let s = &state[buffer_index(BufferKind::Activation)];
+                let cap = buffer_capacity(budget, BufferKind::Activation);
+                if s.occupancy.saturating_add(transient) > cap && !s.overflow_reported {
+                    diags.push(
+                        Diagnostic::error(
+                            Code::ACTIVATION_OVERFLOW,
+                            format!(
+                                "output tile of {transient} bytes on top of {} resident bytes \
+                                 exceeds the {cap} byte activation budget",
+                                s.occupancy
+                            ),
+                        )
+                        .with_span(Span::at(index)),
+                    );
+                }
+            }
+            Instruction::Simd { .. } => {
+                read(&mut state, BufferKind::Activation);
+                read(&mut state, BufferKind::SimdRegisters);
+            }
+            Instruction::HostIo { .. } | Instruction::Sync => {}
+        }
+    }
+
+    for kind in BUFFERS {
+        let s = &state[buffer_index(kind)];
+        if s.occupancy > 0 {
+            if let Some(first) = s.unread_since {
+                diags.push(
+                    Diagnostic::warning(
+                        Code::DEAD_STORE,
+                        format!(
+                            "{} bytes loaded into the {} are never consumed",
+                            s.occupancy,
+                            buffer_name(kind)
+                        ),
+                    )
+                    .with_span(Span::at(first)),
+                );
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equinox_isa::layers::GemmMode;
+
+    fn budget() -> BufferBudget {
+        BufferBudget::paper_default()
+    }
+
+    fn load(bytes: u64) -> Instruction {
+        Instruction::LoadDram { target: BufferKind::Activation, bytes }
+    }
+
+    fn store(bytes: u64) -> Instruction {
+        Instruction::StoreDram { source: BufferKind::Activation, bytes }
+    }
+
+    #[test]
+    fn balanced_load_store_is_clean() {
+        let mut p = Program::new("ok");
+        p.extend([load(1024), store(1024)]);
+        assert!(analyze(&p, &budget(), Encoding::Hbfp8).is_empty());
+    }
+
+    #[test]
+    fn store_without_load_is_use_before_define() {
+        let mut p = Program::new("bad");
+        p.push(store(64));
+        let d = analyze(&p, &budget(), Encoding::Hbfp8);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::USE_BEFORE_DEFINE);
+        assert_eq!(d[0].span, Some(Span::at(0)));
+    }
+
+    #[test]
+    fn timeline_overflow_reported_once_at_peak() {
+        let mut p = Program::new("big");
+        let cap = budget().activation_bytes;
+        p.extend([load(cap), load(1), load(1)]);
+        let d = analyze(&p, &budget(), Encoding::Hbfp8);
+        let overflows: Vec<_> =
+            d.iter().filter(|d| d.code == Code::ACTIVATION_OVERFLOW).collect();
+        assert_eq!(overflows.len(), 1);
+        assert_eq!(overflows[0].span, Some(Span::at(1)));
+    }
+
+    #[test]
+    fn weight_overflow_uses_buffer_code() {
+        let mut p = Program::new("w");
+        p.push(Instruction::LoadDram {
+            target: BufferKind::Weight,
+            bytes: budget().weight_bytes + 1,
+        });
+        let d = analyze(&p, &budget(), Encoding::Hbfp8);
+        assert!(d.iter().any(|d| d.code == Code::BUFFER_OVERFLOW));
+    }
+
+    #[test]
+    fn unconsumed_load_is_dead_store() {
+        let mut p = Program::new("dead");
+        p.push(load(128));
+        let d = analyze(&p, &budget(), Encoding::Hbfp8);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::DEAD_STORE);
+        assert_eq!(d[0].severity, crate::diag::Severity::Warning);
+    }
+
+    #[test]
+    fn matmul_reads_clear_dead_store() {
+        let mut p = Program::new("used");
+        p.push(load(128));
+        p.push(Instruction::MatMulTile {
+            rows: 1,
+            k_span: 1,
+            out_span: 1,
+            mode: GemmMode::VectorMatrix,
+        });
+        let d = analyze(&p, &budget(), Encoding::Hbfp8);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn huge_output_tile_overflows_activations() {
+        let mut p = Program::new("tile");
+        p.push(Instruction::MatMulTile {
+            rows: 30 << 20,
+            k_span: 1,
+            out_span: 1,
+            mode: GemmMode::VectorMatrix,
+        });
+        let d = analyze(&p, &budget(), Encoding::Hbfp8);
+        assert!(d.iter().any(|d| d.code == Code::ACTIVATION_OVERFLOW));
+    }
+}

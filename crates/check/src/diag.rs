@@ -1,0 +1,373 @@
+//! Structured diagnostics: stable codes, severities, spans, and a
+//! [`Report`] that renders human-readable text or machine-readable JSON.
+//!
+//! Every finding the analyzer can produce carries a stable `EQXnnnn`
+//! code so tests, CI filters, and downstream tooling can pin exact
+//! failure classes instead of matching message strings. The code space
+//! is partitioned by pass family:
+//!
+//! | range   | family                                     |
+//! |---------|--------------------------------------------|
+//! | `01xx`  | dataflow (def-use / buffer timelines)      |
+//! | `02xx`  | resource envelopes (buffers, geometry)     |
+//! | `03xx`  | binary encoding round-trips                |
+//! | `04xx`  | scheduler / configuration lints            |
+
+/// A stable diagnostic code, rendered as `EQXnnnn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Code(u16);
+
+impl Code {
+    /// A DRAM store (or other consumer) reads more bytes from a buffer
+    /// than have been defined into it at that point of the program.
+    pub const USE_BEFORE_DEFINE: Code = Code(101);
+    /// The activation-buffer occupancy timeline exceeds the budget.
+    pub const ACTIVATION_OVERFLOW: Code = Code(102);
+    /// A non-activation on-chip buffer's occupancy exceeds its budget.
+    pub const BUFFER_OVERFLOW: Code = Code(103);
+    /// Bytes loaded on-chip are never consumed by any later instruction.
+    pub const DEAD_STORE: Code = Code(104);
+
+    /// A dependence region holds more instructions than the instruction
+    /// buffer can stream.
+    pub const REGION_TOO_LARGE: Code = Code(201);
+    /// A tile instruction exceeds the MMU geometry.
+    pub const TILE_TOO_LARGE: Code = Code(202);
+    /// The model's weights do not fit the weight buffer.
+    pub const WEIGHTS_DONT_FIT: Code = Code(203);
+    /// One batch's live activations do not fit the activation buffer.
+    pub const ACTIVATIONS_DONT_FIT: Code = Code(204);
+    /// A tile instruction with a zero extent performs no work.
+    pub const ZERO_EXTENT_TILE: Code = Code(205);
+    /// Training DRAM traffic sanity (zero bytes, or DRAM-bound note).
+    pub const DRAM_TRAFFIC_SANITY: Code = Code(206);
+    /// A program was too large to analyze and was skipped (sweep only;
+    /// never silent — always reported as a note).
+    pub const ANALYSIS_SKIPPED: Code = Code(299);
+
+    /// An instruction does not survive an encode→decode round trip.
+    pub const ROUND_TRIP_MISMATCH: Code = Code(301);
+    /// A byte stream fails to decode.
+    pub const DECODE_ERROR: Code = Code(302);
+
+    /// The priority scheduler starves the training context.
+    pub const PRIORITY_STARVATION: Code = Code(401);
+    /// The software scheduler's block length is zero.
+    pub const ZERO_BLOCK_CYCLES: Code = Code(402);
+    /// The adaptive batching threshold is degenerate.
+    pub const DEGENERATE_BATCHING: Code = Code(403);
+    /// The configuration's design point is not on the Pareto frontier.
+    pub const NON_PARETO_DESIGN: Code = Code(404);
+
+    /// The numeric value (e.g. `101` for `EQX0101`).
+    pub fn value(self) -> u16 {
+        self.0
+    }
+
+    /// The rendered form, e.g. `"EQX0101"`.
+    pub fn as_string(self) -> String {
+        format!("EQX{:04}", self.0)
+    }
+}
+
+impl std::fmt::Display for Code {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EQX{:04}", self.0)
+    }
+}
+
+/// How serious a diagnostic is.
+///
+/// Drivers fail fast on [`Severity::Error`]; warnings and notes are
+/// reported but tolerated (the paper's experiments deliberately sweep
+/// degenerate configurations, which surface as warnings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational finding; never fails a check run.
+    Note,
+    /// Suspicious but not necessarily wrong.
+    Warning,
+    /// The program or configuration is invalid.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in renders (`error` / `warning` / `note`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A half-open instruction-index range `[start, end)` a diagnostic
+/// refers to. Program-wide findings use an empty span at index 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// First instruction index covered.
+    pub start: usize,
+    /// One past the last instruction index covered.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering exactly one instruction.
+    pub fn at(index: usize) -> Self {
+        Span { start: index, end: index + 1 }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.end == self.start + 1 {
+            write!(f, "instr {}", self.start)
+        } else {
+            write!(f, "instrs {}..{}", self.start, self.end)
+        }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity class.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// Instruction range, if the finding is program-located.
+    pub span: Option<Span>,
+}
+
+impl Diagnostic {
+    /// An error diagnostic.
+    pub fn error(code: Code, message: impl Into<String>) -> Self {
+        Diagnostic { code, severity: Severity::Error, message: message.into(), span: None }
+    }
+
+    /// A warning diagnostic.
+    pub fn warning(code: Code, message: impl Into<String>) -> Self {
+        Diagnostic { code, severity: Severity::Warning, message: message.into(), span: None }
+    }
+
+    /// A note diagnostic.
+    pub fn note(code: Code, message: impl Into<String>) -> Self {
+        Diagnostic { code, severity: Severity::Note, message: message.into(), span: None }
+    }
+
+    /// Attaches an instruction span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Renders as one `severity[EQXnnnn] subject: message (span)` line.
+    pub fn render(&self, subject: &str) -> String {
+        let mut line = format!("{}[{}] {}: {}", self.severity, self.code, subject, self.message);
+        if let Some(span) = self.span {
+            line.push_str(&format!(" ({span})"));
+        }
+        line
+    }
+}
+
+/// All findings for one analyzed subject (a program, a configuration,
+/// or an installation), plus render helpers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    subject: String,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report about `subject` (shown in every rendered line).
+    pub fn new(subject: impl Into<String>) -> Self {
+        Report { subject: subject.into(), diagnostics: Vec::new() }
+    }
+
+    /// The analyzed subject's name.
+    pub fn subject(&self) -> &str {
+        &self.subject
+    }
+
+    /// Adds one finding.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Adds many findings.
+    pub fn extend(&mut self, diagnostics: impl IntoIterator<Item = Diagnostic>) {
+        self.diagnostics.extend(diagnostics);
+    }
+
+    /// All findings, in pass order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// True if no findings at all were produced.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    fn count(&self, severity: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// True if any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// True if the report contains `code` at any severity.
+    pub fn has_code(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// One line per finding plus a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render(&self.subject));
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{}: {} error(s), {} warning(s), {} note(s)\n",
+            self.subject,
+            self.error_count(),
+            self.warning_count(),
+            self.count(Severity::Note),
+        ));
+        out
+    }
+
+    /// The report as a JSON object (hand-rolled; the workspace carries
+    /// no serialization dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"subject\":{},", json_string(&self.subject)));
+        out.push_str(&format!(
+            "\"errors\":{},\"warnings\":{},\"notes\":{},",
+            self.error_count(),
+            self.warning_count(),
+            self.count(Severity::Note)
+        ));
+        out.push_str("\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":{}",
+                d.code,
+                d.severity,
+                json_string(&d.message)
+            ));
+            if let Some(span) = d.span {
+                out.push_str(&format!(",\"span\":{{\"start\":{},\"end\":{}}}", span.start, span.end));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_render_stably() {
+        assert_eq!(Code::USE_BEFORE_DEFINE.to_string(), "EQX0101");
+        assert_eq!(Code::ROUND_TRIP_MISMATCH.to_string(), "EQX0301");
+        assert_eq!(Code::NON_PARETO_DESIGN.as_string(), "EQX0404");
+        assert_eq!(Code::TILE_TOO_LARGE.value(), 202);
+    }
+
+    #[test]
+    fn severity_ordering_puts_errors_last() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn report_counts_and_flags() {
+        let mut r = Report::new("prog");
+        assert!(r.is_clean());
+        r.push(Diagnostic::error(Code::TILE_TOO_LARGE, "too big").with_span(Span::at(3)));
+        r.push(Diagnostic::warning(Code::ZERO_EXTENT_TILE, "empty"));
+        r.push(Diagnostic::note(Code::DRAM_TRAFFIC_SANITY, "dram bound"));
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert!(r.has_errors());
+        assert!(r.has_code(Code::TILE_TOO_LARGE));
+        assert!(!r.has_code(Code::DEAD_STORE));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn human_render_includes_code_and_span() {
+        let mut r = Report::new("prog");
+        r.push(Diagnostic::error(Code::USE_BEFORE_DEFINE, "read of nothing").with_span(Span::at(7)));
+        let text = r.render_human();
+        assert!(text.contains("error[EQX0101] prog: read of nothing (instr 7)"), "{text}");
+        assert!(text.contains("1 error(s)"), "{text}");
+    }
+
+    #[test]
+    fn span_display_forms() {
+        assert_eq!(Span::at(4).to_string(), "instr 4");
+        assert_eq!(Span { start: 2, end: 9 }.to_string(), "instrs 2..9");
+    }
+
+    #[test]
+    fn json_escapes_and_structure() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        let mut r = Report::new("p\"q");
+        r.push(Diagnostic::error(Code::DECODE_ERROR, "bad\tbyte").with_span(Span::at(0)));
+        let j = r.to_json();
+        assert!(j.contains("\"subject\":\"p\\\"q\""), "{j}");
+        assert!(j.contains("\"code\":\"EQX0302\""), "{j}");
+        assert!(j.contains("\"span\":{\"start\":0,\"end\":1}"), "{j}");
+        assert!(j.contains("\"errors\":1"), "{j}");
+    }
+}

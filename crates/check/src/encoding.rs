@@ -1,0 +1,121 @@
+//! Pass family 3: binary-encoding verification.
+//!
+//! Programs are installed through the host interface as 16-byte words
+//! (`equinox_isa::encode`); an instruction whose wire form does not
+//! decode back to itself would be silently corrupted at installation
+//! time. This pass round-trips every instruction through
+//! encode→decode and reports any mismatch — including genuine lossy
+//! encodings, such as `MatMulTile` row counts that truncate through the
+//! 32-bit operand field.
+
+use crate::diag::{Code, Diagnostic, Span};
+use equinox_isa::encode::{decode, encode_instruction, DecodeError};
+use equinox_isa::Program;
+
+/// Round-trips every instruction of `program` through the wire format.
+pub fn analyze(program: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (index, instr) in program.instructions().iter().enumerate() {
+        let word = encode_instruction(instr);
+        match decode(&word) {
+            Ok(decoded) if decoded.len() == 1 && decoded[0] == *instr => {}
+            Ok(decoded) => {
+                diags.push(
+                    Diagnostic::error(
+                        Code::ROUND_TRIP_MISMATCH,
+                        format!(
+                            "instruction {instr:?} decodes back as {:?}; the wire \
+                             format loses information",
+                            decoded.first()
+                        ),
+                    )
+                    .with_span(Span::at(index)),
+                );
+            }
+            Err(e) => {
+                diags.push(
+                    Diagnostic::error(
+                        Code::DECODE_ERROR,
+                        format!("own encoding fails to decode: {e}"),
+                    )
+                    .with_span(Span::at(index)),
+                );
+            }
+        }
+    }
+    diags
+}
+
+/// Decodes an installable byte stream, mapping failures to
+/// [`Code::DECODE_ERROR`] with the word index as the span.
+///
+/// # Errors
+///
+/// The diagnostic for the first malformed word or truncated tail.
+pub fn decode_stream(bytes: &[u8]) -> Result<Vec<equinox_isa::Instruction>, Diagnostic> {
+    decode(bytes).map_err(|e| {
+        let span = match e {
+            DecodeError::TruncatedWord { .. } => {
+                Span::at(bytes.len() / equinox_isa::encode::INSTRUCTION_BYTES)
+            }
+            DecodeError::UnknownOpcode { index, .. }
+            | DecodeError::UnknownModifier { index, .. } => Span::at(index),
+        };
+        Diagnostic::error(Code::DECODE_ERROR, e.to_string()).with_span(span)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equinox_isa::instruction::{BufferKind, SimdOpKind};
+    use equinox_isa::layers::GemmMode;
+    use equinox_isa::Instruction;
+
+    #[test]
+    fn representable_instructions_round_trip() {
+        let mut p = Program::new("ok");
+        p.extend([
+            Instruction::MatMulTile {
+                rows: 186,
+                k_span: 558,
+                out_span: 558,
+                mode: GemmMode::VectorMatrix,
+            },
+            Instruction::Simd { kind: SimdOpKind::Loss, elems: 4096 },
+            Instruction::LoadDram { target: BufferKind::Weight, bytes: 1 << 20 },
+            Instruction::Sync,
+        ]);
+        assert!(analyze(&p).is_empty());
+    }
+
+    #[test]
+    fn truncating_row_count_is_detected() {
+        // The 16-byte word stores rows in 32 bits; larger counts silently
+        // wrap. The round-trip pass is what catches this class of bug.
+        let mut p = Program::new("wide");
+        p.push(Instruction::MatMulTile {
+            rows: (u32::MAX as usize) + 2,
+            k_span: 1,
+            out_span: 1,
+            mode: GemmMode::VectorMatrix,
+        });
+        let d = analyze(&p);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::ROUND_TRIP_MISMATCH);
+        assert_eq!(d[0].span, Some(Span::at(0)));
+    }
+
+    #[test]
+    fn stream_decode_maps_errors() {
+        // Truncated tail.
+        let err = decode_stream(&[0u8; 17]).unwrap_err();
+        assert_eq!(err.code, Code::DECODE_ERROR);
+        // Unknown opcode in word 1.
+        let mut bytes = vec![0u8; 32];
+        bytes[0] = 0x06; // Sync
+        bytes[16] = 0xEE;
+        let err = decode_stream(&bytes).unwrap_err();
+        assert_eq!(err.span, Some(Span::at(1)));
+    }
+}

@@ -1,0 +1,132 @@
+//! # equinox-check
+//!
+//! A multi-pass static analyzer for lowered Equinox ISA programs and
+//! accelerator configurations.
+//!
+//! The simulator executes whatever program the compiler (or a hand
+//! assembler) produces; this crate catches malformed inputs *before*
+//! cycles are spent simulating them, with structured diagnostics
+//! ([`Diagnostic`]) carrying stable `EQXnnnn` codes, severities, and
+//! instruction spans. Four pass families run:
+//!
+//! 1. **Dataflow** ([`dataflow`]) — def-use and occupancy timelines
+//!    over the on-chip buffers (use-before-define, overflow, dead
+//!    stores);
+//! 2. **Resources** ([`resources`]) — MMU geometry bounds,
+//!    instruction-buffer streaming capacity, installation fit, and
+//!    training DRAM-traffic sanity;
+//! 3. **Encoding** ([`encoding`]) — encode→decode round-trip
+//!    verification of the 16-byte wire format;
+//! 4. **Configuration** ([`config`]) — scheduler starvation, degenerate
+//!    batching thresholds, and Pareto-optimality lints.
+//!
+//! ## Example
+//!
+//! ```
+//! use equinox_check::{analyze_program, BufferBudget};
+//! use equinox_isa::{ArrayDims, Instruction, Program};
+//! use equinox_isa::instruction::BufferKind;
+//! use equinox_arith::Encoding;
+//!
+//! let mut p = Program::new("broken");
+//! p.push(Instruction::StoreDram { source: BufferKind::Activation, bytes: 64 });
+//! let dims = ArrayDims { n: 186, w: 3, m: 3 };
+//! let report = analyze_program(&p, &dims, &BufferBudget::paper_default(), Encoding::Hbfp8);
+//! assert!(report.has_errors());
+//! assert_eq!(report.diagnostics()[0].code.to_string(), "EQX0101");
+//! ```
+
+pub mod config;
+pub mod dataflow;
+pub mod diag;
+pub mod encoding;
+pub mod resources;
+
+pub use diag::{Code, Diagnostic, Report, Severity, Span};
+pub use equinox_isa::validate::BufferBudget;
+
+use equinox_arith::Encoding as ValueEncoding;
+use equinox_isa::models::ModelSpec;
+use equinox_isa::training::TrainingProfile;
+use equinox_isa::{ArrayDims, Program};
+use equinox_model::DesignSpace;
+use equinox_sim::AcceleratorConfig;
+
+/// Runs all program-level passes (dataflow, resources, encoding) over
+/// one lowered program.
+pub fn analyze_program(
+    program: &Program,
+    dims: &ArrayDims,
+    budget: &BufferBudget,
+    encoding: ValueEncoding,
+) -> Report {
+    let mut report = Report::new(program.name().to_string());
+    report.extend(dataflow::analyze(program, budget, encoding));
+    report.extend(resources::analyze_program(program, dims, budget));
+    report.extend(encoding::analyze(program));
+    report
+}
+
+/// Runs the installation-fit pass for `model` served at `batch`.
+pub fn analyze_installation(
+    model: &ModelSpec,
+    encoding: ValueEncoding,
+    batch: usize,
+    budget: &BufferBudget,
+) -> Report {
+    let mut report = Report::new(format!("{}@batch{batch}", model.name()));
+    report.extend(resources::analyze_installation(model, encoding, batch, budget));
+    report
+}
+
+/// Runs the configuration lints, including the Pareto-frontier check
+/// when a swept design space is supplied.
+pub fn analyze_config(config: &AcceleratorConfig, space: Option<&DesignSpace>) -> Report {
+    let mut report = Report::new(config.name.clone());
+    report.extend(config::analyze(config));
+    if let Some(space) = space {
+        report.extend(config::pareto_lint(config, space));
+    }
+    report
+}
+
+/// Runs the training-profile sanity pass under `config`'s clock and
+/// DRAM interface.
+pub fn analyze_training(profile: &TrainingProfile, config: &AcceleratorConfig) -> Report {
+    let mut report = Report::new(format!("{}:training", config.name));
+    report.extend(resources::analyze_training(
+        profile,
+        config.freq_hz,
+        config.dram.bandwidth_bytes_per_s,
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equinox_isa::lower::compile_inference;
+
+    #[test]
+    fn compiled_paper_workloads_are_error_free() {
+        let dims = ArrayDims { n: 186, w: 3, m: 3 };
+        let budget = BufferBudget::paper_default();
+        for model in [
+            ModelSpec::lstm_2048_25(),
+            ModelSpec::gru_2816_1500(),
+            ModelSpec::mlp_2048x5(),
+        ] {
+            let p = compile_inference(&model, &dims, dims.n);
+            let r = analyze_program(&p, &dims, &budget, ValueEncoding::Hbfp8);
+            assert!(!r.has_errors(), "{}", r.render_human());
+        }
+    }
+
+    #[test]
+    fn report_subjects_are_informative() {
+        let budget = BufferBudget::paper_default();
+        let r = analyze_installation(&ModelSpec::lstm_2048_25(), ValueEncoding::Hbfp8, 186, &budget);
+        assert_eq!(r.subject(), "LSTM@batch186");
+        assert!(r.is_clean());
+    }
+}

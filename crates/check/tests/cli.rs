@@ -1,0 +1,78 @@
+//! End-to-end tests of the `equinox-check` binary: a corrupted
+//! instruction stream must produce a coded diagnostic and a non-zero
+//! exit status.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_equinox-check"))
+}
+
+fn scratch(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("equinox-check-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, bytes).unwrap();
+    path
+}
+
+#[test]
+fn corrupted_stream_fails_with_decode_error() {
+    // Word 0 carries an opcode (0xFF) the ISA does not define.
+    let mut bytes = vec![0u8; 16];
+    bytes[0] = 0xFF;
+    let path = scratch("corrupt.bin", &bytes);
+    let out = bin().arg(&path).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("EQX0302"), "missing code in: {stdout}");
+}
+
+#[test]
+fn truncated_stream_fails_with_decode_error() {
+    let path = scratch("truncated.bin", &[0u8; 10]);
+    let out = bin().arg(&path).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("EQX0302"));
+}
+
+#[test]
+fn defective_program_fails_with_dataflow_error() {
+    // A well-formed stream that stores activations nothing defined:
+    // decodes fine, then trips the dataflow pass.
+    let program = vec![equinox_isa::Instruction::StoreDram {
+        source: equinox_isa::instruction::BufferKind::Activation,
+        bytes: 4096,
+    }];
+    let path = scratch("store-first.bin", &equinox_isa::encode::encode(&program));
+    let out = bin().arg(&path).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("EQX0101"));
+}
+
+#[test]
+fn healthy_stream_passes() {
+    use equinox_isa::instruction::BufferKind;
+    use equinox_isa::Instruction;
+    let program = vec![
+        Instruction::LoadDram { target: BufferKind::Activation, bytes: 1024 },
+        Instruction::MatMulTile {
+            rows: 4,
+            k_span: 8,
+            out_span: 8,
+            mode: equinox_isa::layers::GemmMode::VectorMatrix,
+        },
+        Instruction::StoreDram { source: BufferKind::Activation, bytes: 1024 },
+        Instruction::Sync,
+    ];
+    let path = scratch("healthy.bin", &equinox_isa::encode::encode(&program));
+    let out = bin().arg(&path).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn missing_file_is_an_error() {
+    let out = bin().arg("/nonexistent/equinox.bin").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("EQX0302"));
+}

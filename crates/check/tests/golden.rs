@@ -1,0 +1,224 @@
+//! Golden negative tests: each constructed defect must surface exactly
+//! its pinned `EQXnnnn` code. These tests freeze the code space — a
+//! diagnostic changing its code is an API break for downstream tooling
+//! that filters reports by code.
+
+use equinox_arith::Encoding;
+use equinox_check::{analyze_config, analyze_installation, analyze_program};
+use equinox_check::{BufferBudget, Code, Severity, Span};
+use equinox_isa::instruction::BufferKind;
+use equinox_isa::layers::GemmMode;
+use equinox_isa::models::ModelSpec;
+use equinox_isa::{ArrayDims, Instruction, Program};
+use equinox_model::{DesignSpace, TechnologyParams};
+use equinox_sim::{AcceleratorConfig, BatchingPolicy, SchedulerPolicy};
+
+fn dims() -> ArrayDims {
+    ArrayDims { n: 186, w: 3, m: 3 }
+}
+
+fn analyze(program: Program) -> equinox_check::Report {
+    analyze_program(&program, &dims(), &BufferBudget::paper_default(), Encoding::Hbfp8)
+}
+
+#[test]
+fn eqx0101_use_before_define() {
+    let mut p = Program::new("store-first");
+    p.push(Instruction::StoreDram { source: BufferKind::Activation, bytes: 4096 });
+    let r = analyze(p);
+    assert!(r.has_code(Code::USE_BEFORE_DEFINE), "{}", r.render_human());
+    let d = r
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == Code::USE_BEFORE_DEFINE)
+        .unwrap();
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span, Some(Span::at(0)));
+}
+
+#[test]
+fn eqx0102_activation_overflow() {
+    // One output tile larger than the 20 MB activation buffer.
+    let mut p = Program::new("flood");
+    p.push(Instruction::MatMulTile {
+        rows: 30 << 20,
+        k_span: 1,
+        out_span: 1,
+        mode: GemmMode::VectorMatrix,
+    });
+    let r = analyze(p);
+    assert!(r.has_code(Code::ACTIVATION_OVERFLOW), "{}", r.render_human());
+    let d = r
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == Code::ACTIVATION_OVERFLOW)
+        .unwrap();
+    assert_eq!(d.span, Some(Span::at(0)));
+}
+
+#[test]
+fn eqx0103_weight_buffer_overflow() {
+    let mut p = Program::new("overload");
+    p.push(Instruction::LoadDram { target: BufferKind::Weight, bytes: 60 << 20 });
+    let r = analyze(p);
+    assert!(r.has_code(Code::BUFFER_OVERFLOW), "{}", r.render_human());
+}
+
+#[test]
+fn eqx0104_dead_store() {
+    // Loaded activations that nothing ever reads.
+    let mut p = Program::new("wasted");
+    p.push(Instruction::LoadDram { target: BufferKind::Activation, bytes: 1024 });
+    p.push(Instruction::Sync);
+    let r = analyze(p);
+    assert!(r.has_code(Code::DEAD_STORE), "{}", r.render_human());
+    let d = r.diagnostics().iter().find(|d| d.code == Code::DEAD_STORE).unwrap();
+    assert_eq!(d.severity, Severity::Warning);
+}
+
+#[test]
+fn eqx0201_region_too_large() {
+    // 32 KB / 16 B = 2048 instructions stream per region; 3000 without
+    // a sync cannot.
+    let mut p = Program::new("unstreamable");
+    for _ in 0..3000 {
+        p.push(Instruction::MatMulTile {
+            rows: 1,
+            k_span: 1,
+            out_span: 1,
+            mode: GemmMode::VectorMatrix,
+        });
+    }
+    let r = analyze(p);
+    assert!(r.has_code(Code::REGION_TOO_LARGE), "{}", r.render_human());
+}
+
+#[test]
+fn eqx0202_tile_too_large() {
+    let mut p = Program::new("overwide");
+    p.push(Instruction::MatMulTile {
+        rows: 1,
+        k_span: dims().tile_k() + 1,
+        out_span: 1,
+        mode: GemmMode::VectorMatrix,
+    });
+    let r = analyze(p);
+    assert!(r.has_code(Code::TILE_TOO_LARGE), "{}", r.render_human());
+    let d = r.diagnostics().iter().find(|d| d.code == Code::TILE_TOO_LARGE).unwrap();
+    assert_eq!(d.span, Some(Span::at(0)));
+}
+
+#[test]
+fn eqx0203_weights_dont_fit() {
+    let huge = ModelSpec::new(
+        "huge",
+        vec![equinox_isa::layers::GemmStep::dense(10_000, 10_000)],
+    );
+    let r = analyze_installation(&huge, Encoding::Hbfp8, 1, &BufferBudget::paper_default());
+    assert!(r.has_code(Code::WEIGHTS_DONT_FIT), "{}", r.render_human());
+}
+
+#[test]
+fn eqx0204_activations_dont_fit() {
+    let r = analyze_installation(
+        &ModelSpec::gru_2816_1500(),
+        Encoding::Hbfp8,
+        4096,
+        &BufferBudget::paper_default(),
+    );
+    assert!(r.has_code(Code::ACTIVATIONS_DONT_FIT), "{}", r.render_human());
+}
+
+#[test]
+fn eqx0301_round_trip_mismatch() {
+    // `rows` beyond u32 truncates in the 16-byte wire format — the
+    // encoder's known lossy corner, caught by the round-trip pass.
+    let mut p = Program::new("truncating");
+    p.push(Instruction::MatMulTile {
+        rows: (u32::MAX as usize) + 2,
+        k_span: 1,
+        out_span: 1,
+        mode: GemmMode::VectorMatrix,
+    });
+    let r = analyze(p);
+    assert!(r.has_code(Code::ROUND_TRIP_MISMATCH), "{}", r.render_human());
+}
+
+#[test]
+fn eqx0302_truncated_stream() {
+    // 17 bytes is not a whole number of 16-byte words.
+    let bytes = vec![0u8; 17];
+    let err = equinox_check::encoding::decode_stream(&bytes).unwrap_err();
+    assert_eq!(err.code, Code::DECODE_ERROR);
+    // An unknown opcode also pins EQX0302, with the word index spanned.
+    let mut bad = equinox_isa::encode::encode(&[Instruction::Sync]);
+    bad.extend_from_slice(&[0xFFu8; 16]);
+    let err = equinox_check::encoding::decode_stream(&bad).unwrap_err();
+    assert_eq!(err.code, Code::DECODE_ERROR);
+    assert_eq!(err.span, Some(Span::at(1)));
+}
+
+#[test]
+fn eqx0401_priority_starvation() {
+    let mut c = config();
+    c.scheduler = SchedulerPolicy::Priority { queue_threshold: 0 };
+    let r = analyze_config(&c, None);
+    assert!(r.has_code(Code::PRIORITY_STARVATION), "{}", r.render_human());
+}
+
+#[test]
+fn eqx0402_zero_block_cycles() {
+    let mut c = config();
+    c.scheduler = SchedulerPolicy::Software { block_cycles: 0 };
+    let r = analyze_config(&c, None);
+    assert!(r.has_code(Code::ZERO_BLOCK_CYCLES), "{}", r.render_human());
+    assert!(r.has_errors());
+}
+
+#[test]
+fn eqx0403_degenerate_batching() {
+    let mut c = config();
+    c.batching = BatchingPolicy::Adaptive { threshold_x: 0.0 };
+    let r = analyze_config(&c, None);
+    assert!(r.has_code(Code::DEGENERATE_BATCHING), "{}", r.render_human());
+}
+
+#[test]
+fn eqx0404_non_pareto_design() {
+    let tech = TechnologyParams::tsmc28();
+    let space = DesignSpace::sweep_with_limits(Encoding::Hbfp8, &tech, 32, 16);
+    let off = AcceleratorConfig::new(
+        "off-frontier",
+        ArrayDims { n: 3, w: 1, m: 1 },
+        123e6,
+        Encoding::Hbfp8,
+    );
+    let r = analyze_config(&off, Some(&space));
+    assert!(r.has_code(Code::NON_PARETO_DESIGN), "{}", r.render_human());
+}
+
+fn config() -> AcceleratorConfig {
+    AcceleratorConfig::new("golden", dims(), 610e6, Encoding::Hbfp8)
+}
+
+#[test]
+fn clean_program_has_no_findings() {
+    // The canonical healthy shape: load, compute, read, store, sync.
+    let mut p = Program::new("healthy");
+    p.push(Instruction::LoadDram { target: BufferKind::Weight, bytes: 1 << 20 });
+    p.push(Instruction::LoadDram { target: BufferKind::Activation, bytes: 64 << 10 });
+    p.push(Instruction::MatMulTile {
+        rows: 16,
+        k_span: dims().tile_k(),
+        out_span: dims().tile_out(),
+        mode: GemmMode::VectorMatrix,
+    });
+    p.push(Instruction::Simd {
+        kind: equinox_isa::instruction::SimdOpKind::Activation,
+        elems: 1024,
+    });
+    p.push(Instruction::StoreDram { source: BufferKind::Activation, bytes: 64 << 10 });
+    p.push(Instruction::Sync);
+    let r = analyze(p);
+    assert!(r.is_clean(), "{}", r.render_human());
+}

@@ -79,14 +79,72 @@ impl Equinox {
     }
 
     /// Compiles `model` at this design's natural batch size (`n`).
+    ///
+    /// # Panics
+    ///
+    /// See [`Equinox::compile_with_batch`].
     pub fn compile(&self, model: &ModelSpec) -> InferenceTiming {
         self.compile_with_batch(model, self.config.dims.n)
     }
 
     /// Compiles `model` at an explicit batch size.
+    ///
+    /// The lowered program is vetted by the `equinox-check` static
+    /// analyzer before any cycles are spent simulating it.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the rendered diagnostic report if the analyzer finds
+    /// an error-severity defect (a compiler bug: the compiler must only
+    /// emit programs that install and stream on its own geometry).
+    /// Warnings and notes are tolerated; inspect them via
+    /// [`Equinox::check`].
     pub fn compile_with_batch(&self, model: &ModelSpec, batch: usize) -> InferenceTiming {
         let program = compile_inference(model, &self.config.dims, batch);
+        let report = equinox_check::analyze_program(
+            &program,
+            &self.config.dims,
+            &equinox_check::BufferBudget::paper_default(),
+            self.config.encoding,
+        );
+        assert!(
+            !report.has_errors(),
+            "compiler emitted a defective program for {} on {}:\n{}",
+            model.name(),
+            self.config.name,
+            report.render_human()
+        );
         InferenceTiming::from_program(&program, &self.config.dims, batch)
+    }
+
+    /// Runs the full static-analysis suite for `model` served at
+    /// `batch` on this instance: installation fit, the compiled
+    /// program's dataflow/resource/encoding passes, and the
+    /// configuration lints. Returns the merged report without
+    /// panicking, for drivers that want to surface findings.
+    pub fn check(&self, model: &ModelSpec, batch: usize) -> equinox_check::Report {
+        let budget = equinox_check::BufferBudget::paper_default();
+        let mut report = equinox_check::Report::new(format!(
+            "{}/{}@batch{batch}",
+            self.config.name,
+            model.name()
+        ));
+        let install =
+            equinox_check::analyze_installation(model, self.config.encoding, batch, &budget);
+        report.extend(install.diagnostics().iter().cloned());
+        if !install.has_errors() {
+            let program = compile_inference(model, &self.config.dims, batch);
+            let program_report = equinox_check::analyze_program(
+                &program,
+                &self.config.dims,
+                &budget,
+                self.config.encoding,
+            );
+            report.extend(program_report.diagnostics().iter().cloned());
+        }
+        let config_report = equinox_check::analyze_config(&self.config, None);
+        report.extend(config_report.diagnostics().iter().cloned());
+        report
     }
 
     /// Profiles one training iteration of `model` on this geometry.
@@ -235,6 +293,18 @@ mod tests {
         let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(500)).unwrap();
         let r = eq.run(&RunOptions { target_requests: 500, ..RunOptions::colocated(0.4) });
         assert!(r.training_tops() > 10.0, "training {}", r.training_tops());
+    }
+
+    #[test]
+    fn static_analysis_gates_compilation() {
+        let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(500)).unwrap();
+        // The served workloads come out of the compiler defect-free.
+        let clean = eq.check(&ModelSpec::lstm_2048_25(), eq.dims().n);
+        assert!(!clean.has_errors(), "{}", clean.render_human());
+        // A workload that cannot install is reported, not panicked on.
+        let transformer = eq.check(&ModelSpec::transformer_encoder_768(), 1);
+        assert!(transformer.has_errors());
+        assert!(transformer.has_code(equinox_check::Code::WEIGHTS_DONT_FIT));
     }
 
     #[test]

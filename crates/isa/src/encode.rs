@@ -165,7 +165,7 @@ pub fn encode(instructions: &[Instruction]) -> Vec<u8> {
 /// Returns [`DecodeError`] for truncated input, unknown opcodes, or
 /// unknown modifiers.
 pub fn decode(bytes: &[u8]) -> Result<Vec<Instruction>, DecodeError> {
-    if bytes.len() % INSTRUCTION_BYTES != 0 {
+    if !bytes.len().is_multiple_of(INSTRUCTION_BYTES) {
         return Err(DecodeError::TruncatedWord { remainder: bytes.len() % INSTRUCTION_BYTES });
     }
     let mut out = Vec::with_capacity(bytes.len() / INSTRUCTION_BYTES);
@@ -215,7 +215,7 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<Instruction>, DecodeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use equinox_arith::check;
 
     fn sample_instructions() -> Vec<Instruction> {
         vec![
@@ -294,31 +294,33 @@ mod tests {
         assert_eq!(bytes.len() / INSTRUCTION_BYTES, p.len());
     }
 
-    proptest! {
-        #[test]
-        fn round_trip_arbitrary_matmul(
-            rows in 0usize..u32::MAX as usize,
-            k in 0usize..u32::MAX as usize,
-            out in 0usize..u32::MAX as usize,
-            wb in any::<bool>(),
-        ) {
+    #[test]
+    fn round_trip_arbitrary_matmul() {
+        check::check(0x656e01, |g| {
             let i = Instruction::MatMulTile {
-                rows,
-                k_span: k,
-                out_span: out,
-                mode: if wb { GemmMode::WeightBroadcast } else { GemmMode::VectorMatrix },
+                rows: g.usize_in(0, u32::MAX as usize),
+                k_span: g.usize_in(0, u32::MAX as usize),
+                out_span: g.usize_in(0, u32::MAX as usize),
+                mode: if g.next_bool() {
+                    GemmMode::WeightBroadcast
+                } else {
+                    GemmMode::VectorMatrix
+                },
             };
-            prop_assert_eq!(decode(&encode(&[i])).unwrap(), vec![i]);
-        }
+            assert_eq!(decode(&encode(&[i])).unwrap(), vec![i]);
+        });
+    }
 
-        #[test]
-        fn round_trip_arbitrary_dram(bytes in any::<u64>(), load in any::<bool>()) {
-            let i = if load {
+    #[test]
+    fn round_trip_arbitrary_dram() {
+        check::check(0x656e02, |g| {
+            let bytes = g.next_u64();
+            let i = if g.next_bool() {
                 Instruction::LoadDram { target: BufferKind::Weight, bytes }
             } else {
                 Instruction::StoreDram { source: BufferKind::Activation, bytes }
             };
-            prop_assert_eq!(decode(&encode(&[i])).unwrap(), vec![i]);
-        }
+            assert_eq!(decode(&encode(&[i])).unwrap(), vec![i]);
+        });
     }
 }

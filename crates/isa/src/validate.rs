@@ -72,6 +72,20 @@ pub enum ValidationError {
     },
 }
 
+impl ValidationError {
+    /// The stable diagnostic code for this error, shared with the
+    /// `equinox-check` analyzer's `EQXnnnn` code space so validation
+    /// failures and analyzer findings are pinned the same way.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ValidationError::WeightsDontFit { .. } => "EQX0203",
+            ValidationError::ActivationsDontFit { .. } => "EQX0204",
+            ValidationError::TileTooLarge { .. } => "EQX0202",
+            ValidationError::RegionTooLarge { .. } => "EQX0201",
+        }
+    }
+}
+
 impl std::fmt::Display for ValidationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -245,6 +259,18 @@ mod tests {
             validate_program(&p, &d, &BufferBudget::paper_default())
                 .unwrap_or_else(|e| panic!("{} program must validate: {e}", model.name()));
         }
+    }
+
+    #[test]
+    fn error_codes_are_stable() {
+        let weights = ValidationError::WeightsDontFit { required: 2, available: 1 };
+        let acts = ValidationError::ActivationsDontFit { required: 2, available: 1 };
+        let tile = ValidationError::TileTooLarge { index: 0 };
+        let region = ValidationError::RegionTooLarge { instructions: 2, capacity: 1 };
+        assert_eq!(weights.code(), "EQX0203");
+        assert_eq!(acts.code(), "EQX0204");
+        assert_eq!(tile.code(), "EQX0202");
+        assert_eq!(region.code(), "EQX0201");
     }
 
     #[test]

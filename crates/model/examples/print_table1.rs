@@ -1,3 +1,4 @@
+//! Prints the Table 1 accelerator family for both encodings.
 use equinox_model::*;
 use equinox_arith::Encoding;
 fn main() {

@@ -39,8 +39,8 @@ pub fn dominates(a: &EvaluatedDesign, b: &EvaluatedDesign) -> bool {
 mod tests {
     use super::*;
     use crate::design::DesignPoint;
+    use equinox_arith::check;
     use equinox_arith::Encoding;
-    use proptest::prelude::*;
 
     fn eval(throughput: f64, latency: f64) -> EvaluatedDesign {
         EvaluatedDesign {
@@ -102,31 +102,30 @@ mod tests {
         assert!(!dominates(&eval(10.0, 2.0), &eval(5.0, 1.0)));
     }
 
-    proptest! {
-        #[test]
-        fn frontier_has_no_dominated_pairs(
-            pts in proptest::collection::vec((1.0f64..100.0, 1.0f64..100.0), 1..40)
-        ) {
-            let evals: Vec<EvaluatedDesign> =
-                pts.iter().map(|&(t, l)| eval(t, l)).collect();
+    #[test]
+    fn frontier_has_no_dominated_pairs() {
+        check::check(0x706101, |g| {
+            let len = g.usize_in(1, 40);
+            let evals: Vec<EvaluatedDesign> = (0..len)
+                .map(|_| eval(g.f64_in(1.0, 100.0), g.f64_in(1.0, 100.0)))
+                .collect();
             let frontier = pareto_frontier(&evals);
             for a in &frontier {
                 for b in &frontier {
-                    prop_assert!(!dominates(a, b) || std::ptr::eq(a, b));
+                    assert!(!dominates(a, b) || std::ptr::eq(a, b));
                 }
             }
             // Every input is dominated by or equal to some frontier point.
             for p in &evals {
-                prop_assert!(frontier.iter().any(|f|
-                    dominates(f, p)
-                        || (f.throughput_ops == p.throughput_ops
-                            && f.service_time_s == p.service_time_s)));
+                assert!(frontier.iter().any(|f| dominates(f, p)
+                    || (f.throughput_ops == p.throughput_ops
+                        && f.service_time_s == p.service_time_s)));
             }
             // Frontier is sorted by throughput ascending and latency ascending.
             for pair in frontier.windows(2) {
-                prop_assert!(pair[0].throughput_ops <= pair[1].throughput_ops);
-                prop_assert!(pair[0].service_time_s <= pair[1].service_time_s);
+                assert!(pair[0].throughput_ops <= pair[1].throughput_ops);
+                assert!(pair[0].service_time_s <= pair[1].service_time_s);
             }
-        }
+        });
     }
 }

@@ -1,8 +1,7 @@
 //! Poisson request traffic (§5: "a load generator that creates inference
 //! requests following Poisson arrival rates").
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use equinox_arith::rng::SplitMix64;
 
 /// Generates Poisson arrival times (in cycles) with a deterministic
 /// seed.
@@ -21,11 +20,11 @@ pub fn poisson_arrivals(rate_per_cycle: f64, horizon_cycles: u64, seed: u64) -> 
     if rate_per_cycle == 0.0 {
         return arrivals;
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut t = 0.0f64;
     loop {
         // Exponential inter-arrival: -ln(U)/λ.
-        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u: f64 = rng.next_f64().max(f64::MIN_POSITIVE);
         t += -u.ln() / rate_per_cycle;
         if t >= horizon_cycles as f64 {
             break;
@@ -86,13 +85,13 @@ pub fn diurnal_arrivals(
 ) -> Vec<u64> {
     let peak_rate = profile.peak * max_request_rate_per_cycle;
     let candidates = poisson_arrivals(peak_rate, horizon_cycles, seed);
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x5EED));
+    let mut rng = SplitMix64::seed_from_u64(seed.wrapping_add(0x5EED));
     candidates
         .into_iter()
         .filter(|&t| {
             let day_t = t as f64 / horizon_cycles as f64;
             let keep = profile.load_at(day_t) / profile.peak;
-            rng.random::<f64>() < keep
+            rng.next_f64() < keep
         })
         .collect()
 }

@@ -125,7 +125,7 @@ impl std::fmt::Display for CycleBreakdown {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use equinox_arith::check;
 
     #[test]
     fn empty_stats() {
@@ -187,16 +187,18 @@ mod tests {
         assert!(b.to_string().contains("25.0%"));
     }
 
-    proptest! {
-        #[test]
-        fn quantile_monotone(samples in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+    #[test]
+    fn quantile_monotone() {
+        check::check(0x737401, |g| {
+            let len = g.usize_in(1, 50);
+            let samples: Vec<f64> = (0..len).map(|_| g.f64_in(0.0, 100.0)).collect();
             let s = LatencyStats::from_samples(samples);
             let mut prev = 0.0;
             for i in 0..=10 {
                 let q = s.quantile(i as f64 / 10.0);
-                prop_assert!(q >= prev - 1e-12);
+                assert!(q >= prev - 1e-12);
                 prev = q;
             }
-        }
+        });
     }
 }

@@ -129,7 +129,7 @@ mod tests {
     fn width_cliff_exists() {
         // hbfp8+ match fp32; hbfp4 visibly degrades (the HBFP paper's
         // cliff), at reproduction scale.
-        let data = dataset::teacher_student(512, 128, 16, 4, 77);
+        let data = dataset::teacher_student(512, 128, 16, 4, 202);
         let cfg = config();
         let curves = mantissa_width_ablation(&[4, 8, 12], &data, &cfg);
         let metric = |label: &str| {

@@ -6,8 +6,7 @@
 //! language-modeling problem.
 
 use equinox_arith::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use equinox_arith::rng::SplitMix64;
 
 /// A labeled classification dataset split into train and validation.
 #[derive(Debug, Clone)]
@@ -25,8 +24,8 @@ pub struct ClassificationData {
 }
 
 /// Samples a standard-normal-ish value from `rng` (sum of uniforms).
-fn gauss(rng: &mut StdRng) -> f32 {
-    let s: f32 = (0..6).map(|_| rng.random::<f32>()).sum();
+fn gauss(rng: &mut SplitMix64) -> f32 {
+    let s: f32 = (0..6).map(|_| rng.next_f32()).sum();
     (s - 3.0) / std::f32::consts::SQRT_2
 }
 
@@ -42,7 +41,7 @@ pub fn teacher_student(
     classes: usize,
     seed: u64,
 ) -> ClassificationData {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let hidden = 2 * input_dim;
     let w1 = Matrix::from_fn(input_dim, hidden, |_, _| gauss(&mut rng) / (input_dim as f32).sqrt());
     let w2 = Matrix::from_fn(hidden, classes, |_, _| gauss(&mut rng) / (hidden as f32).sqrt());
@@ -60,7 +59,7 @@ pub fn teacher_student(
             })
             .collect()
     };
-    let sample = |count: usize, rng: &mut StdRng| {
+    let sample = |count: usize, rng: &mut SplitMix64| {
         Matrix::from_fn(count, input_dim, |_, _| gauss(rng))
     };
     let train_x = sample(train, &mut rng);
@@ -95,13 +94,13 @@ pub fn markov_text(
     vocab: usize,
     seed: u64,
 ) -> LanguageData {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     // Peaked transition matrix: each token prefers ~3 successors.
     let mut probs = vec![vec![0.0f64; vocab]; vocab];
     for row in probs.iter_mut() {
         for _ in 0..3 {
-            let j = rng.random_range(0..vocab);
-            row[j] += rng.random::<f64>() + 0.5;
+            let j = rng.usize_in(0, vocab);
+            row[j] += rng.next_f64() + 0.5;
         }
         for p in row.iter_mut() {
             *p += 0.02; // smoothing
@@ -112,8 +111,8 @@ pub fn markov_text(
         }
     }
     let mut state = 0usize;
-    let step = |rng: &mut StdRng, state: &mut usize| -> usize {
-        let u: f64 = rng.random();
+    let step = |rng: &mut SplitMix64, state: &mut usize| -> usize {
+        let u = rng.next_f64();
         let mut acc = 0.0;
         let row = &probs[*state];
         let mut next = vocab - 1;
@@ -127,7 +126,7 @@ pub fn markov_text(
         *state = next;
         next
     };
-    let make = |count: usize, rng: &mut StdRng, state: &mut usize| {
+    let make = |count: usize, rng: &mut SplitMix64, state: &mut usize| {
         let mut x = Matrix::zeros(count, vocab);
         let mut y = Vec::with_capacity(count);
         for i in 0..count {
@@ -166,24 +165,24 @@ pub fn markov_sequences(
     vocab: usize,
     seed: u64,
 ) -> SequenceData {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     // Transition table indexed by (prev2, prev1): a preferred successor
     // plus smoothing.
     let mut preferred = vec![vec![0usize; vocab]; vocab];
     for row in preferred.iter_mut() {
         for p in row.iter_mut() {
-            *p = rng.random_range(0..vocab);
+            *p = rng.usize_in(0, vocab);
         }
     }
-    let gen_seq = |rng: &mut StdRng| -> Vec<usize> {
+    let gen_seq = |rng: &mut SplitMix64| -> Vec<usize> {
         let mut seq = Vec::with_capacity(seq_len);
-        let mut p2 = rng.random_range(0..vocab);
-        let mut p1 = rng.random_range(0..vocab);
+        let mut p2 = rng.usize_in(0, vocab);
+        let mut p1 = rng.usize_in(0, vocab);
         for _ in 0..seq_len {
-            let next = if rng.random::<f64>() < 0.85 {
+            let next = if rng.next_f64() < 0.85 {
                 preferred[p2][p1]
             } else {
-                rng.random_range(0..vocab)
+                rng.usize_in(0, vocab)
             };
             seq.push(next);
             p2 = p1;
@@ -250,9 +249,9 @@ mod tests {
         // some tokens almost entirely).
         let mut ctx_counts = [0usize; 8];
         for r in 0..d.train_x.rows() {
-            for c in 0..8 {
+            for (c, count) in ctx_counts.iter_mut().enumerate() {
                 if d.train_x.get(r, c) == 1.0 {
-                    ctx_counts[c] += 1;
+                    *count += 1;
                 }
             }
         }

@@ -14,8 +14,7 @@ use crate::loss;
 use crate::sgd::SgdMomentum;
 use crate::train::{ConvergenceCurve, EpochPoint};
 use equinox_arith::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use equinox_arith::rng::SplitMix64;
 
 /// LSTM hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,10 +115,10 @@ impl LstmLm {
     pub fn new(vocab: usize, config: &LstmConfig) -> Self {
         let hidden = config.hidden;
         let input = vocab + hidden;
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = SplitMix64::seed_from_u64(config.seed);
         let scale = (1.0 / input as f32).sqrt();
         let mut init = |rows: usize, cols: usize| {
-            Matrix::from_fn(rows, cols, |_, _| (rng.random::<f32>() * 2.0 - 1.0) * scale)
+            Matrix::from_fn(rows, cols, |_, _| (rng.next_f32() * 2.0 - 1.0) * scale)
         };
         let w_gates = init(input, 4 * hidden);
         let w_out = init(hidden, vocab);

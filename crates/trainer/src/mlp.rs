@@ -11,8 +11,7 @@ use crate::backend::Backend;
 use crate::loss;
 use crate::sgd::SgdMomentum;
 use equinox_arith::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use equinox_arith::rng::SplitMix64;
 
 /// The MLP and its optimizer state.
 pub struct Mlp {
@@ -38,9 +37,9 @@ pub struct ForwardPass {
 impl Mlp {
     /// Creates an MLP with He-style random initialization.
     pub fn new(input: usize, hidden: usize, output: usize, lr: f32, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let mut init = |rows: usize, cols: usize, scale: f32| {
-            Matrix::from_fn(rows, cols, |_, _| (rng.random::<f32>() * 2.0 - 1.0) * scale)
+            Matrix::from_fn(rows, cols, |_, _| (rng.next_f32() * 2.0 - 1.0) * scale)
         };
         let s1 = (2.0 / input as f32).sqrt();
         let s2 = (2.0 / hidden as f32).sqrt();

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full offline quality gate: lint, build, test, and run the static
+# analyzer sweep. Everything here works without network access.
+#
+# rustfmt is intentionally not enforced: the codebase predates a
+# rustfmt profile and conformance would be a whole-tree churn.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> build (release, including the paper-bench binaries)"
+cargo build --workspace --release
+cargo build --workspace --release --features equinox-bench/paper-bench
+
+echo "==> tests"
+cargo test --workspace --quiet
+
+echo "==> equinox-check sweep (writes results/equinox_check.json)"
+cargo run --release -p equinox-check --bin equinox-check
+
+echo "OK"

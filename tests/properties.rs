@@ -4,84 +4,90 @@ use equinox::isa::lower::{compile_inference, InferenceTiming};
 use equinox::isa::models::ModelSpec;
 use equinox::isa::ArrayDims;
 use equinox::model::{DesignSpace, TechnologyParams};
+use equinox_arith::check::for_each_case;
 use equinox_arith::Encoding;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// The compiler conserves MACs for any geometry and batch: lowering
-    /// never drops or duplicates work.
-    #[test]
-    fn lowering_conserves_macs(
+/// The compiler conserves MACs for any geometry and batch: lowering
+/// never drops or duplicates work.
+#[test]
+fn lowering_conserves_macs() {
+    for_each_case(12, 0x707201, |g| {
         // Degenerate 1×1 tiles make the LSTM program hundreds of
         // millions of instructions; realistic tiles keep the property
         // run fast while covering the same arithmetic.
-        n in 8usize..64,
-        w in 2usize..8,
-        m in 2usize..8,
-        batch in 1usize..32,
-    ) {
-        let dims = ArrayDims { n, w, m };
+        let dims = ArrayDims {
+            n: g.usize_in(8, 64),
+            w: g.usize_in(2, 8),
+            m: g.usize_in(2, 8),
+        };
+        let batch = g.usize_in(1, 32);
         let model = ModelSpec::lstm_2048_25();
         let program = compile_inference(&model, &dims, batch);
-        prop_assert_eq!(
-            program.total_macs(),
-            batch as u64 * model.macs_per_sample()
-        );
+        assert_eq!(program.total_macs(), batch as u64 * model.macs_per_sample());
         let timing = InferenceTiming::from_program(&program, &dims, batch);
-        prop_assert_eq!(timing.total_macs, program.total_macs());
-        prop_assert!(timing.total_cycles >= timing.mmu_busy_cycles);
-        prop_assert!(timing.mmu_utilization > 0.0 && timing.mmu_utilization <= 1.0);
-    }
+        assert_eq!(timing.total_macs, program.total_macs());
+        assert!(timing.total_cycles >= timing.mmu_busy_cycles);
+        assert!(timing.mmu_utilization > 0.0 && timing.mmu_utilization <= 1.0);
+    });
+}
 
-    /// Effective throughput never exceeds the geometry's peak.
-    #[test]
-    fn effective_throughput_bounded_by_peak(
-        n in 8usize..64,
-        w in 2usize..8,
-        m in 2usize..8,
-    ) {
-        let dims = ArrayDims { n, w, m };
+/// Effective throughput never exceeds the geometry's peak.
+#[test]
+fn effective_throughput_bounded_by_peak() {
+    for_each_case(12, 0x707202, |g| {
+        let dims = ArrayDims {
+            n: g.usize_in(8, 64),
+            w: g.usize_in(2, 8),
+            m: g.usize_in(2, 8),
+        };
         let model = ModelSpec::lstm_2048_25();
-        let program = compile_inference(&model, &dims, n.max(1));
-        let timing = InferenceTiming::from_program(&program, &dims, n.max(1));
+        let program = compile_inference(&model, &dims, dims.n.max(1));
+        let timing = InferenceTiming::from_program(&program, &dims, dims.n.max(1));
         let peak = 2.0 * dims.alu_count() as f64 * 1e9;
-        prop_assert!(timing.effective_throughput_ops(1e9) <= peak * (1.0 + 1e-9));
-    }
+        assert!(timing.effective_throughput_ops(1e9) <= peak * (1.0 + 1e-9));
+    });
+}
 
-    /// Every design in the sweep respects both envelopes, for any
-    /// (reasonably sized) sweep limits.
-    #[test]
-    fn swept_designs_feasible(n_max in 2usize..24, w_max in 2usize..16) {
+/// Every design in the sweep respects both envelopes, for any
+/// (reasonably sized) sweep limits.
+#[test]
+fn swept_designs_feasible() {
+    for_each_case(12, 0x707203, |g| {
+        let n_max = g.usize_in(2, 24);
+        let w_max = g.usize_in(2, 16);
         let tech = TechnologyParams::tsmc28();
         let space = DesignSpace::sweep_with_limits(Encoding::Hbfp8, &tech, n_max, w_max);
         for p in space.points() {
-            prop_assert!(p.area_mm2 <= tech.die_area_mm2 + 1e-9);
-            prop_assert!(p.power_w <= tech.power_budget_w + 1e-9);
+            assert!(p.area_mm2 <= tech.die_area_mm2 + 1e-9);
+            assert!(p.power_w <= tech.power_budget_w + 1e-9);
         }
         // The frontier is monotone: higher throughput costs latency.
         for pair in space.frontier().windows(2) {
-            prop_assert!(pair[0].throughput_ops <= pair[1].throughput_ops);
-            prop_assert!(pair[0].service_time_s <= pair[1].service_time_s);
+            assert!(pair[0].throughput_ops <= pair[1].throughput_ops);
+            assert!(pair[0].service_time_s <= pair[1].service_time_s);
         }
-    }
+    });
+}
 
-    /// hbfp8 GEMM through the full datapath stays close to fp32 for
-    /// unit-scale operands of any shape. The error is normalized by the
-    /// operand norms (a near-cancelling exact result would make an
-    /// output-relative metric meaningless).
-    #[test]
-    fn hbfp_gemm_error_bounded(mrows in 1usize..8, k in 1usize..64, ncols in 1usize..8) {
+/// hbfp8 GEMM through the full datapath stays close to fp32 for
+/// unit-scale operands of any shape. The error is normalized by the
+/// operand norms (a near-cancelling exact result would make an
+/// output-relative metric meaningless).
+#[test]
+fn hbfp_gemm_error_bounded() {
+    for_each_case(12, 0x707204, |g| {
         use equinox_arith::{gemm, Matrix};
+        let mrows = g.usize_in(1, 8);
+        let k = g.usize_in(1, 64);
+        let ncols = g.usize_in(1, 8);
         let a = Matrix::from_fn(mrows, k, |r, c| ((r * 7 + c * 3) as f32).sin());
         let b = Matrix::from_fn(k, ncols, |r, c| ((r * 5 + c * 11) as f32).cos());
         let exact = gemm::gemm_f32(&a, &b);
         let approx = gemm::gemm_hbfp(&a, &b, &gemm::HbfpGemmConfig::default());
         let abs = exact.zip_map(&approx, |e, x| x - e).frobenius_norm();
         let scale = a.frobenius_norm() * b.frobenius_norm() + f32::MIN_POSITIVE;
-        prop_assert!(abs / scale < 0.05, "normalized err {}", abs / scale);
-    }
+        assert!(abs / scale < 0.05, "normalized err {}", abs / scale);
+    });
 }
 
 /// Deterministic invariant: the simulation is reproducible — identical
