@@ -1,0 +1,13 @@
+//! Benchmarks the fault-injection × degradation sweep (quick scale).
+
+use equinox_bench::harness;
+use equinox_core::experiments::fault_sweep;
+use equinox_core::ExperimentScale;
+
+fn main() {
+    harness::time("fault_sweep", "grid_quick", 3, || {
+        let s = fault_sweep::run(ExperimentScale::Quick);
+        assert!(s.baseline_is_clean());
+        s
+    });
+}

@@ -1,14 +1,16 @@
 //! Regenerates the paper's tables and figures at full scale.
 //!
 //! Usage: `cargo run --release -p equinox-bench --bin regen-results
-//! [fig2|fig6|table1|fig7|fig8|fig9|table2|table3|fig10|fig11]...`
+//! [--quick] [fig2|fig6|table1|fig7|…|fault|checks]...`
 //!
-//! With no arguments, everything is regenerated. Output goes to stdout
-//! and, for the figure CSVs, into `results/`.
+//! With no ids, everything is regenerated. `--quick` switches to the
+//! reduced [`ExperimentScale::Quick`] grids (the CI fault-injection
+//! smoke job runs `--quick fault`). Output goes to stdout and, for the
+//! figure CSVs and JSON artifacts, into `results/`.
 
 use equinox_core::experiments::{
-    ablation, diurnal, fig10, fig11, fig2, fig6, fig7, fig8, fig9, software_sched, table1,
-    table2, table3,
+    ablation, diurnal, fault_sweep, fig10, fig11, fig2, fig6, fig7, fig8, fig9,
+    software_sched, table1, table2, table3,
 };
 use equinox_core::ExperimentScale;
 use std::fs;
@@ -28,11 +30,13 @@ fn banner(id: &str, title: &str) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
     let selected = |id: &str| {
         args.is_empty() || args.iter().any(|a| a == id || a.starts_with(id))
     };
-    let scale = ExperimentScale::Full;
+    let scale = if quick { ExperimentScale::Quick } else { ExperimentScale::Full };
     let start = Instant::now();
 
     if selected("fig2") {
@@ -240,6 +244,67 @@ fn main() {
         let a = ablation::run(scale);
         println!("{a}");
         write_result("ablations.txt", &a.to_string());
+        println!("  [{:.1}s]", t.elapsed().as_secs_f64());
+    }
+
+    if selected("fault") {
+        banner("fault", "fault injection × graceful degradation (extension)");
+        let t = Instant::now();
+        let sweep = fault_sweep::run(scale);
+        println!("{sweep}");
+        write_result("fault_sweep.json", &sweep.to_json());
+        println!("  [{:.1}s]", t.elapsed().as_secs_f64());
+        // The CI smoke gate: a panic anywhere above already failed the
+        // run; additionally fail on SLO violations in the no-fault
+        // baseline or degradation configs rejected by equinox-check.
+        if !sweep.baseline_is_clean() {
+            eprintln!("fault: no-fault baseline violated the SLO");
+            std::process::exit(1);
+        }
+        if sweep.has_check_errors() {
+            eprintln!("fault: a degradation policy failed the equinox-check lints");
+            std::process::exit(1);
+        }
+    }
+
+    if selected("checks") {
+        banner("checks", "equinox-check verdicts for the drivers' configurations");
+        let t = Instant::now();
+        use equinox_core::Equinox;
+        use equinox_isa::models::ModelSpec;
+        use equinox_model::LatencyConstraint;
+        // One verdict per (driver, design, workload) the experiment
+        // drivers exercise; regenerated alongside the artifacts so the
+        // static-analysis state of every published number is recorded.
+        let grid: [(&str, LatencyConstraint, ModelSpec, usize); 6] = [
+            ("fig7/fig8/fig10/fig11", LatencyConstraint::Micros(500), ModelSpec::lstm_2048_25(), 0),
+            ("fig9", LatencyConstraint::Micros(50), ModelSpec::lstm_2048_25(), 0),
+            ("fig9/min", LatencyConstraint::MinLatency, ModelSpec::lstm_2048_25(), 0),
+            ("table2/gru", LatencyConstraint::Micros(500), ModelSpec::gru_2816_1500(), 0),
+            ("table2/resnet", LatencyConstraint::Micros(500), ModelSpec::resnet50(), 8),
+            ("diurnal/fault", LatencyConstraint::Micros(500), ModelSpec::lstm_2048_25(), 0),
+        ];
+        let mut json = String::from("{\"tool\":\"regen-results\",\"reports\":[");
+        for (i, (driver, constraint, model, batch)) in grid.iter().enumerate() {
+            let eq = Equinox::build(equinox_arith::Encoding::Hbfp8, *constraint)
+                .expect("paper designs exist");
+            let batch = if *batch == 0 { eq.dims().n } else { *batch };
+            let report = eq.check(model, batch);
+            println!(
+                "  {driver}: {} error(s), {} warning(s)",
+                report.error_count(),
+                report.warning_count()
+            );
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "{{\"driver\":\"{driver}\",\"report\":{}}}",
+                report.to_json()
+            ));
+        }
+        json.push_str("]}");
+        write_result("driver_checks.json", &json);
         println!("  [{:.1}s]", t.elapsed().as_secs_f64());
     }
 

@@ -18,9 +18,9 @@
 pub mod harness;
 
 /// The experiment identifiers accepted by `regen-results`.
-pub const EXPERIMENT_IDS: [&str; 13] = [
+pub const EXPERIMENT_IDS: [&str; 15] = [
     "fig2", "fig6", "table1", "fig7", "fig8", "fig9", "table2", "table3", "fig10", "fig11",
-    "software", "ablation", "diurnal",
+    "software", "ablation", "diurnal", "fault", "checks",
 ];
 
 /// True if `id` names a known experiment.
@@ -38,6 +38,8 @@ mod tests {
         assert!(is_known_experiment("fig2"));
         assert!(is_known_experiment("fig7b"));
         assert!(is_known_experiment("table3"));
+        assert!(is_known_experiment("fault"));
+        assert!(is_known_experiment("checks"));
         assert!(!is_known_experiment("fig99"));
     }
 }

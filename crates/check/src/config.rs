@@ -10,7 +10,8 @@ use crate::diag::{Code, Diagnostic};
 use equinox_model::{DesignSpace, EvaluatedDesign};
 use equinox_sim::{AcceleratorConfig, BatchingPolicy, SchedulerPolicy};
 
-/// Lints the batching and scheduling policies of `config`.
+/// Lints the batching, scheduling, and degradation policies of
+/// `config`.
 pub fn analyze(config: &AcceleratorConfig) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     match config.batching {
@@ -58,6 +59,83 @@ pub fn analyze(config: &AcceleratorConfig) -> Vec<Diagnostic> {
             }
         }
         SchedulerPolicy::InferenceOnly | SchedulerPolicy::Fair => {}
+    }
+    diags.extend(degradation_lints(config));
+    diags
+}
+
+/// Lints the graceful-degradation policy against the geometry and
+/// scheduler it has to cooperate with.
+fn degradation_lints(config: &AcceleratorConfig) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let d = &config.degradation;
+    let n = config.dims.n;
+    // Retry policy sanity.
+    if d.retry.max_attempts > 16 {
+        diags.push(Diagnostic::error(
+            Code::UNBOUNDED_RETRY,
+            format!(
+                "retry policy allows {} attempts per corrupted batch; under \
+                 sustained corruption the service queue stalls behind \
+                 effectively unbounded re-execution (bound it to ≤ 16)",
+                d.retry.max_attempts
+            ),
+        ));
+    } else if d.retry.max_attempts > 0
+        && (!d.retry.backoff_multiplier.is_finite() || d.retry.backoff_multiplier < 1.0)
+    {
+        diags.push(Diagnostic::error(
+            Code::UNBOUNDED_RETRY,
+            format!(
+                "retry backoff multiplier {} shrinks the backoff on every \
+                 attempt; retries must back off (multiplier ≥ 1)",
+                d.retry.backoff_multiplier
+            ),
+        ));
+    }
+    // Shedding threshold sanity.
+    if let Some(shed) = d.shed_above {
+        if shed < n {
+            diags.push(Diagnostic::error(
+                Code::SHED_THRESHOLD_TOO_LOW,
+                format!(
+                    "load shedding engages at queue depth {shed}, below one \
+                     batch ({n}); the dispatcher would shed traffic it could \
+                     serve in a single batch"
+                ),
+            ));
+        }
+        // Shedding below the shrink threshold means shrinking never
+        // engages: arrivals are turned away first.
+        if let Some(shrink) = d.shrink_batch_above {
+            if shed <= shrink {
+                diags.push(Diagnostic::warning(
+                    Code::DEGRADATION_CONFLICT,
+                    format!(
+                        "shed threshold ({shed}) at or below the batch-shrinking \
+                         threshold ({shrink}): admission control caps the queue \
+                         before shrinking can engage, so shrinking is dead \
+                         policy"
+                    ),
+                ));
+            }
+        }
+    }
+    // Preemption that can never fire because the priority scheduler
+    // already pauses training at a lower depth.
+    if let (Some(preempt), SchedulerPolicy::Priority { queue_threshold }) =
+        (d.preempt_training_above, config.scheduler)
+    {
+        if preempt >= queue_threshold {
+            diags.push(Diagnostic::note(
+                Code::DEGRADATION_CONFLICT,
+                format!(
+                    "training preemption at queue depth {preempt} is shadowed \
+                     by the priority scheduler, which already pauses training \
+                     above depth {queue_threshold}"
+                ),
+            ));
+        }
     }
     diags
 }
@@ -138,6 +216,62 @@ mod tests {
         c.batching = BatchingPolicy::Adaptive { threshold_x: 0.25 };
         assert_eq!(analyze(&c)[0].severity, crate::diag::Severity::Warning);
         c.batching = BatchingPolicy::Adaptive { threshold_x: 2.0 };
+        assert!(analyze(&c).is_empty());
+    }
+
+    #[test]
+    fn degradation_presets_on_default_scheduler() {
+        use equinox_sim::DegradationPolicy;
+        let mut c = base();
+        // Shedding preset is clean on the paper's default scheduler.
+        c.degradation = DegradationPolicy::shedding(16);
+        assert!(analyze(&c).is_empty(), "{:?}", analyze(&c));
+        // Preemption at the priority threshold is shadowed: a note.
+        c.degradation = DegradationPolicy::preemptive(16);
+        let d = analyze(&c);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::DEGRADATION_CONFLICT);
+        assert_eq!(d[0].severity, crate::diag::Severity::Note);
+    }
+
+    #[test]
+    fn unbounded_retry_is_error() {
+        let mut c = base();
+        c.degradation.retry =
+            equinox_sim::RetryPolicy { max_attempts: 100, backoff_cycles: 1, backoff_multiplier: 2.0 };
+        let d = analyze(&c);
+        assert_eq!(d[0].code, Code::UNBOUNDED_RETRY);
+        assert_eq!(d[0].severity, crate::diag::Severity::Error);
+        // A shrinking backoff is also flagged.
+        c.degradation.retry =
+            equinox_sim::RetryPolicy { max_attempts: 3, backoff_cycles: 1, backoff_multiplier: 0.5 };
+        let d = analyze(&c);
+        assert_eq!(d[0].code, Code::UNBOUNDED_RETRY);
+        // The bounded default is clean.
+        c.degradation.retry = equinox_sim::RetryPolicy::bounded_default();
+        assert!(analyze(&c).is_empty());
+    }
+
+    #[test]
+    fn shed_below_one_batch_is_error() {
+        let mut c = base();
+        c.degradation.shed_above = Some(8);
+        let d = analyze(&c);
+        assert_eq!(d[0].code, Code::SHED_THRESHOLD_TOO_LOW);
+        assert_eq!(d[0].severity, crate::diag::Severity::Error);
+    }
+
+    #[test]
+    fn shed_at_or_below_shrink_is_conflict() {
+        let mut c = base();
+        c.degradation.shrink_batch_above = Some(64);
+        c.degradation.shed_above = Some(64);
+        let d = analyze(&c);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::DEGRADATION_CONFLICT);
+        assert_eq!(d[0].severity, crate::diag::Severity::Warning);
+        // Shed above shrink is the intended ordering: clean.
+        c.degradation.shed_above = Some(128);
         assert!(analyze(&c).is_empty());
     }
 

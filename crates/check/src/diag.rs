@@ -58,6 +58,15 @@ impl Code {
     pub const DEGENERATE_BATCHING: Code = Code(403);
     /// The configuration's design point is not on the Pareto frontier.
     pub const NON_PARETO_DESIGN: Code = Code(404);
+    /// A corrupted-batch retry policy with no bound (or a degenerate
+    /// backoff) can stall the service queue indefinitely.
+    pub const UNBOUNDED_RETRY: Code = Code(405);
+    /// The load-shedding threshold sits below one batch, shedding
+    /// traffic the accelerator could trivially serve.
+    pub const SHED_THRESHOLD_TOO_LOW: Code = Code(406);
+    /// Degradation thresholds contradict each other or the scheduler
+    /// (e.g. shedding before shrinking ever engages).
+    pub const DEGRADATION_CONFLICT: Code = Code(407);
 
     /// The numeric value (e.g. `101` for `EQX0101`).
     pub fn value(self) -> u16 {

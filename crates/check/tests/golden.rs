@@ -197,6 +197,37 @@ fn eqx0404_non_pareto_design() {
     assert!(r.has_code(Code::NON_PARETO_DESIGN), "{}", r.render_human());
 }
 
+#[test]
+fn eqx0405_unbounded_retry() {
+    let mut c = config();
+    c.degradation.retry =
+        equinox_sim::RetryPolicy { max_attempts: 1000, backoff_cycles: 1, backoff_multiplier: 2.0 };
+    let r = analyze_config(&c, None);
+    assert!(r.has_code(Code::UNBOUNDED_RETRY), "{}", r.render_human());
+    assert!(r.has_errors());
+}
+
+#[test]
+fn eqx0406_shed_threshold_too_low() {
+    let mut c = config();
+    // One batch is `n` = 186 requests; shedding at 10 is below it.
+    c.degradation.shed_above = Some(10);
+    let r = analyze_config(&c, None);
+    assert!(r.has_code(Code::SHED_THRESHOLD_TOO_LOW), "{}", r.render_human());
+    assert!(r.has_errors());
+}
+
+#[test]
+fn eqx0407_degradation_conflict() {
+    let mut c = config();
+    c.degradation.shrink_batch_above = Some(400);
+    c.degradation.shed_above = Some(400);
+    let r = analyze_config(&c, None);
+    assert!(r.has_code(Code::DEGRADATION_CONFLICT), "{}", r.render_human());
+    // A conflict is a warning, not an error.
+    assert!(!r.has_errors());
+}
+
 fn config() -> AcceleratorConfig {
     AcceleratorConfig::new("golden", dims(), 610e6, Encoding::Hbfp8)
 }

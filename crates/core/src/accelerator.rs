@@ -7,7 +7,8 @@ use equinox_isa::training::{TrainingProfile, TrainingSetup};
 use equinox_isa::ArrayDims;
 use equinox_model::{DesignSpace, EvaluatedDesign, LatencyConstraint, TechnologyParams};
 use equinox_sim::{
-    loadgen, AcceleratorConfig, BatchingPolicy, SchedulerPolicy, SimReport, Simulation,
+    loadgen, AcceleratorConfig, BatchingPolicy, DegradationPolicy, EquinoxError, FaultScenario,
+    SchedulerPolicy, SimReport, Simulation, SloSpec,
 };
 
 /// A configured Equinox accelerator instance (one of the §5 family,
@@ -24,11 +25,17 @@ impl Equinox {
     /// sweep and wraps it with the paper's default policies (adaptive
     /// batching at 2×, hardware priority scheduling).
     ///
-    /// Returns `None` if no design satisfies the constraint.
-    pub fn build(encoding: Encoding, constraint: LatencyConstraint) -> Option<Self> {
+    /// # Errors
+    ///
+    /// [`EquinoxError::NoDesign`] if no design satisfies the
+    /// constraint.
+    pub fn build(encoding: Encoding, constraint: LatencyConstraint) -> Result<Self, EquinoxError> {
         let tech = TechnologyParams::tsmc28();
         let space = DesignSpace::sweep(encoding, &tech);
-        let design = space.best_under_latency(constraint)?;
+        let design = space.best_under_latency(constraint).ok_or_else(|| EquinoxError::NoDesign {
+            encoding: encoding.to_string(),
+            constraint: constraint.config_name(),
+        })?;
         let dims = ArrayDims { n: design.design.n, w: design.design.w, m: design.design.m };
         let config = AcceleratorConfig::new(
             constraint.config_name(),
@@ -36,7 +43,7 @@ impl Equinox {
             design.design.freq_hz,
             encoding,
         );
-        Some(Equinox { constraint, design, config })
+        Ok(Equinox { constraint, design, config })
     }
 
     /// The four-configuration family of Table 1 for one encoding
@@ -44,7 +51,7 @@ impl Equinox {
     pub fn family(encoding: Encoding) -> Vec<Equinox> {
         LatencyConstraint::table1_rows()
             .into_iter()
-            .filter_map(|c| Equinox::build(encoding, c))
+            .filter_map(|c| Equinox::build(encoding, c).ok())
             .collect()
     }
 
@@ -80,10 +87,10 @@ impl Equinox {
 
     /// Compiles `model` at this design's natural batch size (`n`).
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// See [`Equinox::compile_with_batch`].
-    pub fn compile(&self, model: &ModelSpec) -> InferenceTiming {
+    pub fn compile(&self, model: &ModelSpec) -> Result<InferenceTiming, EquinoxError> {
         self.compile_with_batch(model, self.config.dims.n)
     }
 
@@ -92,14 +99,18 @@ impl Equinox {
     /// The lowered program is vetted by the `equinox-check` static
     /// analyzer before any cycles are spent simulating it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with the rendered diagnostic report if the analyzer finds
-    /// an error-severity defect (a compiler bug: the compiler must only
-    /// emit programs that install and stream on its own geometry).
-    /// Warnings and notes are tolerated; inspect them via
-    /// [`Equinox::check`].
-    pub fn compile_with_batch(&self, model: &ModelSpec, batch: usize) -> InferenceTiming {
+    /// [`EquinoxError::AnalysisRejected`] carrying the rendered
+    /// diagnostic report if the analyzer finds an error-severity defect
+    /// (a compiler bug: the compiler must only emit programs that
+    /// install and stream on its own geometry). Warnings and notes are
+    /// tolerated; inspect them via [`Equinox::check`].
+    pub fn compile_with_batch(
+        &self,
+        model: &ModelSpec,
+        batch: usize,
+    ) -> Result<InferenceTiming, EquinoxError> {
         let program = compile_inference(model, &self.config.dims, batch);
         let report = equinox_check::analyze_program(
             &program,
@@ -107,14 +118,14 @@ impl Equinox {
             &equinox_check::BufferBudget::paper_default(),
             self.config.encoding,
         );
-        assert!(
-            !report.has_errors(),
-            "compiler emitted a defective program for {} on {}:\n{}",
-            model.name(),
-            self.config.name,
-            report.render_human()
-        );
-        InferenceTiming::from_program(&program, &self.config.dims, batch)
+        if report.has_errors() {
+            return Err(EquinoxError::AnalysisRejected {
+                subject: format!("{}/{}@batch{batch}", self.config.name, model.name()),
+                errors: report.error_count(),
+                report: report.render_human(),
+            });
+        }
+        Ok(InferenceTiming::from_program(&program, &self.config.dims, batch))
     }
 
     /// Runs the full static-analysis suite for `model` served at
@@ -153,17 +164,53 @@ impl Equinox {
     }
 
     /// Runs one simulation per [`RunOptions`].
-    pub fn run(&self, opts: &RunOptions) -> SimReport {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Equinox::compile_with_batch`] and
+    /// [`Equinox::run_compiled`] errors.
+    pub fn run(&self, opts: &RunOptions) -> Result<SimReport, EquinoxError> {
         let timing = match opts.batch {
-            Some(b) => self.compile_with_batch(&opts.model, b),
-            None => self.compile(&opts.model),
+            Some(b) => self.compile_with_batch(&opts.model, b)?,
+            None => self.compile(&opts.model)?,
         };
         self.run_compiled(&timing, opts)
     }
 
     /// Runs a simulation reusing an already-compiled timing (use this
     /// when sweeping loads so compilation happens once).
-    pub fn run_compiled(&self, timing: &InferenceTiming, opts: &RunOptions) -> SimReport {
+    ///
+    /// # Errors
+    ///
+    /// [`EquinoxError::InvalidArgument`] for malformed run options
+    /// (e.g. a negative load).
+    pub fn run_compiled(
+        &self,
+        timing: &InferenceTiming,
+        opts: &RunOptions,
+    ) -> Result<SimReport, EquinoxError> {
+        self.run_scenario(timing, opts, &FaultScenario::baseline(), None)
+    }
+
+    /// Runs a simulation under a fault scenario, optionally holding it
+    /// against an SLO (see [`equinox_sim::fault`] and
+    /// [`equinox_sim::slo`]): the scenario's traffic bursts are
+    /// superposed on the Poisson arrivals, its throttle/stall/corruption
+    /// disturbances are injected by the engine, and the configured
+    /// [`DegradationPolicy`] (via [`RunOptions::degradation`]) decides
+    /// how the scheduler degrades.
+    ///
+    /// # Errors
+    ///
+    /// [`EquinoxError::InvalidArgument`] for malformed run options and
+    /// [`EquinoxError::FaultModel`] for a malformed scenario.
+    pub fn run_scenario(
+        &self,
+        timing: &InferenceTiming,
+        opts: &RunOptions,
+        scenario: &FaultScenario,
+        slo: Option<SloSpec>,
+    ) -> Result<SimReport, EquinoxError> {
         let mut config = self.config.clone();
         if let Some(s) = opts.scheduler {
             config.scheduler = s;
@@ -171,12 +218,15 @@ impl Equinox {
         if let Some(b) = opts.batching {
             config.batching = b;
         }
+        if let Some(d) = opts.degradation {
+            config.degradation = d;
+        }
         let training = opts
             .train_model
             .as_ref()
             .map(|m| TrainingProfile::profile(m, &config.dims, &TrainingSetup::paper_default()));
-        let sim = Simulation::new(config, *timing, training);
-        let rate = opts.load * sim.max_request_rate_per_cycle();
+        let sim = Simulation::new(config, *timing, training)?;
+        let rate = loadgen::rate_for_load(opts.load, sim.max_request_rate_per_cycle())?;
         // Horizon: enough to complete the target request count, but at
         // least 50 batch intervals so training/idle accounting settles.
         let min_cycles = (50 * timing.total_cycles).max(opts.min_horizon_cycles);
@@ -185,8 +235,8 @@ impl Equinox {
         } else {
             min_cycles.max(200 * timing.total_cycles)
         };
-        let arrivals = loadgen::poisson_arrivals(rate, horizon, opts.seed);
-        sim.run(&arrivals, horizon)
+        let arrivals = equinox_sim::fault::scenario_arrivals(scenario, rate, horizon, opts.seed)?;
+        sim.run_faulted(&arrivals, horizon, scenario, slo)
     }
 
     /// The paper's service-level latency target: 10× the mean service
@@ -194,9 +244,11 @@ impl Equinox {
     /// configuration of the same encoding family (§5).
     pub fn latency_target_s(encoding: Encoding) -> f64 {
         let eq = Equinox::build(encoding, LatencyConstraint::Micros(500))
-            .or_else(|| Equinox::build(encoding, LatencyConstraint::None))
+            .or_else(|_| Equinox::build(encoding, LatencyConstraint::None))
             .expect("the unconstrained design always exists");
-        let timing = eq.compile(&ModelSpec::lstm_2048_25());
+        let timing = eq
+            .compile(&ModelSpec::lstm_2048_25())
+            .expect("the reference workload compiles on every design");
         10.0 * timing.service_time_s(eq.freq_hz())
     }
 }
@@ -224,6 +276,9 @@ pub struct RunOptions {
     pub scheduler: Option<SchedulerPolicy>,
     /// Batching override.
     pub batching: Option<BatchingPolicy>,
+    /// Graceful-degradation override (default: the configuration's,
+    /// which is [`DegradationPolicy::none`] unless customised).
+    pub degradation: Option<DegradationPolicy>,
     /// Approximate number of requests to simulate.
     pub target_requests: u64,
     /// Lower bound on the simulated horizon, cycles (0 = derive from
@@ -243,6 +298,7 @@ impl RunOptions {
             train_model: None,
             scheduler: None,
             batching: None,
+            degradation: None,
             target_requests: 4000,
             min_horizon_cycles: 0,
         }
@@ -282,7 +338,9 @@ mod tests {
     #[test]
     fn run_inference_only() {
         let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(500)).unwrap();
-        let r = eq.run(&RunOptions { target_requests: 500, ..RunOptions::inference(0.5) });
+        let r = eq
+            .run(&RunOptions { target_requests: 500, ..RunOptions::inference(0.5) })
+            .unwrap();
         assert!(r.completed_requests > 200);
         assert!(r.inference_tops() > 50.0);
         assert_eq!(r.training_tops(), 0.0);
@@ -291,7 +349,9 @@ mod tests {
     #[test]
     fn run_colocated_reclaims_cycles() {
         let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(500)).unwrap();
-        let r = eq.run(&RunOptions { target_requests: 500, ..RunOptions::colocated(0.4) });
+        let r = eq
+            .run(&RunOptions { target_requests: 500, ..RunOptions::colocated(0.4) })
+            .unwrap();
         assert!(r.training_tops() > 10.0, "training {}", r.training_tops());
     }
 

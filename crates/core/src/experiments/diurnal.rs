@@ -44,7 +44,7 @@ pub fn run(scale: ExperimentScale) -> Diurnal {
     let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(500))
         .expect("the 500 µs design exists");
     let model = ModelSpec::lstm_2048_25();
-    let timing = eq.compile(&model);
+    let timing = eq.compile(&model).expect("reference workload compiles");
     let profile =
         TrainingProfile::profile(&model, &eq.dims(), &TrainingSetup::paper_default());
     let day = DiurnalProfile::thirty_percent_average();
@@ -55,9 +55,11 @@ pub fn run(scale: ExperimentScale) -> Diurnal {
         ExperimentScale::Quick => 2_000_000_000,
         ExperimentScale::Full => 20_000_000_000,
     };
-    let sim = Simulation::new(eq.config().clone(), timing, Some(profile));
-    let arrivals = diurnal_arrivals(&day, sim.max_request_rate_per_cycle(), horizon, 4242);
-    let report = sim.run(&arrivals, horizon);
+    let sim = Simulation::new(eq.config().clone(), timing, Some(profile))
+        .expect("paper-default simulation config");
+    let arrivals = diurnal_arrivals(&day, sim.max_request_rate_per_cycle(), horizon, 4242)
+        .expect("diurnal trace parameters are valid");
+    let report = sim.run(&arrivals, horizon).expect("simulation run");
     let day_seconds = horizon as f64 / eq.freq_hz();
     let iteration_ops = 2.0 * profile.iteration_macs as f64;
     Diurnal {

@@ -21,7 +21,7 @@ pub struct Fig10 {
 pub fn run(scale: ExperimentScale) -> Fig10 {
     let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(500))
         .expect("the 500 µs design exists");
-    let timing = eq.compile(&ModelSpec::lstm_2048_25());
+    let timing = eq.compile(&ModelSpec::lstm_2048_25()).expect("reference workload compiles");
     let variants: [(&str, Option<SchedulerPolicy>, bool); 3] = [
         ("Inf", Some(SchedulerPolicy::InferenceOnly), false),
         ("Inf+Train+Fair sched.", Some(SchedulerPolicy::Fair), true),
@@ -47,7 +47,7 @@ pub fn run(scale: ExperimentScale) -> Fig10 {
                     target_requests: scale.target_requests(),
                     ..base
                 },
-            );
+            ).expect("simulation run");
             points.push(LoadPoint {
                 load,
                 inference_tops: report.inference_tops(),

@@ -30,7 +30,7 @@ pub struct Fig11 {
 pub fn run(scale: ExperimentScale) -> Fig11 {
     let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(500))
         .expect("the 500 µs design exists");
-    let timing = eq.compile(&ModelSpec::lstm_2048_25());
+    let timing = eq.compile(&ModelSpec::lstm_2048_25()).expect("reference workload compiles");
     let sweep = |batching: BatchingPolicy, train: bool, name: String| -> Series {
         let mut points = Vec::new();
         for &load in &scale.loads() {
@@ -46,7 +46,7 @@ pub fn run(scale: ExperimentScale) -> Fig11 {
                     target_requests: scale.target_requests(),
                     ..base
                 },
-            );
+            ).expect("simulation run");
             points.push(LoadPoint {
                 load,
                 inference_tops: report.inference_tops(),

@@ -23,7 +23,7 @@ pub fn run(encoding: Encoding, scale: ExperimentScale) -> Fig7 {
     let model = ModelSpec::lstm_2048_25();
     let mut series = Vec::new();
     for eq in Equinox::family(encoding) {
-        let timing = eq.compile(&model);
+        let timing = eq.compile(&model).expect("reference workload compiles");
         let mut points = Vec::new();
         for &load in &scale.loads() {
             let report = eq.run_compiled(
@@ -32,7 +32,7 @@ pub fn run(encoding: Encoding, scale: ExperimentScale) -> Fig7 {
                     target_requests: scale.target_requests(),
                     ..RunOptions::inference(load)
                 },
-            );
+            ).expect("simulation run");
             points.push(LoadPoint {
                 load,
                 inference_tops: report.inference_tops(),

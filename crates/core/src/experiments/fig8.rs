@@ -30,7 +30,7 @@ pub struct Fig8 {
 pub fn run(scale: ExperimentScale) -> Fig8 {
     let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(500))
         .expect("the 500 µs design exists");
-    let timing = eq.compile(&ModelSpec::lstm_2048_25());
+    let timing = eq.compile(&ModelSpec::lstm_2048_25()).expect("reference workload compiles");
     let mut bars = Vec::new();
     for &load in &[0.05, 0.5, 0.95] {
         for with_training in [false, true] {
@@ -42,7 +42,7 @@ pub fn run(scale: ExperimentScale) -> Fig8 {
                     RunOptions::inference(load)
                 }
             };
-            let report = eq.run_compiled(&timing, &opts);
+            let report = eq.run_compiled(&timing, &opts).expect("simulation run");
             bars.push(Fig8Bar {
                 load,
                 with_training,

@@ -22,7 +22,7 @@ pub fn run(scale: ExperimentScale) -> Fig9 {
     let mut series = Vec::new();
     let mut max_achievable: f64 = 0.0;
     for eq in Equinox::family(Encoding::Hbfp8) {
-        let timing = eq.compile(&model);
+        let timing = eq.compile(&model).expect("reference workload compiles");
         let profile = eq.training_profile(&model);
         max_achievable = max_achievable.max(
             profile.max_achievable_ops(eq.freq_hz(), eq.config().dram.bandwidth_bytes_per_s)
@@ -36,7 +36,7 @@ pub fn run(scale: ExperimentScale) -> Fig9 {
                     target_requests: scale.target_requests(),
                     ..RunOptions::colocated(load)
                 },
-            );
+            ).expect("simulation run");
             points.push(LoadPoint {
                 load,
                 inference_tops: report.inference_tops(),

@@ -6,6 +6,7 @@
 
 pub mod ablation;
 pub mod diurnal;
+pub mod fault_sweep;
 pub mod fig10;
 pub mod fig11;
 pub mod fig2;

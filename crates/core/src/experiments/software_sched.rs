@@ -40,7 +40,7 @@ pub fn run(scale: ExperimentScale) -> SoftwareSched {
     let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(500))
         .expect("the 500 µs design exists");
     let model = ModelSpec::lstm_2048_25();
-    let timing = eq.compile(&model);
+    let timing = eq.compile(&model).expect("reference workload compiles");
     let profile = eq.training_profile(&model);
     let block_cycles = profile.iteration_mmu_cycles;
     let gru_block_cycles = eq
@@ -64,7 +64,7 @@ pub fn run(scale: ExperimentScale) -> SoftwareSched {
                     min_horizon_cycles: min_horizon,
                     ..RunOptions::inference(load)
                 },
-            );
+            ).expect("simulation run");
             points.push(LoadPoint {
                 load,
                 inference_tops: report.inference_tops(),

@@ -45,7 +45,8 @@ pub fn run(scale: ExperimentScale) -> Table2 {
         let timing = match batch {
             Some(b) => eq.compile_with_batch(&model, b),
             None => eq.compile(&model),
-        };
+        }
+        .expect("reference workload compiles");
         // Training throughput at 60 % load (training instance of the
         // same model, per the paper's setup).
         let report = eq.run_compiled(
@@ -58,7 +59,7 @@ pub fn run(scale: ExperimentScale) -> Table2 {
                 target_requests: scale.target_requests().min(2000),
                 ..RunOptions::colocated(0.6)
             },
-        );
+        ).expect("simulation run");
         rows.push(Table2Row {
             model: model.name().to_string(),
             training_tops: report.training_tops(),
@@ -93,7 +94,8 @@ pub fn run_extended(scale: ExperimentScale) -> Table2 {
         let timing = match batch {
             Some(b) => eq.compile_with_batch(&model, b),
             None => eq.compile(&model),
-        };
+        }
+        .expect("reference workload compiles");
         let report = eq.run_compiled(
             &timing,
             &RunOptions {
@@ -103,7 +105,7 @@ pub fn run_extended(scale: ExperimentScale) -> Table2 {
                 target_requests: scale.target_requests().min(2000),
                 ..RunOptions::colocated(0.6)
             },
-        );
+        ).expect("simulation run");
         let mut inference_ops = timing.effective_throughput_ops(eq.freq_hz());
         let weight_bytes =
             model.weight_params() * Encoding::Hbfp8.bytes_per_value() as u64;

@@ -35,7 +35,7 @@
 //!
 //! let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(500))
 //!     .expect("a 500 µs design exists");
-//! let timing = eq.compile(&ModelSpec::lstm_2048_25());
+//! let timing = eq.compile(&ModelSpec::lstm_2048_25()).expect("the LSTM compiles");
 //! assert!(timing.service_time_s(eq.freq_hz()) < 700e-6);
 //! ```
 

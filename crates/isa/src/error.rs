@@ -1,0 +1,163 @@
+//! The workspace-wide structured error type.
+//!
+//! `EquinoxError` is the typed, recoverable alternative to the
+//! `panic!`/`assert!` argument checks the library crates historically
+//! used on their public paths. It is defined here (the lowest crate the
+//! simulator, the analyzer, and the facade all depend on) and
+//! re-exported by `equinox-sim` and `equinox-core`, so every fallible
+//! public API across the three crates speaks one error vocabulary:
+//! invalid caller arguments, installation/program validation failures,
+//! design-space misses, analyzer rejections, and malformed
+//! fault-injection scenarios.
+//!
+//! Every variant carries enough context to be matched on
+//! programmatically ([`EquinoxError::kind`] gives a stable label) and
+//! rendered for humans (`Display`).
+
+use crate::validate::ValidationError;
+
+/// A structured, recoverable error from the Equinox library crates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EquinoxError {
+    /// A caller-supplied argument violates an API precondition (the
+    /// cases that used to be `assert!`s on library paths).
+    InvalidArgument {
+        /// The public API that rejected the argument, e.g.
+        /// `"loadgen::poisson_arrivals"`.
+        api: &'static str,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A model or program failed static validation against the
+    /// accelerator's resources (wraps [`ValidationError`], which keeps
+    /// its stable `EQXnnnn` code).
+    Validation(ValidationError),
+    /// No design point satisfies the requested constraint.
+    NoDesign {
+        /// The encoding swept.
+        encoding: String,
+        /// The constraint no design satisfied.
+        constraint: String,
+    },
+    /// The `equinox-check` analyzer rejected a compiled program or
+    /// configuration with error-severity findings.
+    AnalysisRejected {
+        /// The analyzed subject (config/model@batch).
+        subject: String,
+        /// Number of error-severity diagnostics.
+        errors: usize,
+        /// The rendered diagnostic report.
+        report: String,
+    },
+    /// A fault-injection scenario is malformed (empty window, negative
+    /// rate multiplier, corruption probability outside `[0, 1]`, …).
+    FaultModel {
+        /// The scenario's name.
+        scenario: String,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl EquinoxError {
+    /// Shorthand for an [`EquinoxError::InvalidArgument`].
+    pub fn invalid_argument(api: &'static str, message: impl Into<String>) -> Self {
+        EquinoxError::InvalidArgument { api, message: message.into() }
+    }
+
+    /// Shorthand for an [`EquinoxError::FaultModel`].
+    pub fn fault_model(scenario: impl Into<String>, message: impl Into<String>) -> Self {
+        EquinoxError::FaultModel { scenario: scenario.into(), message: message.into() }
+    }
+
+    /// A stable, machine-matchable label for the error class.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EquinoxError::InvalidArgument { .. } => "invalid-argument",
+            EquinoxError::Validation(_) => "validation",
+            EquinoxError::NoDesign { .. } => "no-design",
+            EquinoxError::AnalysisRejected { .. } => "analysis-rejected",
+            EquinoxError::FaultModel { .. } => "fault-model",
+        }
+    }
+}
+
+impl std::fmt::Display for EquinoxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EquinoxError::InvalidArgument { api, message } => {
+                write!(f, "invalid argument to {api}: {message}")
+            }
+            EquinoxError::Validation(e) => write!(f, "validation failed [{}]: {e}", e.code()),
+            EquinoxError::NoDesign { encoding, constraint } => {
+                write!(f, "no {encoding} design satisfies the {constraint} constraint")
+            }
+            EquinoxError::AnalysisRejected { subject, errors, report } => {
+                write!(f, "analyzer rejected {subject} with {errors} error(s):\n{report}")
+            }
+            EquinoxError::FaultModel { scenario, message } => {
+                write!(f, "malformed fault scenario '{scenario}': {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EquinoxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EquinoxError::Validation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidationError> for EquinoxError {
+    fn from(e: ValidationError) -> Self {
+        EquinoxError::Validation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(EquinoxError::invalid_argument("api", "bad").kind(), "invalid-argument");
+        assert_eq!(EquinoxError::fault_model("s", "bad").kind(), "fault-model");
+        assert_eq!(
+            EquinoxError::NoDesign { encoding: "hbfp8".into(), constraint: "1us".into() }.kind(),
+            "no-design"
+        );
+    }
+
+    #[test]
+    fn display_carries_context() {
+        let e = EquinoxError::invalid_argument("loadgen::poisson_arrivals", "rate is NaN");
+        assert!(e.to_string().contains("loadgen::poisson_arrivals"));
+        assert!(e.to_string().contains("rate is NaN"));
+        let f = EquinoxError::fault_model("burst", "window is empty");
+        assert!(f.to_string().contains("burst"));
+    }
+
+    #[test]
+    fn validation_errors_convert_and_chain() {
+        let v = ValidationError::WeightsDontFit { required: 2, available: 1 };
+        let e: EquinoxError = v.clone().into();
+        assert_eq!(e, EquinoxError::Validation(v));
+        assert!(e.to_string().contains("EQX0203"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn analysis_rejection_renders_report() {
+        let e = EquinoxError::AnalysisRejected {
+            subject: "cfg/LSTM@batch16".into(),
+            errors: 2,
+            report: "error[EQX0101] ...".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("2 error(s)"));
+        assert!(s.contains("EQX0101"));
+    }
+}

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod encode;
+pub mod error;
 pub mod im2col;
 pub mod instruction;
 pub mod layers;
@@ -41,6 +42,7 @@ pub mod program;
 pub mod training;
 pub mod validate;
 
+pub use error::EquinoxError;
 pub use instruction::Instruction;
 pub use program::Program;
 

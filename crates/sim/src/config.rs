@@ -50,6 +50,120 @@ pub enum SchedulerPolicy {
     },
 }
 
+/// Bounded retry-with-backoff for batches corrupted by transient
+/// PE/tile faults (see [`crate::fault`]).
+///
+/// A corrupted batch is re-queued at the head of the service queue
+/// after `backoff_cycles × multiplier^(attempt-1)` cycles. Once
+/// `max_attempts` retries are exhausted the batch's requests are
+/// dropped and accounted as SLO violations by the monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum re-executions of one corrupted batch (0 = drop
+    /// immediately, never retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, cycles.
+    pub backoff_cycles: u64,
+    /// Exponential backoff growth per subsequent attempt.
+    pub backoff_multiplier: f64,
+}
+
+impl RetryPolicy {
+    /// No retries: corrupted batches are dropped on first corruption.
+    pub fn never() -> Self {
+        RetryPolicy { max_attempts: 0, backoff_cycles: 0, backoff_multiplier: 1.0 }
+    }
+
+    /// Three bounded retries with exponential backoff starting at one
+    /// batch-service-scale delay (100 k cycles).
+    pub fn bounded_default() -> Self {
+        RetryPolicy { max_attempts: 3, backoff_cycles: 100_000, backoff_multiplier: 2.0 }
+    }
+}
+
+/// Graceful-degradation knobs the scheduler enacts under pressure.
+///
+/// All thresholds are queue depths in *requests* (formed + forming,
+/// the same quantity the priority scheduler monitors). `None` disables
+/// a mechanism. The default ([`DegradationPolicy::none`]) changes no
+/// behaviour relative to the baseline simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationPolicy {
+    /// Pause the training context outright when the inference queue
+    /// exceeds this depth (applies on top of any scheduler policy,
+    /// including `Fair` and `Software`).
+    pub preempt_training_above: Option<usize>,
+    /// When the MMU is idle and the queue exceeds this depth, issue the
+    /// partially-formed batch immediately instead of waiting out the
+    /// adaptive-batching deadline (adaptive batch shrinking).
+    pub shrink_batch_above: Option<usize>,
+    /// Admission control: shed newly arriving requests while the queue
+    /// is at or beyond this depth (shed requests are counted as SLO
+    /// violations by the monitor, never silently discarded).
+    pub shed_above: Option<usize>,
+    /// Retry policy for corrupted batches.
+    pub retry: RetryPolicy,
+}
+
+impl DegradationPolicy {
+    /// No degradation handling at all: faults surface as dropped
+    /// batches and unbounded queues.
+    pub fn none() -> Self {
+        DegradationPolicy {
+            preempt_training_above: None,
+            shrink_batch_above: None,
+            shed_above: None,
+            retry: RetryPolicy::never(),
+        }
+    }
+
+    /// Training preemption plus bounded retries, thresholds scaled to
+    /// the batch size `n` (preempt at 2 batches of queue).
+    pub fn preemptive(n: usize) -> Self {
+        DegradationPolicy {
+            preempt_training_above: Some(2 * n),
+            shrink_batch_above: None,
+            shed_above: None,
+            retry: RetryPolicy::bounded_default(),
+        }
+    }
+
+    /// Batch shrinking plus admission-control shedding (queue capped at
+    /// 8 batches) plus bounded retries.
+    pub fn shedding(n: usize) -> Self {
+        DegradationPolicy {
+            preempt_training_above: None,
+            shrink_batch_above: Some(2 * n),
+            shed_above: Some(8 * n),
+            retry: RetryPolicy::bounded_default(),
+        }
+    }
+
+    /// Every mechanism enabled.
+    pub fn full(n: usize) -> Self {
+        DegradationPolicy {
+            preempt_training_above: Some(2 * n),
+            shrink_batch_above: Some(2 * n),
+            shed_above: Some(8 * n),
+            retry: RetryPolicy::bounded_default(),
+        }
+    }
+
+    /// True if no mechanism is enabled and retries are disabled.
+    pub fn is_none(&self) -> bool {
+        self.preempt_training_above.is_none()
+            && self.shrink_batch_above.is_none()
+            && self.shed_above.is_none()
+            && self.retry.max_attempts == 0
+    }
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy::none()
+    }
+}
+
 /// DRAM (HBM) interface parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramParams {
@@ -82,6 +196,8 @@ pub struct AcceleratorConfig {
     pub batching: BatchingPolicy,
     /// Execution scheduling policy.
     pub scheduler: SchedulerPolicy,
+    /// Graceful-degradation policy enacted under pressure.
+    pub degradation: DegradationPolicy,
     /// Training staging-buffer capacity, bytes (< 2 % of on-chip SRAM,
     /// §2.2).
     pub staging_buffer_bytes: f64,
@@ -101,6 +217,7 @@ impl AcceleratorConfig {
             encoding,
             batching: BatchingPolicy::adaptive_default(),
             scheduler: SchedulerPolicy::Priority { queue_threshold: 2 * dims.n },
+            degradation: DegradationPolicy::none(),
             staging_buffer_bytes: 1.5e6,
             dram: DramParams::hbm(),
         }
@@ -158,6 +275,24 @@ mod tests {
         let c = config();
         assert_eq!(c.dram_bytes_per_cycle(), 1000.0);
         assert_eq!(c.peak_throughput_ops(), 2.0 * 8192.0 * 1e9);
+    }
+
+    #[test]
+    fn degradation_presets() {
+        assert!(DegradationPolicy::none().is_none());
+        assert!(DegradationPolicy::default().is_none());
+        let p = DegradationPolicy::preemptive(16);
+        assert_eq!(p.preempt_training_above, Some(32));
+        assert!(!p.is_none());
+        let s = DegradationPolicy::shedding(16);
+        assert_eq!(s.shed_above, Some(128));
+        assert_eq!(s.shrink_batch_above, Some(32));
+        let f = DegradationPolicy::full(16);
+        assert!(f.preempt_training_above.is_some() && f.shed_above.is_some());
+        assert_eq!(RetryPolicy::never().max_attempts, 0);
+        assert!(RetryPolicy::bounded_default().max_attempts > 0);
+        // The config default enables nothing.
+        assert!(config().degradation.is_none());
     }
 
     #[test]

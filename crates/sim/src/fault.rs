@@ -1,0 +1,370 @@
+//! Deterministic fault injection for simulation runs.
+//!
+//! The paper's evaluation (§5) only exercises well-behaved Poisson
+//! traffic on a fault-free datapath; this module perturbs a run with
+//! the degraded regimes a production deployment actually sees, so the
+//! "training for free without violating inference QoS" claim can be
+//! tested where it matters:
+//!
+//! * **Traffic bursts** — windows during which the arrival rate is
+//!   multiplied (flash crowds on top of the Poisson/diurnal base);
+//! * **DRAM throttling** — windows during which the HBM interface
+//!   delivers only a fraction of its bandwidth (thermal throttling,
+//!   refresh storms, a co-tenant channel hog);
+//! * **Transient PE/tile corruption** — a seeded per-batch probability
+//!   that a completed batch's results are corrupt and the batch must be
+//!   re-executed (bounded by the configured
+//!   [`RetryPolicy`](crate::config::RetryPolicy));
+//! * **Batch-formation stalls** — windows during which the request
+//!   dispatcher is frozen (host hiccup, PCIe backpressure) while the
+//!   execution units keep draining already-formed batches.
+//!
+//! Everything is seeded and deterministic: the same scenario, seed, and
+//! horizon produce byte-identical reports.
+
+use equinox_arith::rng::SplitMix64;
+use equinox_isa::EquinoxError;
+
+/// A half-open cycle window `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// First cycle the disturbance is active.
+    pub start: u64,
+    /// First cycle after the disturbance.
+    pub end: u64,
+}
+
+impl Window {
+    /// True if `cycle` falls inside the window.
+    pub fn contains(&self, cycle: f64) -> bool {
+        cycle >= self.start as f64 && cycle < self.end as f64
+    }
+
+    /// Window length, cycles.
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True for a degenerate (zero-length) window.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// A traffic burst: arrivals inside the window come at
+/// `rate_multiplier ×` the base rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficBurst {
+    /// When the burst is active.
+    pub window: Window,
+    /// Rate multiplier (≥ 1; 4.0 means a 4× flash crowd).
+    pub rate_multiplier: f64,
+}
+
+/// A DRAM-bandwidth throttling window: the interface delivers
+/// `bandwidth_factor ×` its configured bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramThrottle {
+    /// When the throttle is active.
+    pub window: Window,
+    /// Remaining bandwidth fraction in `(0, 1]`.
+    pub bandwidth_factor: f64,
+}
+
+/// Transient PE/tile corruption, modeled at batch granularity: each
+/// completed batch is corrupt with probability `probability`, drawn
+/// from a stream seeded by `seed`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corruption {
+    /// Per-batch corruption probability in `[0, 1)`.
+    pub probability: f64,
+    /// Seed of the corruption draw stream.
+    pub seed: u64,
+}
+
+/// A deterministic fault scenario: any combination of the four
+/// disturbance classes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultScenario {
+    /// Scenario name (reported in errors and sweep output).
+    pub name: String,
+    /// Traffic bursts (affect arrival generation).
+    pub bursts: Vec<TrafficBurst>,
+    /// DRAM throttling windows (affect the engine's staging supply).
+    pub throttles: Vec<DramThrottle>,
+    /// Transient batch corruption, if any.
+    pub corruption: Option<Corruption>,
+    /// Batch-formation stall windows.
+    pub stalls: Vec<Window>,
+}
+
+impl FaultScenario {
+    /// The fault-free baseline scenario.
+    pub fn baseline() -> Self {
+        FaultScenario { name: "baseline".into(), ..Default::default() }
+    }
+
+    /// An empty named scenario to build on.
+    pub fn named(name: impl Into<String>) -> Self {
+        FaultScenario { name: name.into(), ..Default::default() }
+    }
+
+    /// Adds a traffic burst.
+    pub fn with_burst(mut self, start: u64, end: u64, rate_multiplier: f64) -> Self {
+        self.bursts.push(TrafficBurst { window: Window { start, end }, rate_multiplier });
+        self
+    }
+
+    /// Adds a DRAM throttling window.
+    pub fn with_throttle(mut self, start: u64, end: u64, bandwidth_factor: f64) -> Self {
+        self.throttles.push(DramThrottle { window: Window { start, end }, bandwidth_factor });
+        self
+    }
+
+    /// Enables transient batch corruption.
+    pub fn with_corruption(mut self, probability: f64, seed: u64) -> Self {
+        self.corruption = Some(Corruption { probability, seed });
+        self
+    }
+
+    /// Adds a batch-formation stall window.
+    pub fn with_stall(mut self, start: u64, end: u64) -> Self {
+        self.stalls.push(Window { start, end });
+        self
+    }
+
+    /// True if the scenario injects nothing.
+    pub fn is_fault_free(&self) -> bool {
+        self.bursts.is_empty()
+            && self.throttles.is_empty()
+            && self.corruption.is_none()
+            && self.stalls.is_empty()
+    }
+
+    /// Checks the scenario's internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`EquinoxError::FaultModel`] for empty windows, non-finite or
+    /// out-of-range multipliers/factors, or a corruption probability
+    /// outside `[0, 1)`.
+    pub fn validate(&self) -> Result<(), EquinoxError> {
+        let err = |message: String| Err(EquinoxError::fault_model(self.name.clone(), message));
+        for b in &self.bursts {
+            if b.window.is_empty() {
+                return err(format!("burst window [{}, {}) is empty", b.window.start, b.window.end));
+            }
+            if !b.rate_multiplier.is_finite() || b.rate_multiplier < 1.0 {
+                return err(format!("burst rate multiplier {} must be ≥ 1", b.rate_multiplier));
+            }
+        }
+        for t in &self.throttles {
+            if t.window.is_empty() {
+                return err(format!(
+                    "throttle window [{}, {}) is empty",
+                    t.window.start, t.window.end
+                ));
+            }
+            if !t.bandwidth_factor.is_finite()
+                || t.bandwidth_factor <= 0.0
+                || t.bandwidth_factor > 1.0
+            {
+                return err(format!(
+                    "throttle bandwidth factor {} must be in (0, 1]",
+                    t.bandwidth_factor
+                ));
+            }
+        }
+        if let Some(c) = &self.corruption {
+            if !c.probability.is_finite() || !(0.0..1.0).contains(&c.probability) {
+                return err(format!(
+                    "corruption probability {} must be in [0, 1)",
+                    c.probability
+                ));
+            }
+        }
+        for s in &self.stalls {
+            if s.is_empty() {
+                return err(format!("stall window [{}, {}) is empty", s.start, s.end));
+            }
+        }
+        Ok(())
+    }
+
+    /// Effective DRAM bandwidth fraction at `cycle` (overlapping
+    /// throttles compound multiplicatively).
+    pub fn bandwidth_factor_at(&self, cycle: f64) -> f64 {
+        self.throttles
+            .iter()
+            .filter(|t| t.window.contains(cycle))
+            .map(|t| t.bandwidth_factor)
+            .product()
+    }
+
+    /// True if batch formation is stalled at `cycle`.
+    pub fn formation_stalled_at(&self, cycle: f64) -> bool {
+        self.stalls.iter().any(|s| s.contains(cycle))
+    }
+
+    /// All window boundaries (starts and ends) of regime-changing
+    /// disturbances, sorted ascending — the engine schedules events at
+    /// these cycles so rate changes land exactly on the boundary.
+    pub fn boundaries(&self) -> Vec<u64> {
+        let mut b: Vec<u64> = self
+            .throttles
+            .iter()
+            .map(|t| t.window)
+            .chain(self.stalls.iter().copied())
+            .flat_map(|w| [w.start, w.end])
+            .collect();
+        b.sort_unstable();
+        b.dedup();
+        b
+    }
+
+    /// The end cycle of the last windowed disturbance (bursts,
+    /// throttles, stalls) — the reference point for recovery-time
+    /// measurement. `None` when the scenario has no windows
+    /// (corruption is a whole-run disturbance with no end).
+    pub fn last_disturbance_end(&self) -> Option<u64> {
+        self.bursts
+            .iter()
+            .map(|b| b.window.end)
+            .chain(self.throttles.iter().map(|t| t.window.end))
+            .chain(self.stalls.iter().map(|s| s.end))
+            .max()
+    }
+}
+
+/// Generates the scenario's arrival trace: the homogeneous Poisson base
+/// at `base_rate` superposed with an extra Poisson stream at
+/// `base_rate × (multiplier − 1)` inside every burst window (the
+/// superposition of Poisson processes is Poisson at the summed rate).
+///
+/// # Errors
+///
+/// [`EquinoxError::InvalidArgument`] for a malformed rate and
+/// [`EquinoxError::FaultModel`] for a malformed scenario.
+pub fn scenario_arrivals(
+    scenario: &FaultScenario,
+    base_rate_per_cycle: f64,
+    horizon_cycles: u64,
+    seed: u64,
+) -> Result<Vec<u64>, EquinoxError> {
+    scenario.validate()?;
+    let mut arrivals = crate::loadgen::poisson_arrivals(base_rate_per_cycle, horizon_cycles, seed)?;
+    for (i, burst) in scenario.bursts.iter().enumerate() {
+        let extra_rate = base_rate_per_cycle * (burst.rate_multiplier - 1.0);
+        if extra_rate <= 0.0 {
+            continue;
+        }
+        // An independent, deterministically derived stream per burst.
+        let burst_seed = SplitMix64::seed_from_u64(seed ^ (0xB00B5 + i as u64)).next_u64();
+        let span = burst.window.len().min(horizon_cycles.saturating_sub(burst.window.start));
+        let extra = crate::loadgen::poisson_arrivals(extra_rate, span, burst_seed)?;
+        arrivals.extend(extra.into_iter().map(|t| t + burst.window.start));
+    }
+    arrivals.sort_unstable();
+    Ok(arrivals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_fault_free_and_valid() {
+        let s = FaultScenario::baseline();
+        assert!(s.is_fault_free());
+        assert!(s.validate().is_ok());
+        assert_eq!(s.bandwidth_factor_at(123.0), 1.0);
+        assert!(!s.formation_stalled_at(123.0));
+        assert!(s.boundaries().is_empty());
+        assert_eq!(s.last_disturbance_end(), None);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let s = FaultScenario::named("storm")
+            .with_burst(100, 200, 4.0)
+            .with_throttle(150, 400, 0.25)
+            .with_corruption(0.05, 7)
+            .with_stall(300, 350);
+        assert!(!s.is_fault_free());
+        assert!(s.validate().is_ok());
+        assert_eq!(s.bandwidth_factor_at(200.0), 0.25);
+        assert_eq!(s.bandwidth_factor_at(500.0), 1.0);
+        assert!(s.formation_stalled_at(320.0));
+        assert_eq!(s.boundaries(), vec![150, 300, 350, 400]);
+        assert_eq!(s.last_disturbance_end(), Some(400));
+    }
+
+    #[test]
+    fn overlapping_throttles_compound() {
+        let s = FaultScenario::named("x")
+            .with_throttle(0, 100, 0.5)
+            .with_throttle(50, 100, 0.5);
+        assert_eq!(s.bandwidth_factor_at(75.0), 0.25);
+        assert_eq!(s.bandwidth_factor_at(25.0), 0.5);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_scenarios() {
+        let cases = [
+            FaultScenario::named("b").with_burst(10, 10, 2.0),
+            FaultScenario::named("b").with_burst(0, 10, 0.5),
+            FaultScenario::named("b").with_burst(0, 10, f64::NAN),
+            FaultScenario::named("t").with_throttle(5, 2, 0.5),
+            FaultScenario::named("t").with_throttle(0, 10, 0.0),
+            FaultScenario::named("t").with_throttle(0, 10, 1.5),
+            FaultScenario::named("c").with_corruption(1.0, 1),
+            FaultScenario::named("c").with_corruption(-0.1, 1),
+            FaultScenario::named("s").with_stall(7, 7),
+        ];
+        for s in cases {
+            let err = s.validate().unwrap_err();
+            assert_eq!(err.kind(), "fault-model", "{s:?}");
+        }
+    }
+
+    #[test]
+    fn burst_adds_arrivals_inside_window_only() {
+        let base = 1e-3;
+        let horizon = 1_000_000;
+        let plain = scenario_arrivals(&FaultScenario::baseline(), base, horizon, 9).unwrap();
+        let bursty = scenario_arrivals(
+            &FaultScenario::named("burst").with_burst(200_000, 400_000, 5.0),
+            base,
+            horizon,
+            9,
+        )
+        .unwrap();
+        assert!(bursty.len() > plain.len());
+        let in_window = |a: &[u64]| a.iter().filter(|&&t| (200_000..400_000).contains(&t)).count();
+        let outside_plain = plain.len() - in_window(&plain);
+        let outside_bursty = bursty.len() - in_window(&bursty);
+        // Outside the window the traces carry the same base stream.
+        assert_eq!(outside_plain, outside_bursty);
+        // Inside, ≈5× the base density (±5σ).
+        let expect = 0.2e6 * base * 5.0;
+        let got = in_window(&bursty) as f64;
+        assert!((got - expect).abs() < 5.0 * expect.sqrt(), "{got} vs {expect}");
+        assert!(bursty.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn scenario_arrivals_deterministic() {
+        let s = FaultScenario::named("burst").with_burst(1000, 5000, 3.0);
+        let a = scenario_arrivals(&s, 1e-2, 100_000, 3).unwrap();
+        let b = scenario_arrivals(&s, 1e-2, 100_000, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scenario_arrivals_propagate_validation_errors() {
+        let s = FaultScenario::named("bad").with_burst(5, 5, 2.0);
+        assert!(scenario_arrivals(&s, 1e-3, 1000, 1).is_err());
+        let err = scenario_arrivals(&FaultScenario::baseline(), f64::NAN, 1000, 1).unwrap_err();
+        assert_eq!(err.kind(), "invalid-argument");
+    }
+}

@@ -12,6 +12,14 @@
 //! resolution. See `DESIGN.md` for the validation strategy (the role the
 //! authors' RTL traces and DRAMSim comparison played).
 //!
+//! Beyond the happy path, [`fault`] injects deterministic disturbances
+//! (traffic bursts, DRAM throttling, transient batch corruption,
+//! formation stalls), [`slo`] holds a run against a per-request
+//! deadline, and [`config::DegradationPolicy`] gives the scheduler
+//! graceful-degradation levers (training preemption, batch shrinking,
+//! load shedding, bounded retries). Fallible public APIs return
+//! [`EquinoxError`] instead of panicking.
+//!
 //! ## Example
 //!
 //! ```
@@ -23,10 +31,10 @@
 //! let config = AcceleratorConfig::new("Equinox_demo", dims, 1e9, Encoding::Hbfp8);
 //! let program = lower::compile_inference(&ModelSpec::lstm_2048_25(), &dims, dims.n);
 //! let timing = lower::InferenceTiming::from_program(&program, &dims, dims.n);
-//! let sim = Simulation::new(config, timing, None);
+//! let sim = Simulation::new(config, timing, None).unwrap();
 //! let rate = 0.5 * sim.max_request_rate_per_cycle();
-//! let arrivals = loadgen::poisson_arrivals(rate, 50_000_000, 42);
-//! let report = sim.run(&arrivals, 50_000_000);
+//! let arrivals = loadgen::poisson_arrivals(rate, 50_000_000, 42).unwrap();
+//! let report = sim.run(&arrivals, 50_000_000).unwrap();
 //! assert!(report.completed_requests > 0);
 //! ```
 
@@ -34,13 +42,20 @@ pub mod buffers;
 pub mod config;
 pub mod dram;
 pub mod engine;
+pub mod fault;
 pub mod loadgen;
 pub mod report;
+pub mod slo;
 pub mod stats;
 pub mod trace;
 pub mod validate;
 
-pub use config::{AcceleratorConfig, BatchingPolicy, DramParams, SchedulerPolicy};
+pub use config::{
+    AcceleratorConfig, BatchingPolicy, DegradationPolicy, DramParams, RetryPolicy, SchedulerPolicy,
+};
 pub use engine::Simulation;
+pub use equinox_isa::EquinoxError;
+pub use fault::FaultScenario;
 pub use report::SimReport;
+pub use slo::{SloReport, SloSpec};
 pub use stats::{CycleBreakdown, LatencyStats};

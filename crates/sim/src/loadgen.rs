@@ -2,23 +2,38 @@
 //! requests following Poisson arrival rates").
 
 use equinox_arith::rng::SplitMix64;
+use equinox_isa::EquinoxError;
 
 /// Generates Poisson arrival times (in cycles) with a deterministic
 /// seed.
+///
+/// # Errors
+///
+/// [`EquinoxError::InvalidArgument`] if `rate_per_cycle` is negative or
+/// not finite.
 ///
 /// # Example
 ///
 /// ```
 /// use equinox_sim::loadgen::poisson_arrivals;
-/// let arrivals = poisson_arrivals(1e-3, 1_000_000, 42);
+/// let arrivals = poisson_arrivals(1e-3, 1_000_000, 42).unwrap();
 /// // Rate 1e-3 per cycle over 1e6 cycles ⇒ ≈1000 arrivals.
 /// assert!(arrivals.len() > 800 && arrivals.len() < 1200);
 /// ```
-pub fn poisson_arrivals(rate_per_cycle: f64, horizon_cycles: u64, seed: u64) -> Vec<u64> {
-    assert!(rate_per_cycle >= 0.0, "rate must be non-negative");
+pub fn poisson_arrivals(
+    rate_per_cycle: f64,
+    horizon_cycles: u64,
+    seed: u64,
+) -> Result<Vec<u64>, EquinoxError> {
+    if !rate_per_cycle.is_finite() || rate_per_cycle < 0.0 {
+        return Err(EquinoxError::invalid_argument(
+            "loadgen::poisson_arrivals",
+            format!("rate must be finite and non-negative, got {rate_per_cycle}"),
+        ));
+    }
     let mut arrivals = Vec::new();
     if rate_per_cycle == 0.0 {
-        return arrivals;
+        return Ok(arrivals);
     }
     let mut rng = SplitMix64::seed_from_u64(seed);
     let mut t = 0.0f64;
@@ -31,7 +46,7 @@ pub fn poisson_arrivals(rate_per_cycle: f64, horizon_cycles: u64, seed: u64) -> 
         }
         arrivals.push(t as u64);
     }
-    arrivals
+    Ok(arrivals)
 }
 
 /// Converts an offered load fraction into an arrival rate per cycle.
@@ -39,9 +54,19 @@ pub fn poisson_arrivals(rate_per_cycle: f64, horizon_cycles: u64, seed: u64) -> 
 /// `max_request_rate_per_cycle` is the accelerator's saturation request
 /// rate (batch size / batch service cycles); `load` is the fraction of
 /// it to offer.
-pub fn rate_for_load(load: f64, max_request_rate_per_cycle: f64) -> f64 {
-    assert!(load >= 0.0, "load must be non-negative");
-    load * max_request_rate_per_cycle
+///
+/// # Errors
+///
+/// [`EquinoxError::InvalidArgument`] if `load` is negative or not
+/// finite.
+pub fn rate_for_load(load: f64, max_request_rate_per_cycle: f64) -> Result<f64, EquinoxError> {
+    if !load.is_finite() || load < 0.0 {
+        return Err(EquinoxError::invalid_argument(
+            "loadgen::rate_for_load",
+            format!("load must be finite and non-negative, got {load}"),
+        ));
+    }
+    Ok(load * max_request_rate_per_cycle)
 }
 
 /// A diurnal load profile: the service-demand variability that leaves
@@ -77,23 +102,28 @@ impl DiurnalProfile {
 /// Generates non-homogeneous Poisson arrivals following a diurnal
 /// profile over `horizon_cycles` (one simulated "day"), by thinning a
 /// homogeneous process at the peak rate.
+///
+/// # Errors
+///
+/// [`EquinoxError::InvalidArgument`] if the profile's peak rate is
+/// malformed (negative or not finite).
 pub fn diurnal_arrivals(
     profile: &DiurnalProfile,
     max_request_rate_per_cycle: f64,
     horizon_cycles: u64,
     seed: u64,
-) -> Vec<u64> {
+) -> Result<Vec<u64>, EquinoxError> {
     let peak_rate = profile.peak * max_request_rate_per_cycle;
-    let candidates = poisson_arrivals(peak_rate, horizon_cycles, seed);
+    let candidates = poisson_arrivals(peak_rate, horizon_cycles, seed)?;
     let mut rng = SplitMix64::seed_from_u64(seed.wrapping_add(0x5EED));
-    candidates
+    Ok(candidates
         .into_iter()
         .filter(|&t| {
             let day_t = t as f64 / horizon_cycles as f64;
             let keep = profile.load_at(day_t) / profile.peak;
             rng.next_f64() < keep
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -102,28 +132,28 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let a = poisson_arrivals(1e-4, 1_000_000, 7);
-        let b = poisson_arrivals(1e-4, 1_000_000, 7);
+        let a = poisson_arrivals(1e-4, 1_000_000, 7).unwrap();
+        let b = poisson_arrivals(1e-4, 1_000_000, 7).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = poisson_arrivals(1e-4, 1_000_000, 7);
-        let b = poisson_arrivals(1e-4, 1_000_000, 8);
+        let a = poisson_arrivals(1e-4, 1_000_000, 7).unwrap();
+        let b = poisson_arrivals(1e-4, 1_000_000, 8).unwrap();
         assert_ne!(a, b);
     }
 
     #[test]
     fn arrivals_sorted_and_in_horizon() {
-        let a = poisson_arrivals(1e-3, 500_000, 3);
+        let a = poisson_arrivals(1e-3, 500_000, 3).unwrap();
         assert!(a.windows(2).all(|w| w[0] <= w[1]));
         assert!(a.iter().all(|&t| t < 500_000));
     }
 
     #[test]
     fn rate_matches_count_statistically() {
-        let a = poisson_arrivals(1e-3, 10_000_000, 1);
+        let a = poisson_arrivals(1e-3, 10_000_000, 1).unwrap();
         let expected = 10_000.0;
         let got = a.len() as f64;
         assert!((got - expected).abs() < 5.0 * expected.sqrt(), "{got}");
@@ -131,19 +161,36 @@ mod tests {
 
     #[test]
     fn zero_rate_empty() {
-        assert!(poisson_arrivals(0.0, 1_000_000, 1).is_empty());
+        assert!(poisson_arrivals(0.0, 1_000_000, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn negative_rate_is_invalid_argument() {
+        let err = poisson_arrivals(-1e-3, 1_000_000, 1).unwrap_err();
+        assert_eq!(err.kind(), "invalid-argument");
+        assert!(err.to_string().contains("poisson_arrivals"));
+    }
+
+    #[test]
+    fn nan_rate_is_invalid_argument() {
+        let err = poisson_arrivals(f64::NAN, 1_000_000, 1).unwrap_err();
+        assert_eq!(err.kind(), "invalid-argument");
+        let err = poisson_arrivals(f64::INFINITY, 1_000_000, 1).unwrap_err();
+        assert_eq!(err.kind(), "invalid-argument");
     }
 
     #[test]
     fn load_to_rate() {
-        assert_eq!(rate_for_load(0.5, 1e-3), 5e-4);
-        assert_eq!(rate_for_load(0.0, 1e-3), 0.0);
+        assert_eq!(rate_for_load(0.5, 1e-3).unwrap(), 5e-4);
+        assert_eq!(rate_for_load(0.0, 1e-3).unwrap(), 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "load must be non-negative")]
-    fn negative_load_panics() {
-        rate_for_load(-0.1, 1.0);
+    fn negative_load_is_invalid_argument() {
+        let err = rate_for_load(-0.1, 1.0).unwrap_err();
+        assert_eq!(err.kind(), "invalid-argument");
+        assert!(err.to_string().contains("rate_for_load"));
+        assert!(rate_for_load(f64::NAN, 1.0).is_err());
     }
 
     #[test]
@@ -161,7 +208,7 @@ mod tests {
     fn diurnal_arrivals_track_profile() {
         let p = DiurnalProfile::thirty_percent_average();
         let horizon = 40_000_000u64;
-        let arrivals = diurnal_arrivals(&p, 1e-3, horizon, 9);
+        let arrivals = diurnal_arrivals(&p, 1e-3, horizon, 9).unwrap();
         // Total volume ≈ mean load × peak-equivalent volume.
         let expected = p.mean_load() * 1e-3 * horizon as f64;
         let got = arrivals.len() as f64;
@@ -184,8 +231,8 @@ mod tests {
     #[test]
     fn diurnal_arrivals_sorted_and_deterministic() {
         let p = DiurnalProfile::thirty_percent_average();
-        let a = diurnal_arrivals(&p, 1e-4, 10_000_000, 3);
-        let b = diurnal_arrivals(&p, 1e-4, 10_000_000, 3);
+        let a = diurnal_arrivals(&p, 1e-4, 10_000_000, 3).unwrap();
+        let b = diurnal_arrivals(&p, 1e-4, 10_000_000, 3).unwrap();
         assert_eq!(a, b);
         assert!(a.windows(2).all(|w| w[0] <= w[1]));
     }

@@ -1,5 +1,6 @@
 //! Simulation results.
 
+use crate::slo::SloReport;
 use crate::stats::{CycleBreakdown, LatencyStats};
 
 /// The outcome of one simulation run.
@@ -29,6 +30,12 @@ pub struct SimReport {
     pub incomplete_batches: u64,
     /// Software-scheduler training blocks dispatched.
     pub training_blocks: u64,
+    /// Requests turned away at admission by load shedding (0 unless a
+    /// degradation policy sheds).
+    pub shed_requests: u64,
+    /// QoS ledger, present when the run was held against an
+    /// [`SloSpec`](crate::slo::SloSpec).
+    pub slo: Option<SloReport>,
 }
 
 impl SimReport {
@@ -90,6 +97,8 @@ mod tests {
             batches_issued: 4,
             incomplete_batches: 1,
             training_blocks: 0,
+            shed_requests: 0,
+            slo: None,
         }
     }
 

@@ -1,0 +1,158 @@
+//! SLO monitoring: per-request deadlines, tail latency, and
+//! graceful-degradation accounting.
+//!
+//! §5 frames Equinox's guarantee as "no effect on inference QoS". The
+//! baseline simulator only reports the p99 latency; under fault
+//! injection we need the full QoS ledger: how many requests missed
+//! their deadline, how many were shed at admission, how many were lost
+//! with a dropped batch, how deep the queue grew, and how long the
+//! system took to drain back to steady state after the last
+//! disturbance.
+
+use equinox_isa::EquinoxError;
+
+/// The service-level objective one run is held against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSpec {
+    /// Per-request completion deadline, seconds from arrival. A request
+    /// completing later (or never) counts as a violation.
+    pub deadline_s: f64,
+}
+
+impl SloSpec {
+    /// An SLO at the given per-request deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`EquinoxError::InvalidArgument`] for a non-finite or
+    /// non-positive deadline.
+    pub fn new(deadline_s: f64) -> Result<Self, EquinoxError> {
+        if !deadline_s.is_finite() || deadline_s <= 0.0 {
+            return Err(EquinoxError::invalid_argument(
+                "SloSpec::new",
+                format!("deadline must be finite and positive, got {deadline_s}"),
+            ));
+        }
+        Ok(SloSpec { deadline_s })
+    }
+}
+
+/// The QoS ledger of one simulation run, produced by the engine when an
+/// [`SloSpec`] is attached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// The deadline the run was held against, seconds.
+    pub deadline_s: f64,
+    /// Requests whose fate was measured: completed, shed, or dropped.
+    pub measured_requests: usize,
+    /// Requests that missed the deadline: completed late, or still
+    /// queued at the horizon with the deadline already expired.
+    pub deadline_misses: usize,
+    /// Requests rejected at admission by load shedding.
+    pub shed_requests: usize,
+    /// Requests lost when a corrupted batch exhausted its retries.
+    pub dropped_requests: usize,
+    /// 99.9th-percentile latency of completed requests, seconds.
+    pub p999_s: f64,
+    /// Deepest the inference queue (formed + forming requests) got.
+    pub peak_queue_depth: usize,
+    /// Queue depth when the run ended — nonzero growth relative to one
+    /// batch signals an unstable (overloaded) regime.
+    pub final_queue_depth: usize,
+    /// Batches whose results were corrupted by injected faults.
+    pub corrupted_batches: usize,
+    /// Corrupted batches that were re-executed under the retry policy.
+    pub retried_batches: usize,
+    /// Corrupted batches dropped after exhausting retries.
+    pub dropped_batches: usize,
+    /// Cycles from the end of the last disturbance window until the
+    /// queue first drained to at most one batch; `None` when the
+    /// scenario had no windowed disturbance.
+    pub recovery_cycles: Option<f64>,
+    /// True if the queue drained back to at most one batch after the
+    /// last disturbance (always true for a stable fault-free run).
+    pub recovered: bool,
+}
+
+impl SloReport {
+    /// Total SLO violations: deadline misses plus requests shed at
+    /// admission plus requests lost with dropped batches. Shed and
+    /// dropped requests never complete, so they are violations by
+    /// definition.
+    pub fn total_violations(&self) -> usize {
+        self.deadline_misses + self.shed_requests + self.dropped_requests
+    }
+
+    /// Violations as a fraction of measured requests (0 for an empty
+    /// run).
+    pub fn violation_rate(&self) -> f64 {
+        if self.measured_requests == 0 {
+            0.0
+        } else {
+            self.total_violations() as f64 / self.measured_requests as f64
+        }
+    }
+
+    /// True if the run ended with a queue that never drained — the
+    /// unbounded-growth signature of offered load above capacity.
+    /// `batch` is the accelerator's batch size; a backlog of more than
+    /// eight batches at the horizon indicates the queue was growing,
+    /// not fluctuating (the priority scheduler deliberately lets the
+    /// queue ride near its threshold of two batches in steady state).
+    pub fn indicates_unbounded_growth(&self, batch: usize) -> bool {
+        self.final_queue_depth > 8 * batch.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SloReport {
+        SloReport {
+            deadline_s: 1e-3,
+            measured_requests: 1000,
+            deadline_misses: 5,
+            shed_requests: 10,
+            dropped_requests: 5,
+            p999_s: 9e-4,
+            peak_queue_depth: 48,
+            final_queue_depth: 3,
+            corrupted_batches: 2,
+            retried_batches: 1,
+            dropped_batches: 1,
+            recovery_cycles: Some(1.5e5),
+            recovered: true,
+        }
+    }
+
+    #[test]
+    fn spec_validates_deadline() {
+        assert!(SloSpec::new(1e-3).is_ok());
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = SloSpec::new(bad).unwrap_err();
+            assert_eq!(err.kind(), "invalid-argument");
+        }
+    }
+
+    #[test]
+    fn violations_sum_all_failure_modes() {
+        let r = report();
+        assert_eq!(r.total_violations(), 20);
+        assert!((r.violation_rate() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_has_zero_rate() {
+        let r = SloReport { measured_requests: 0, ..report() };
+        assert_eq!(r.violation_rate(), 0.0);
+    }
+
+    #[test]
+    fn unbounded_growth_thresholds_on_batch() {
+        let r = SloReport { final_queue_depth: 200, ..report() };
+        assert!(r.indicates_unbounded_growth(16));
+        let r = SloReport { final_queue_depth: 40, ..report() };
+        assert!(!r.indicates_unbounded_growth(16));
+    }
+}

@@ -55,6 +55,12 @@ impl LatencyStats {
         self.quantile(0.99)
     }
 
+    /// 99.9th-percentile latency — the tail the SLO monitor watches
+    /// under fault injection, where violations concentrate.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+
     /// Largest observed latency.
     pub fn max(&self) -> f64 {
         self.samples.last().copied().unwrap_or(0.0)
@@ -141,6 +147,7 @@ mod tests {
         let s = LatencyStats::from_samples((1..=100).map(|v| v as f64).collect());
         assert_eq!(s.p50(), 50.0);
         assert_eq!(s.p99(), 99.0);
+        assert_eq!(s.p999(), 100.0);
         assert_eq!(s.quantile(1.0), 100.0);
         assert_eq!(s.quantile(0.0), 1.0);
         assert_eq!(s.max(), 100.0);

@@ -90,11 +90,11 @@ mod tests {
     #[test]
     fn engine_matches_low_load_p99_bound() {
         let (config, timing, _) = setup();
-        let sim = Simulation::new(config.clone(), timing, None);
+        let sim = Simulation::new(config.clone(), timing, None).unwrap();
         let rate = 0.03 * sim.max_request_rate_per_cycle();
         let horizon = 3_000_000_000;
-        let arrivals = poisson_arrivals(rate, horizon, 77);
-        let report = sim.run(&arrivals, horizon);
+        let arrivals = poisson_arrivals(rate, horizon, 77).unwrap();
+        let report = sim.run(&arrivals, horizon).unwrap();
         let bound = low_load_p99_bound(&timing, 2.0, config.freq_hz);
         // p99 within the closed-form bound and at least half of it
         // (the batch usually waits out the threshold at 3% load).
@@ -105,11 +105,11 @@ mod tests {
     #[test]
     fn engine_matches_saturation_throughput() {
         let (config, timing, _) = setup();
-        let sim = Simulation::new(config.clone(), timing, None);
+        let sim = Simulation::new(config.clone(), timing, None).unwrap();
         let rate = 1.3 * sim.max_request_rate_per_cycle();
         let horizon = 2_000_000_000;
-        let arrivals = poisson_arrivals(rate, horizon, 78);
-        let report = sim.run(&arrivals, horizon);
+        let arrivals = poisson_arrivals(rate, horizon, 78).unwrap();
+        let report = sim.run(&arrivals, horizon).unwrap();
         let expected = saturation_throughput_ops(&timing, config.freq_hz);
         let rel = (report.inference_throughput_ops - expected).abs() / expected;
         // Within 10% (warm-up and the final partial batch blur it).
@@ -119,9 +119,9 @@ mod tests {
     #[test]
     fn engine_matches_idle_training_bound() {
         let (config, timing, profile) = setup();
-        let sim = Simulation::new(config.clone(), timing, Some(profile));
+        let sim = Simulation::new(config.clone(), timing, Some(profile)).unwrap();
         let horizon = 2_000_000_000;
-        let report = sim.run(&[], horizon);
+        let report = sim.run(&[], horizon).unwrap();
         let expected = idle_training_ops(&profile, &config);
         let rel = (report.training_throughput_ops - expected).abs() / expected;
         assert!(rel < 0.05, "sim {} vs analytic {}", report.training_throughput_ops, expected);

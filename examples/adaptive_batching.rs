@@ -13,7 +13,7 @@ fn main() {
     let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(500))
         .expect("a 500 µs design exists");
     let model = ModelSpec::lstm_2048_25();
-    let timing = eq.compile(&model);
+    let timing = eq.compile(&model).expect("reference workload compiles");
     let service_ms = timing.service_time_s(eq.freq_hz()) * 1e3;
     println!(
         "{} — batch of {} served in {:.2} ms",
@@ -41,7 +41,7 @@ fn main() {
                     batching: Some(policy),
                     ..RunOptions::inference(load)
                 },
-            );
+            ).expect("simulation run");
             print!("{:>10.2}", r.p99_ms());
         }
         println!();
@@ -59,7 +59,7 @@ fn main() {
                 batching: Some(BatchingPolicy::Adaptive { threshold_x: x }),
                 ..RunOptions::colocated(0.4)
             },
-        );
+        ).expect("simulation run");
         println!(
             "{:<12} {:>10.2} {:>14.1} {:>17.1}%",
             format!("{x:.0}x service"),

@@ -20,11 +20,11 @@ fn main() {
     }
     println!();
     for eq in Equinox::family(Encoding::Hbfp8) {
-        let timing = eq.compile(&model);
+        let timing = eq.compile(&model).expect("reference workload compiles");
         let profile = eq.training_profile(&model);
         print!("{:<16}", eq.config().name);
         for load in loads {
-            let r = eq.run_compiled(&timing, &RunOptions::colocated(load));
+            let r = eq.run_compiled(&timing, &RunOptions::colocated(load)).expect("simulation run");
             print!("{:>10.1}", r.training_tops());
         }
         let bound = profile
@@ -38,7 +38,7 @@ fn main() {
         .into_iter()
         .find(|e| e.config().name == "Equinox_500us")
         .expect("family contains the 500 µs configuration");
-    let timing = eq.compile(&model);
+    let timing = eq.compile(&model).expect("reference workload compiles");
     println!("\nScheduler comparison on {} at 85% load:", eq.config().name);
     for (name, policy) in [
         ("inference-only", SchedulerPolicy::InferenceOnly),
@@ -54,7 +54,7 @@ fn main() {
                 scheduler: Some(policy),
                 ..RunOptions::colocated(0.85)
             },
-        );
+        ).expect("simulation run");
         println!(
             "  {:<18} inf {:>6.1} TOp/s  p99 {:>7.2} ms  train {:>6.1} TOp/s",
             name,

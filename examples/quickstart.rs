@@ -22,7 +22,7 @@ fn main() {
 
     // 2. Compile the DeepBench LSTM onto the geometry.
     let model = ModelSpec::lstm_2048_25();
-    let timing = eq.compile(&model);
+    let timing = eq.compile(&model).expect("reference workload compiles");
     println!(
         "Compiled {}: {} cycles per batch of {} ({:.0} µs at {:.0} MHz)",
         model,
@@ -33,11 +33,11 @@ fn main() {
     );
 
     // 3. Serve Poisson traffic at 50 % load, inference only.
-    let inference_only = eq.run(&RunOptions::inference(0.5));
+    let inference_only = eq.run(&RunOptions::inference(0.5)).expect("simulation run");
     println!("\nInference only @50% load:\n  {inference_only}");
 
     // 4. Same load, now piggybacking an LSTM training service.
-    let colocated = eq.run(&RunOptions::colocated(0.5));
+    let colocated = eq.run(&RunOptions::colocated(0.5)).expect("simulation run");
     println!("\nWith piggybacked training @50% load:\n  {colocated}");
     println!(
         "\nTraining reclaimed {:.1} TOp/s from idle cycles; inference p99 moved {:.2} ms -> {:.2} ms",

@@ -20,4 +20,8 @@ cargo test --workspace --quiet
 echo "==> equinox-check sweep (writes results/equinox_check.json)"
 cargo run --release -p equinox-check --bin equinox-check
 
+echo "==> fault-injection smoke (reduced grid; fails on panics, SLO"
+echo "    violations in the no-fault baseline, or rejected policies)"
+cargo run --release -p equinox-bench --bin regen-results -- --quick fault
+
 echo "OK"

@@ -36,8 +36,9 @@ fn training_reclaims_most_idle_cycles_on_relaxed_designs() {
         .max_achievable_ops(e500.freq_hz(), e500.config().dram.bandwidth_bytes_per_s)
         / 1e12;
     let run = |eq: &Equinox, load: f64| {
-        let timing = eq.compile(&model);
+        let timing = eq.compile(&model).expect("reference workload compiles");
         eq.run_compiled(&timing, &RunOptions::colocated(load))
+            .expect("simulation run")
     };
     let t500 = run(&e500, 0.3).training_tops();
     let tmin = run(&emin, 0.3).training_tops();
@@ -53,16 +54,19 @@ fn training_reclaims_most_idle_cycles_on_relaxed_designs() {
 fn priority_scheduling_preserves_inference_latency() {
     let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(500)).unwrap();
     let model = ModelSpec::lstm_2048_25();
-    let timing = eq.compile(&model);
+    let timing = eq.compile(&model).expect("reference workload compiles");
     let target = Equinox::latency_target_s(Encoding::Hbfp8) * 1e3;
-    let inf_only = eq.run_compiled(
-        &timing,
-        &RunOptions {
-            scheduler: Some(SchedulerPolicy::InferenceOnly),
-            ..RunOptions::inference(0.85)
-        },
-    );
-    let priority = eq.run_compiled(&timing, &RunOptions::colocated(0.85));
+    let inf_only = eq
+        .run_compiled(
+            &timing,
+            &RunOptions {
+                scheduler: Some(SchedulerPolicy::InferenceOnly),
+                ..RunOptions::inference(0.85)
+            },
+        )
+        .expect("simulation run");
+    let priority =
+        eq.run_compiled(&timing, &RunOptions::colocated(0.85)).expect("simulation run");
     assert!(inf_only.p99_ms() < target);
     assert!(
         priority.p99_ms() < target,
@@ -110,4 +114,78 @@ fn synthesis_overheads() {
     let (ea, ep) = report.encoding_overhead();
     assert!((0.02..0.08).contains(&ea), "encoding area share {ea}");
     assert!((0.08..0.18).contains(&ep), "encoding power share {ep}");
+}
+
+/// Robustness: offered load above capacity terminates (the horizon
+/// bounds the run), and the SLO monitor reports the unbounded queue
+/// growth instead of the engine hanging or panicking. Deterministic
+/// for a fixed seed.
+#[test]
+fn overload_terminates_and_reports_unbounded_growth() {
+    use equinox::sim::{FaultScenario, SloSpec};
+    let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(500)).unwrap();
+    let model = ModelSpec::lstm_2048_25();
+    let timing = eq.compile(&model).expect("reference workload compiles");
+    let deadline = SloSpec::new(16.0 * timing.service_time_s(eq.freq_hz())).unwrap();
+    let run = || {
+        let opts = RunOptions {
+            target_requests: 1,
+            // Long enough that the backlog ages far past the deadline.
+            min_horizon_cycles: 200 * timing.total_cycles,
+            ..RunOptions::colocated(1.3)
+        };
+        eq.run_scenario(&timing, &opts, &FaultScenario::baseline(), Some(deadline))
+            .expect("overloaded runs terminate cleanly")
+    };
+    let report = run();
+    let slo = report.slo.clone().expect("SLO monitor attached");
+    // 1.3× capacity: the queue grows without bound and the monitor
+    // says so; a backlog that deep also means missed deadlines.
+    assert!(
+        slo.indicates_unbounded_growth(eq.dims().n),
+        "final queue {} for batch {}",
+        slo.final_queue_depth,
+        eq.dims().n
+    );
+    assert!(slo.total_violations() > 0, "{slo:?}");
+    assert!(slo.peak_queue_depth >= slo.final_queue_depth);
+    // Identical seeds reproduce the identical ledger.
+    assert_eq!(run().slo, report.slo);
+}
+
+/// Robustness: a faulted run through the public facade completes and
+/// the degradation policy visibly changes the outcome (admission
+/// control bounds the queue under a sustained burst).
+#[test]
+fn degradation_policy_bounds_burst_backlog() {
+    use equinox::sim::{DegradationPolicy, FaultScenario, SloSpec};
+    let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(500)).unwrap();
+    let model = ModelSpec::lstm_2048_25();
+    let timing = eq.compile(&model).expect("reference workload compiles");
+    let n = eq.dims().n;
+    let horizon = 150 * timing.total_cycles;
+    let scenario = FaultScenario::named("burst")
+        .with_burst(horizon * 3 / 10, horizon / 2, 4.0);
+    let deadline = SloSpec::new(16.0 * timing.service_time_s(eq.freq_hz())).unwrap();
+    let run = |policy: DegradationPolicy| {
+        let opts = RunOptions {
+            degradation: Some(policy),
+            target_requests: 1,
+            min_horizon_cycles: horizon,
+            ..RunOptions::colocated(0.6)
+        };
+        eq.run_scenario(&timing, &opts, &scenario, Some(deadline))
+            .expect("faulted runs terminate cleanly")
+            .slo
+            .expect("SLO monitor attached")
+    };
+    let unmitigated = run(DegradationPolicy::none());
+    let shed = run(DegradationPolicy::shedding(n));
+    assert_eq!(shed.shed_requests > 0, unmitigated.peak_queue_depth > 8 * n);
+    assert!(
+        shed.peak_queue_depth <= unmitigated.peak_queue_depth,
+        "admission control must not deepen the queue: {} vs {}",
+        shed.peak_queue_depth,
+        unmitigated.peak_queue_depth
+    );
 }

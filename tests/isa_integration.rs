@@ -71,7 +71,7 @@ fn compiled_timing_consistent_with_design_service_time() {
     // check).
     let model = ModelSpec::lstm_2048_25();
     for eq in Equinox::family(Encoding::Hbfp8) {
-        let timing = eq.compile(&model);
+        let timing = eq.compile(&model).expect("reference workload compiles");
         let simulated = timing.service_time_s(eq.freq_hz());
         let analytical = eq.design().service_time_s;
         let rel = (simulated - analytical).abs() / analytical;

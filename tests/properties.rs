@@ -98,10 +98,12 @@ fn simulation_deterministic() {
     use equinox::model::LatencyConstraint;
     let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(50)).unwrap();
     let run = || {
-        let r = eq.run(&RunOptions {
-            target_requests: 400,
-            ..RunOptions::colocated(0.6)
-        });
+        let r = eq
+            .run(&RunOptions {
+                target_requests: 400,
+                ..RunOptions::colocated(0.6)
+            })
+            .expect("simulation run");
         (
             r.completed_requests,
             r.latency.p99(),
