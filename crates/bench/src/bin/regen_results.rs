@@ -276,14 +276,16 @@ fn main() {
         // One verdict per (driver, design, workload) the experiment
         // drivers exercise; regenerated alongside the artifacts so the
         // static-analysis state of every published number is recorded.
-        let grid: [(&str, LatencyConstraint, ModelSpec, usize); 6] = [
+        let grid: [(&str, LatencyConstraint, ModelSpec, usize); 7] = [
             ("fig7/fig8/fig10/fig11", LatencyConstraint::Micros(500), ModelSpec::lstm_2048_25(), 0),
             ("fig9", LatencyConstraint::Micros(50), ModelSpec::lstm_2048_25(), 0),
             ("fig9/min", LatencyConstraint::MinLatency, ModelSpec::lstm_2048_25(), 0),
             ("table2/gru", LatencyConstraint::Micros(500), ModelSpec::gru_2816_1500(), 0),
             ("table2/resnet", LatencyConstraint::Micros(500), ModelSpec::resnet50(), 8),
+            ("table2/mlp", LatencyConstraint::Micros(500), ModelSpec::mlp_2048x5(), 0),
             ("diurnal/fault", LatencyConstraint::Micros(500), ModelSpec::lstm_2048_25(), 0),
         ];
+        let mut check_errors = 0usize;
         let mut json = String::from("{\"tool\":\"regen-results\",\"reports\":[");
         for (i, (driver, constraint, model, batch)) in grid.iter().enumerate() {
             let eq = Equinox::build(equinox_arith::Encoding::Hbfp8, *constraint)
@@ -295,6 +297,7 @@ fn main() {
                 report.error_count(),
                 report.warning_count()
             );
+            check_errors += report.error_count();
             if i > 0 {
                 json.push(',');
             }
@@ -303,10 +306,55 @@ fn main() {
                 report.to_json()
             ));
         }
+        // The training lowerings behind every "training for free" number:
+        // one full backward-pass + weight-update program per paper model
+        // on the 500 µs design, vetted by the operand-level dataflow
+        // pass. The GRU's 1500-step unroll exceeds the facade's default
+        // analysis cap, so these rows use one large enough that nothing
+        // is skipped.
+        let eq = Equinox::build(equinox_arith::Encoding::Hbfp8, LatencyConstraint::Micros(500))
+            .expect("paper designs exist");
+        for model in [
+            ModelSpec::lstm_2048_25(),
+            ModelSpec::gru_2816_1500(),
+            ModelSpec::resnet50(),
+            ModelSpec::mlp_2048x5(),
+        ] {
+            let report = eq.check_training(&model, 16_000_000);
+            println!(
+                "  training/{}: {} error(s), {} warning(s)",
+                model.name(),
+                report.error_count(),
+                report.warning_count()
+            );
+            check_errors += report.error_count();
+            json.push_str(&format!(
+                ",{{\"driver\":\"training/{}\",\"report\":{}}}",
+                model.name(),
+                report.to_json()
+            ));
+        }
         json.push_str("]}");
         write_result("driver_checks.json", &json);
         println!("  [{:.1}s]", t.elapsed().as_secs_f64());
+        if check_errors > 0 {
+            eprintln!("checks: {check_errors} error-severity diagnostic(s) in driver configurations");
+            std::process::exit(1);
+        }
     }
 
-    println!("\nAll selected experiments done in {:.1}s.", start.elapsed().as_secs_f64());
+    let elapsed = start.elapsed().as_secs_f64();
+    println!("\nAll selected experiments done in {elapsed:.1}s.");
+    if quick {
+        // The CI smoke job runs `--quick`; a blowup here means a grid
+        // accidentally regained full scale.
+        let budget: f64 = std::env::var("EQUINOX_QUICK_BUDGET_S")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(900.0);
+        if elapsed > budget {
+            eprintln!("--quick run took {elapsed:.1}s, over the {budget:.0}s smoke budget");
+            std::process::exit(1);
+        }
+    }
 }

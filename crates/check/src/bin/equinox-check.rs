@@ -1,22 +1,24 @@
 //! Command-line front end of the static analyzer.
 //!
 //! With no arguments, sweeps every built-in workload across the paper's
-//! accelerator family (both encodings), runs all pass families, prints
-//! a human summary, and writes a machine-readable report to
-//! `results/equinox_check.json`.
+//! accelerator family (both encodings), runs all pass families over both
+//! the inference and training lowerings, prints a human summary, and
+//! writes a machine-readable report to `results/equinox_check.json`.
 //!
 //! With file arguments, each file is treated as an installable
 //! instruction stream (the 16-byte-word wire format), decoded, and
 //! analyzed against the paper's `Equinox_500us` geometry.
 //!
 //! The exit code is non-zero iff any error-severity diagnostic was
-//! produced.
+//! produced — or, under `--deny-warnings`, any warning.
 
 use equinox_arith::Encoding;
-use equinox_check::{analyze_config, analyze_installation, analyze_program, analyze_training};
+use equinox_check::{
+    analyze_config, analyze_installation, analyze_program, analyze_training,
+    analyze_training_program,
+};
 use equinox_check::{encoding as wire, BufferBudget, Report};
-use equinox_isa::layers::GemmMode;
-use equinox_isa::lower::compile_inference;
+use equinox_isa::lower::{compile_inference_with, estimate_inference_instructions};
 use equinox_isa::models::ModelSpec;
 use equinox_isa::training::{TrainingProfile, TrainingSetup};
 use equinox_isa::{ArrayDims, Program};
@@ -60,27 +62,21 @@ fn serving_batch(model: &ModelSpec, dims: &ArrayDims) -> usize {
     }
 }
 
+/// Training configuration a workload trains under: RNN/MLP minibatch
+/// 128 (the GRU's 1500-step unroll at 32), im2col workloads at 8.
+fn training_setup(model: &ModelSpec, encoding: Encoding) -> TrainingSetup {
+    let batch = match model.name() {
+        "GRU" => 32,
+        _ if model.is_vector_matrix() => 128,
+        _ => 8,
+    };
+    TrainingSetup { batch, encoding, ..TrainingSetup::paper_default() }
+}
+
 /// Upper bound on the sweep's per-program instruction count: tiny
 /// geometries shatter the large RNNs into hundreds of millions of
 /// tiles, which is a compiler stress test rather than a useful check.
 const MAX_SWEEP_INSTRUCTIONS: u64 = 2_000_000;
-
-/// Cheap pre-compilation estimate of the tile-instruction count.
-fn estimated_instructions(model: &ModelSpec, dims: &ArrayDims) -> u64 {
-    model
-        .steps()
-        .iter()
-        .map(|s| {
-            let tile_out = match s.mode {
-                GemmMode::VectorMatrix => dims.tile_out(),
-                GemmMode::WeightBroadcast => dims.n,
-            };
-            s.repeats as u64
-                * s.k.div_ceil(dims.tile_k().max(1)) as u64
-                * s.out.div_ceil(tile_out.max(1)) as u64
-        })
-        .sum()
-}
 
 fn run_sweep() -> (Vec<Report>, bool) {
     let tech = TechnologyParams::tsmc28();
@@ -106,20 +102,26 @@ fn run_sweep() -> (Vec<Report>, bool) {
                 // Only analyze programs for models that install, and only
                 // when the lowered program stays a tractable size.
                 if installs {
-                    let estimate = estimated_instructions(&model, &config.dims);
+                    let estimate = estimate_inference_instructions(&model, &config.dims, batch);
                     let subject = format!("{}/{}", config.name, model.name());
                     if estimate > MAX_SWEEP_INSTRUCTIONS {
                         let mut skipped = Report::new(subject);
                         skipped.push(equinox_check::Diagnostic::note(
                             equinox_check::Code::ANALYSIS_SKIPPED,
                             format!(
-                                "~{estimate} tile instructions on this geometry; \
+                                "~{estimate} instructions on this geometry; \
                                  skipped (sweep cap {MAX_SWEEP_INSTRUCTIONS})"
                             ),
                         ));
                         reports.push(skipped);
                     } else {
-                        let program = compile_inference(&model, &config.dims, batch);
+                        let program = compile_inference_with(
+                            &model,
+                            &config.dims,
+                            batch,
+                            encoding,
+                            &budget,
+                        );
                         let mut report =
                             analyze_program(&program, &config.dims, &budget, encoding);
                         rename(&mut report, subject);
@@ -127,8 +129,25 @@ fn run_sweep() -> (Vec<Report>, bool) {
                         reports.push(report);
                     }
                 }
-                let profile =
-                    TrainingProfile::profile(&model, &config.dims, &TrainingSetup::paper_default());
+                // Training runs on the same geometry regardless of how
+                // inference is served: the lowered backward pass streams
+                // from DRAM, so it is analyzed even when the serving
+                // installation does not fit.
+                let setup = training_setup(&model, encoding);
+                let mut training_prog = analyze_training_program(
+                    &model,
+                    &config.dims,
+                    &setup,
+                    &budget,
+                    MAX_SWEEP_INSTRUCTIONS,
+                );
+                rename(
+                    &mut training_prog,
+                    format!("{}/{}:training", config.name, model.name()),
+                );
+                failed |= training_prog.has_errors();
+                reports.push(training_prog);
+                let profile = TrainingProfile::profile(&model, &config.dims, &setup);
                 let training = analyze_training(&profile, &config);
                 failed |= training.has_errors();
                 reports.push(training);
@@ -187,18 +206,26 @@ fn write_json(reports: &[Report]) -> std::io::Result<()> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (reports, failed) = if args.is_empty() {
+    let mut deny_warnings = false;
+    let mut files: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            other => files.push(other.to_string()),
+        }
+    }
+    let (mut reports, mut failed) = if files.is_empty() {
         run_sweep()
     } else {
-        let reports: Vec<Report> = args.iter().map(|p| check_file(p)).collect();
+        let reports: Vec<Report> = files.iter().map(|p| check_file(p)).collect();
         let failed = reports.iter().any(Report::has_errors);
         (reports, failed)
     };
 
     let mut errors = 0;
     let mut warnings = 0;
-    for report in &reports {
+    for report in &mut reports {
+        report.sort_by_span();
         if !report.is_clean() {
             print!("{}", report.render_human());
         }
@@ -210,7 +237,7 @@ fn main() {
         reports.len()
     );
 
-    if args.is_empty() {
+    if files.is_empty() {
         match write_json(&reports) {
             Ok(()) => println!("report written to results/equinox_check.json"),
             Err(e) => {
@@ -218,6 +245,9 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if deny_warnings && warnings > 0 {
+        failed = true;
     }
     if failed {
         std::process::exit(1);

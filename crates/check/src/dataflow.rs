@@ -1,41 +1,46 @@
-//! Pass family 1: def-use and occupancy-timeline analysis over the
-//! on-chip buffers.
+//! Pass family 5: operand-level dataflow analysis over byte regions.
 //!
-//! The ISA has no register operands — data movement is expressed as
-//! whole-buffer transfers (`LoadDram`/`StoreDram`) and the compute
-//! instructions implicitly read the weight/activation buffers and write
-//! the activation buffer. The analyzer therefore models each buffer as
-//! an *occupancy timeline* in bytes:
+//! Every data-touching instruction names the byte
+//! [`Region`](equinox_isa::instruction::Region) of the on-chip buffer
+//! it reads or writes, so the analyzer reasons about *which bytes* move
+//! where instead of whole-buffer occupancy totals. Per buffer it
+//! tracks:
 //!
-//! * `LoadDram { target, bytes }` **defines** `bytes` into `target`;
-//! * `StoreDram { source, bytes }` **consumes** `bytes` from `source` —
-//!   storing more than is resident is a use-before-define;
-//! * `MatMulTile` reads both operand buffers and transiently occupies
-//!   the activation buffer with its output tile
-//!   (`rows × out_span × bytes_per_value`), which the SIMD unit drains
-//!   at the MMU→SIMD boundary (§3.2);
-//! * `Simd` reads the activation buffer.
+//! * a **defined-bytes interval set** — reads not fully covered by
+//!   earlier writes are a use-before-define error
+//!   ([`Code::USE_BEFORE_DEFINE`]);
+//! * **pending definitions** (one record per defining write) — a write
+//!   that partially overlaps a not-yet-consumed definition corrupts the
+//!   surviving part ([`Code::PARTIAL_CLOBBER`]); a DRAM load fully
+//!   overwritten (or never read) before any consumer is a dead store
+//!   ([`Code::DEAD_STORE`]);
+//! * the **current epoch's accesses** — `Sync` delimits epochs, and
+//!   within one epoch DMA transfers run asynchronously alongside
+//!   compute. Overlapping same-epoch accesses with a DMA participant
+//!   and a write on either side race ([`Code::DMA_RACE`]) — the
+//!   double-buffer aliasing class a missing `Sync` causes. Overlapping
+//!   *compute* accesses are fine: the MMU→SIMD pipeline executes them
+//!   in order (accumulation over k-chunks deliberately rewrites its
+//!   output tile).
 //!
-//! Occupancy exceeding the [`BufferBudget`] at any instruction is an
-//! error ([`Code::ACTIVATION_OVERFLOW`] / [`Code::BUFFER_OVERFLOW`]);
-//! bytes loaded but never read by any later instruction are a
-//! dead-store warning ([`Code::DEAD_STORE`]).
+//! Regions past their buffer's capacity are flagged
+//! ([`Code::REGION_OUT_OF_BOUNDS`]), and tile-multiply operands smaller
+//! than the extents the instruction touches are suspicious
+//! ([`Code::UNDERSIZED_OPERAND`]).
+//!
+//! Unaddressed operands (the zero [`Region`] sentinel) are skipped:
+//! hand-written programs may elide placement, and the resource passes
+//! still cover them.
 
 use crate::diag::{Code, Diagnostic, Span};
+use crate::intervals::IntervalSet;
 use equinox_arith::Encoding;
-use equinox_isa::instruction::BufferKind;
+use equinox_isa::instruction::{BufferKind, Region};
 use equinox_isa::validate::BufferBudget;
 use equinox_isa::{Instruction, Program};
 
 /// SIMD register file capacity (§5's SRAM split: 5 MB).
 pub const SIMD_REGISTER_BYTES: u64 = 5 << 20;
-
-const BUFFERS: [BufferKind; 4] = [
-    BufferKind::Activation,
-    BufferKind::Weight,
-    BufferKind::Instruction,
-    BufferKind::SimdRegisters,
-];
 
 fn buffer_index(kind: BufferKind) -> usize {
     match kind {
@@ -55,6 +60,13 @@ fn buffer_name(kind: BufferKind) -> &'static str {
     }
 }
 
+const BUFFERS: [BufferKind; 4] = [
+    BufferKind::Activation,
+    BufferKind::Weight,
+    BufferKind::Instruction,
+    BufferKind::SimdRegisters,
+];
+
 /// Capacity of one on-chip buffer under `budget`, bytes.
 pub fn buffer_capacity(budget: &BufferBudget, kind: BufferKind) -> u64 {
     match kind {
@@ -65,194 +77,440 @@ pub fn buffer_capacity(budget: &BufferBudget, kind: BufferKind) -> u64 {
     }
 }
 
-/// Per-buffer dataflow state.
-#[derive(Default, Clone, Copy)]
+/// What produced a pending definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DefKind {
+    /// A `LoadDram` — unconsumed data is a wasted DRAM transfer.
+    Load,
+    /// A compute write (`MatMulTile` output, `Simd` in-place result).
+    Compute,
+}
+
+/// One defining write whose bytes are still (partially) live.
+#[derive(Debug, Clone, Copy)]
+struct DefRecord {
+    region: Region,
+    kind: DefKind,
+    pc: usize,
+    read: bool,
+}
+
+/// One access inside the current epoch.
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    region: Region,
+    pc: usize,
+    is_write: bool,
+    is_dma: bool,
+}
+
+#[derive(Default)]
 struct BufferState {
-    /// Resident bytes defined by loads and not yet stored back.
-    occupancy: u64,
-    /// Index of the first load whose data has not been read since.
-    unread_since: Option<usize>,
-    /// Whether the current occupancy has already been reported as an
-    /// overflow (avoids one diagnostic per subsequent instruction).
-    overflow_reported: bool,
+    defined: IntervalSet,
+    defs: Vec<DefRecord>,
+    epoch: Vec<Access>,
+    oob_reported: bool,
+}
+
+struct Analyzer<'a> {
+    budget: &'a BufferBudget,
+    state: [BufferState; 4],
+    diags: Vec<Diagnostic>,
+}
+
+impl Analyzer<'_> {
+    fn read(&mut self, kind: BufferKind, region: Region, pc: usize, is_dma: bool) {
+        if region.is_empty() {
+            return;
+        }
+        let s = &mut self.state[buffer_index(kind)];
+        if let Some((gap_start, gap_end)) = s.defined.first_gap(region.offset, region.end()) {
+            self.diags.push(
+                Diagnostic::error(
+                    Code::USE_BEFORE_DEFINE,
+                    format!(
+                        "reads {region} of the {} but bytes [{gap_start:#x}..{gap_end:#x}) \
+                         were never defined",
+                        buffer_name(kind)
+                    ),
+                )
+                .with_span(Span::at(pc)),
+            );
+        }
+        for def in s.defs.iter_mut() {
+            if def.region.overlaps(&region) {
+                def.read = true;
+            }
+        }
+        s.epoch.push(Access { region, pc, is_write: false, is_dma });
+    }
+
+    fn write(
+        &mut self,
+        kind: BufferKind,
+        region: Region,
+        pc: usize,
+        def_kind: DefKind,
+        is_dma: bool,
+    ) {
+        if region.is_empty() {
+            return;
+        }
+        let capacity = buffer_capacity(self.budget, kind);
+        let s = &mut self.state[buffer_index(kind)];
+        if region.end() > capacity && !s.oob_reported {
+            s.oob_reported = true;
+            self.diags.push(
+                Diagnostic::error(
+                    Code::REGION_OUT_OF_BOUNDS,
+                    format!(
+                        "writes {region}, past the {} byte capacity of the {} \
+                         (further overruns of this buffer are not repeated)",
+                        capacity,
+                        buffer_name(kind)
+                    ),
+                )
+                .with_span(Span::at(pc)),
+            );
+        }
+        // Settle every pending definition this write touches.
+        let mut kept = Vec::with_capacity(s.defs.len() + 1);
+        for def in s.defs.drain(..) {
+            if !region.overlaps(&def.region) {
+                kept.push(def);
+                continue;
+            }
+            if region.contains(&def.region) {
+                // Fully superseded. An unread DRAM load that never met a
+                // consumer was a wasted transfer.
+                if !def.read && def.kind == DefKind::Load {
+                    self.diags.push(
+                        Diagnostic::warning(
+                            Code::DEAD_STORE,
+                            format!(
+                                "load of {} into the {} is overwritten at instr {pc} \
+                                 before anything reads it",
+                                def.region,
+                                buffer_name(kind)
+                            ),
+                        )
+                        .with_span(Span::at(def.pc)),
+                    );
+                }
+                continue;
+            }
+            // Partial overlap: the definition survives with a hole.
+            if !def.read {
+                self.diags.push(
+                    Diagnostic::warning(
+                        Code::PARTIAL_CLOBBER,
+                        format!(
+                            "write to {region} of the {} partially overwrites the live \
+                             region {} defined at instr {}",
+                            buffer_name(kind),
+                            def.region,
+                            def.pc
+                        ),
+                    )
+                    .with_span(Span::at(pc)),
+                );
+            }
+            // Keep the surviving left/right remainders.
+            if def.region.offset < region.offset {
+                kept.push(DefRecord {
+                    region: Region::new(def.region.offset, region.offset - def.region.offset),
+                    ..def
+                });
+            }
+            if def.region.end() > region.end() {
+                kept.push(DefRecord {
+                    region: Region::new(region.end(), def.region.end() - region.end()),
+                    ..def
+                });
+            }
+        }
+        kept.push(DefRecord { region, kind: def_kind, pc, read: false });
+        s.defs = kept;
+        s.defined.insert(region.offset, region.end());
+        s.epoch.push(Access { region, pc, is_write: true, is_dma });
+    }
+
+    /// Closes the current epoch: flags overlapping accesses where a DMA
+    /// transfer races a write, then clears the epoch lists.
+    fn close_epoch(&mut self) {
+        for kind in BUFFERS {
+            let s = &mut self.state[buffer_index(kind)];
+            s.epoch.sort_by_key(|a| (a.region.offset, a.pc));
+            for i in 0..s.epoch.len() {
+                let a = s.epoch[i];
+                for j in (i + 1)..s.epoch.len() {
+                    let b = s.epoch[j];
+                    if b.region.offset >= a.region.end() {
+                        break;
+                    }
+                    if (a.is_dma || b.is_dma)
+                        && (a.is_write || b.is_write)
+                        && a.region.overlaps(&b.region)
+                    {
+                        let (first, second) = if a.pc <= b.pc { (a, b) } else { (b, a) };
+                        self.diags.push(
+                            Diagnostic::error(
+                                Code::DMA_RACE,
+                                format!(
+                                    "in-flight DMA and a same-epoch {} touch overlapping \
+                                     bytes of the {} ({} at instr {} vs {} at instr {}); \
+                                     a Sync must separate them",
+                                    if second.is_write { "write" } else { "read" },
+                                    buffer_name(kind),
+                                    first.region,
+                                    first.pc,
+                                    second.region,
+                                    second.pc
+                                ),
+                            )
+                            .with_span(Span { start: first.pc, end: second.pc + 1 }),
+                        );
+                    }
+                }
+            }
+            s.epoch.clear();
+        }
+    }
 }
 
 /// Runs the dataflow pass over `program`.
 ///
-/// `encoding` sizes the transient MatMul output tiles.
+/// `encoding` sizes the bytes a tile multiply's extents touch for the
+/// undersized-operand lint.
 pub fn analyze(program: &Program, budget: &BufferBudget, encoding: Encoding) -> Vec<Diagnostic> {
-    let mut diags = Vec::new();
-    let mut state = [BufferState::default(); 4];
-    let bytes_per_value = encoding.bytes_per_value() as u64;
+    let bpv = encoding.bytes_per_value() as u64;
+    let mut a = Analyzer { budget, state: Default::default(), diags: Vec::new() };
 
-    let read = |state: &mut [BufferState; 4], kind: BufferKind| {
-        state[buffer_index(kind)].unread_since = None;
-    };
-
-    for (index, instr) in program.instructions().iter().enumerate() {
+    for (pc, instr) in program.instructions().iter().enumerate() {
         match *instr {
-            Instruction::LoadDram { target, bytes } => {
-                let s = &mut state[buffer_index(target)];
-                s.occupancy = s.occupancy.saturating_add(bytes);
-                if s.unread_since.is_none() {
-                    s.unread_since = Some(index);
-                }
-                let cap = buffer_capacity(budget, target);
-                if s.occupancy > cap && !s.overflow_reported {
-                    s.overflow_reported = true;
-                    let code = if target == BufferKind::Activation {
-                        Code::ACTIVATION_OVERFLOW
-                    } else {
-                        Code::BUFFER_OVERFLOW
-                    };
-                    diags.push(
-                        Diagnostic::error(
-                            code,
+            Instruction::LoadDram { target, region } => {
+                a.write(target, region, pc, DefKind::Load, true);
+            }
+            Instruction::StoreDram { source, region } => {
+                a.read(source, region, pc, true);
+            }
+            Instruction::MatMulTile {
+                rows, k_span, out_span, weights, input, output, ..
+            } => {
+                let weight_need = k_span as u64 * out_span as u64 * bpv;
+                if !weights.is_empty() && weights.bytes < weight_need {
+                    a.diags.push(
+                        Diagnostic::warning(
+                            Code::UNDERSIZED_OPERAND,
                             format!(
-                                "{} occupancy reaches {} bytes, exceeding its {} byte budget",
-                                buffer_name(target),
-                                s.occupancy,
-                                cap
+                                "weight operand {weights} holds fewer bytes than the \
+                                 {k_span}×{out_span} tile needs ({weight_need})"
                             ),
                         )
-                        .with_span(Span::at(index)),
+                        .with_span(Span::at(pc)),
                     );
                 }
-            }
-            Instruction::StoreDram { source, bytes } => {
-                let s = &mut state[buffer_index(source)];
-                if bytes > s.occupancy {
-                    diags.push(
-                        Diagnostic::error(
-                            Code::USE_BEFORE_DEFINE,
+                let out_need = rows as u64 * out_span as u64 * bpv;
+                if !output.is_empty() && output.bytes < out_need {
+                    a.diags.push(
+                        Diagnostic::warning(
+                            Code::UNDERSIZED_OPERAND,
                             format!(
-                                "store of {} bytes from the {} but only {} bytes are resident",
-                                bytes,
-                                buffer_name(source),
-                                s.occupancy
+                                "output operand {output} holds fewer bytes than the \
+                                 {rows}×{out_span} result needs ({out_need})"
                             ),
                         )
-                        .with_span(Span::at(index)),
-                    );
-                    s.occupancy = 0;
-                } else {
-                    s.occupancy -= bytes;
-                }
-                if s.occupancy <= buffer_capacity(budget, source) {
-                    s.overflow_reported = false;
-                }
-                s.unread_since = None;
-            }
-            Instruction::MatMulTile { rows, out_span, .. } => {
-                read(&mut state, BufferKind::Weight);
-                read(&mut state, BufferKind::Activation);
-                let transient = rows as u64 * out_span as u64 * bytes_per_value;
-                let s = &state[buffer_index(BufferKind::Activation)];
-                let cap = buffer_capacity(budget, BufferKind::Activation);
-                if s.occupancy.saturating_add(transient) > cap && !s.overflow_reported {
-                    diags.push(
-                        Diagnostic::error(
-                            Code::ACTIVATION_OVERFLOW,
-                            format!(
-                                "output tile of {transient} bytes on top of {} resident bytes \
-                                 exceeds the {cap} byte activation budget",
-                                s.occupancy
-                            ),
-                        )
-                        .with_span(Span::at(index)),
+                        .with_span(Span::at(pc)),
                     );
                 }
+                a.read(BufferKind::Weight, weights, pc, false);
+                // The input region is not checked for size: lowered
+                // convolutions stage a compressed window the im2col unit
+                // expands on the fly (§3.1).
+                a.read(BufferKind::Activation, input, pc, false);
+                a.write(BufferKind::Activation, output, pc, DefKind::Compute, false);
             }
-            Instruction::Simd { .. } => {
-                read(&mut state, BufferKind::Activation);
-                read(&mut state, BufferKind::SimdRegisters);
+            Instruction::Simd { region, .. } => {
+                // In-place read-modify-write on the activation buffer.
+                a.read(BufferKind::Activation, region, pc, false);
+                a.write(BufferKind::Activation, region, pc, DefKind::Compute, false);
             }
-            Instruction::HostIo { .. } | Instruction::Sync => {}
+            Instruction::Sync => a.close_epoch(),
+            Instruction::HostIo { .. } => {}
         }
     }
+    a.close_epoch();
 
+    // Loads whose data never met a consumer.
     for kind in BUFFERS {
-        let s = &state[buffer_index(kind)];
-        if s.occupancy > 0 {
-            if let Some(first) = s.unread_since {
-                diags.push(
+        let s = &a.state[buffer_index(kind)];
+        for def in &s.defs {
+            if def.kind == DefKind::Load && !def.read {
+                a.diags.push(
                     Diagnostic::warning(
                         Code::DEAD_STORE,
                         format!(
-                            "{} bytes loaded into the {} are never consumed",
-                            s.occupancy,
+                            "load of {} into the {} is never consumed",
+                            def.region,
                             buffer_name(kind)
                         ),
                     )
-                    .with_span(Span::at(first)),
+                    .with_span(Span::at(def.pc)),
                 );
             }
         }
     }
-    diags
+    a.diags
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use equinox_isa::instruction::SimdOpKind;
     use equinox_isa::layers::GemmMode;
 
     fn budget() -> BufferBudget {
         BufferBudget::paper_default()
     }
 
-    fn load(bytes: u64) -> Instruction {
-        Instruction::LoadDram { target: BufferKind::Activation, bytes }
+    fn load(offset: u64, bytes: u64) -> Instruction {
+        Instruction::LoadDram {
+            target: BufferKind::Activation,
+            region: Region::new(offset, bytes),
+        }
     }
 
-    fn store(bytes: u64) -> Instruction {
-        Instruction::StoreDram { source: BufferKind::Activation, bytes }
+    fn store(offset: u64, bytes: u64) -> Instruction {
+        Instruction::StoreDram {
+            source: BufferKind::Activation,
+            region: Region::new(offset, bytes),
+        }
     }
 
     #[test]
     fn balanced_load_store_is_clean() {
         let mut p = Program::new("ok");
-        p.extend([load(1024), store(1024)]);
+        p.extend([load(0, 1024), Instruction::Sync, store(0, 1024)]);
         assert!(analyze(&p, &budget(), Encoding::Hbfp8).is_empty());
     }
 
     #[test]
-    fn store_without_load_is_use_before_define() {
+    fn store_of_undefined_bytes_is_use_before_define() {
         let mut p = Program::new("bad");
-        p.push(store(64));
+        p.push(store(64, 64));
         let d = analyze(&p, &budget(), Encoding::Hbfp8);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].code, Code::USE_BEFORE_DEFINE);
         assert_eq!(d[0].span, Some(Span::at(0)));
+        assert!(d[0].message.contains("[0x40..0x80)"), "{}", d[0].message);
     }
 
     #[test]
-    fn timeline_overflow_reported_once_at_peak() {
-        let mut p = Program::new("big");
+    fn store_wider_than_the_definition_is_flagged() {
+        // The old occupancy pass was byte-count based and would accept
+        // this: 1024 bytes are resident, 1024 are stored — but from a
+        // *different place* in the buffer.
+        let mut p = Program::new("shifted");
+        p.extend([load(0, 1024), Instruction::Sync, store(512, 1024)]);
+        let d = analyze(&p, &budget(), Encoding::Hbfp8);
+        assert!(d.iter().any(|d| d.code == Code::USE_BEFORE_DEFINE), "{d:?}");
+    }
+
+    #[test]
+    fn partial_clobber_of_unconsumed_region_warns() {
+        let mut p = Program::new("clobber");
+        p.extend([
+            load(0, 1024),
+            Instruction::Sync,
+            load(512, 1024),
+            Instruction::Sync,
+            store(0, 1536),
+        ]);
+        let d = analyze(&p, &budget(), Encoding::Hbfp8);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, Code::PARTIAL_CLOBBER);
+        assert_eq!(d[0].span, Some(Span::at(2)));
+    }
+
+    #[test]
+    fn full_overwrite_of_read_data_is_silent() {
+        let mut p = Program::new("reuse");
+        p.extend([
+            load(0, 1024),
+            Instruction::Sync,
+            store(0, 1024),
+            Instruction::Sync,
+            load(0, 1024),
+            Instruction::Sync,
+            store(0, 1024),
+        ]);
+        assert!(analyze(&p, &budget(), Encoding::Hbfp8).is_empty());
+    }
+
+    #[test]
+    fn same_epoch_dma_overlap_is_a_race() {
+        // Two in-flight loads into overlapping halves with no Sync: the
+        // classic double-buffer aliasing bug.
+        let mut p = Program::new("race");
+        p.extend([load(0, 1024), load(512, 1024), Instruction::Sync]);
+        let d = analyze(&p, &budget(), Encoding::Hbfp8);
+        let races: Vec<_> = d.iter().filter(|d| d.code == Code::DMA_RACE).collect();
+        assert_eq!(races.len(), 1, "{d:?}");
+        assert_eq!(races[0].span, Some(Span { start: 0, end: 2 }));
+    }
+
+    #[test]
+    fn same_epoch_store_of_computed_tile_races() {
+        let mut p = Program::new("early-store");
+        p.extend([
+            load(0, 64),
+            Instruction::Sync,
+            Instruction::MatMulTile {
+                rows: 8,
+                k_span: 8,
+                out_span: 8,
+                mode: GemmMode::VectorMatrix,
+                weights: Region::unaddressed(),
+                input: Region::new(0, 64),
+                output: Region::new(4096, 64),
+            },
+            // Missing Sync: the store streams out while the MMU is
+            // still writing the tile.
+            store(4096, 64),
+        ]);
+        let d = analyze(&p, &budget(), Encoding::Hbfp8);
+        assert!(d.iter().any(|d| d.code == Code::DMA_RACE), "{d:?}");
+    }
+
+    #[test]
+    fn separated_double_buffer_halves_are_clean() {
+        // The same two windows, disjoint and Sync-separated: fine.
+        let mut p = Program::new("pingpong");
+        p.extend([
+            load(0, 1024),
+            load(1024, 1024),
+            Instruction::Sync,
+            store(0, 1024),
+            store(1024, 1024),
+        ]);
+        assert!(analyze(&p, &budget(), Encoding::Hbfp8).is_empty());
+    }
+
+    #[test]
+    fn region_past_capacity_is_out_of_bounds() {
         let cap = budget().activation_bytes;
-        p.extend([load(cap), load(1), load(1)]);
+        let mut p = Program::new("oob");
+        p.extend([load(cap, 512), load(cap + 1024, 512), Instruction::Sync]);
         let d = analyze(&p, &budget(), Encoding::Hbfp8);
-        let overflows: Vec<_> =
-            d.iter().filter(|d| d.code == Code::ACTIVATION_OVERFLOW).collect();
-        assert_eq!(overflows.len(), 1);
-        assert_eq!(overflows[0].span, Some(Span::at(1)));
-    }
-
-    #[test]
-    fn weight_overflow_uses_buffer_code() {
-        let mut p = Program::new("w");
-        p.push(Instruction::LoadDram {
-            target: BufferKind::Weight,
-            bytes: budget().weight_bytes + 1,
-        });
-        let d = analyze(&p, &budget(), Encoding::Hbfp8);
-        assert!(d.iter().any(|d| d.code == Code::BUFFER_OVERFLOW));
+        let oob: Vec<_> = d.iter().filter(|d| d.code == Code::REGION_OUT_OF_BOUNDS).collect();
+        assert_eq!(oob.len(), 1, "reported once per buffer: {d:?}");
+        assert_eq!(oob[0].span, Some(Span::at(0)));
     }
 
     #[test]
     fn unconsumed_load_is_dead_store() {
         let mut p = Program::new("dead");
-        p.push(load(128));
+        p.push(load(0, 128));
         let d = analyze(&p, &budget(), Encoding::Hbfp8);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].code, Code::DEAD_STORE);
@@ -260,29 +518,116 @@ mod tests {
     }
 
     #[test]
-    fn matmul_reads_clear_dead_store() {
-        let mut p = Program::new("used");
-        p.push(load(128));
-        p.push(Instruction::MatMulTile {
-            rows: 1,
-            k_span: 1,
-            out_span: 1,
-            mode: GemmMode::VectorMatrix,
-        });
+    fn overwritten_unread_load_is_dead_store_at_the_load() {
+        let mut p = Program::new("wasted");
+        p.extend([load(0, 128), Instruction::Sync, load(0, 128), Instruction::Sync, store(0, 128)]);
         let d = analyze(&p, &budget(), Encoding::Hbfp8);
-        assert!(d.is_empty(), "{d:?}");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, Code::DEAD_STORE);
+        assert_eq!(d[0].span, Some(Span::at(0)));
     }
 
     #[test]
-    fn huge_output_tile_overflows_activations() {
-        let mut p = Program::new("tile");
+    fn matmul_reads_weights_and_writes_output() {
+        let mut p = Program::new("mm");
+        p.extend([
+            Instruction::LoadDram { target: BufferKind::Weight, region: Region::new(0, 64) },
+            load(0, 64),
+            Instruction::Sync,
+            Instruction::MatMulTile {
+                rows: 8,
+                k_span: 8,
+                out_span: 8,
+                mode: GemmMode::VectorMatrix,
+                weights: Region::new(0, 64),
+                input: Region::new(0, 64),
+                output: Region::new(1024, 64),
+            },
+            Instruction::Sync,
+            store(1024, 64),
+        ]);
+        assert!(analyze(&p, &budget(), Encoding::Hbfp8).is_empty());
+    }
+
+    #[test]
+    fn matmul_on_undefined_weights_is_use_before_define() {
+        let mut p = Program::new("no-weights");
+        p.extend([
+            load(0, 64),
+            Instruction::Sync,
+            Instruction::MatMulTile {
+                rows: 8,
+                k_span: 8,
+                out_span: 8,
+                mode: GemmMode::VectorMatrix,
+                weights: Region::new(0, 64),
+                input: Region::new(0, 64),
+                output: Region::new(1024, 64),
+            },
+            Instruction::Sync,
+            store(1024, 64),
+        ]);
+        let d = analyze(&p, &budget(), Encoding::Hbfp8);
+        assert!(
+            d.iter().any(|d| d.code == Code::USE_BEFORE_DEFINE
+                && d.message.contains("weight buffer")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn undersized_operands_warn() {
+        let mut p = Program::new("small");
         p.push(Instruction::MatMulTile {
-            rows: 30 << 20,
-            k_span: 1,
-            out_span: 1,
+            rows: 16,
+            k_span: 8,
+            out_span: 8,
             mode: GemmMode::VectorMatrix,
+            weights: Region::new(0, 8), // needs 64
+            input: Region::unaddressed(),
+            output: Region::new(1024, 16), // needs 128
         });
         let d = analyze(&p, &budget(), Encoding::Hbfp8);
-        assert!(d.iter().any(|d| d.code == Code::ACTIVATION_OVERFLOW));
+        assert_eq!(
+            d.iter().filter(|d| d.code == Code::UNDERSIZED_OPERAND).count(),
+            2,
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn waw_accumulation_over_k_chunks_is_silent() {
+        // Two k-chunk matmuls write the same output tile, then SIMD
+        // accumulates and a store drains it — the Figure 4 pattern.
+        let out = Region::new(2048, 64);
+        let mm = |k0: u64| Instruction::MatMulTile {
+            rows: 8,
+            k_span: 8,
+            out_span: 8,
+            mode: GemmMode::VectorMatrix,
+            weights: Region::new(k0, 64),
+            input: Region::new(0, 128),
+            output: out,
+        };
+        let mut p = Program::new("accum");
+        p.extend([
+            Instruction::LoadDram { target: BufferKind::Weight, region: Region::new(0, 128) },
+            load(0, 128),
+            Instruction::Sync,
+            mm(0),
+            mm(64),
+            Instruction::Simd { kind: SimdOpKind::Elementwise, elems: 64, region: out },
+            Instruction::Sync,
+            store(2048, 64),
+        ]);
+        assert!(analyze(&p, &budget(), Encoding::Hbfp8).is_empty());
+    }
+
+    #[test]
+    fn unaddressed_operands_are_skipped() {
+        let mut p = Program::new("legacy");
+        p.push(Instruction::matmul(8, 8, 8, GemmMode::VectorMatrix));
+        p.push(Instruction::simd(SimdOpKind::Activation, 64));
+        assert!(analyze(&p, &budget(), Encoding::Hbfp8).is_empty());
     }
 }

@@ -8,25 +8,37 @@
 //!
 //! | range   | family                                     |
 //! |---------|--------------------------------------------|
-//! | `01xx`  | dataflow (def-use / buffer timelines)      |
 //! | `02xx`  | resource envelopes (buffers, geometry)     |
 //! | `03xx`  | binary encoding round-trips                |
 //! | `04xx`  | scheduler / configuration lints            |
+//! | `05xx`  | dataflow (operand-level def-use over byte regions) |
+//!
+//! (The retired `01xx` range held the pre-region occupancy-timeline
+//! pass; its codes are not reused.)
 
 /// A stable diagnostic code, rendered as `EQXnnnn`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Code(u16);
 
 impl Code {
-    /// A DRAM store (or other consumer) reads more bytes from a buffer
-    /// than have been defined into it at that point of the program.
-    pub const USE_BEFORE_DEFINE: Code = Code(101);
-    /// The activation-buffer occupancy timeline exceeds the budget.
-    pub const ACTIVATION_OVERFLOW: Code = Code(102);
-    /// A non-activation on-chip buffer's occupancy exceeds its budget.
-    pub const BUFFER_OVERFLOW: Code = Code(103);
+    /// An instruction reads buffer bytes that no earlier instruction
+    /// defined.
+    pub const USE_BEFORE_DEFINE: Code = Code(501);
+    /// A write partially overwrites a live (not-yet-consumed) region,
+    /// corrupting the part that survives.
+    pub const PARTIAL_CLOBBER: Code = Code(502);
+    /// Two accesses to overlapping bytes share an epoch (no `Sync`
+    /// between them) with a DMA transfer on one side and a write on
+    /// either — the in-flight transfer races the other access
+    /// (double-buffer aliasing).
+    pub const DMA_RACE: Code = Code(503);
+    /// An operand region extends past its buffer's capacity.
+    pub const REGION_OUT_OF_BOUNDS: Code = Code(504);
     /// Bytes loaded on-chip are never consumed by any later instruction.
-    pub const DEAD_STORE: Code = Code(104);
+    pub const DEAD_STORE: Code = Code(505);
+    /// An operand region is smaller than the bytes the instruction's
+    /// extents touch.
+    pub const UNDERSIZED_OPERAND: Code = Code(506);
 
     /// A dependence region holds more instructions than the instruction
     /// buffer can stream.
@@ -223,6 +235,16 @@ impl Report {
         &self.diagnostics
     }
 
+    /// Sorts findings by span (program order), then code — a
+    /// deterministic emission order independent of which pass produced
+    /// them. Span-less findings sort last.
+    pub fn sort_by_span(&mut self) {
+        self.diagnostics.sort_by_key(|d| {
+            let (start, end) = d.span.map_or((usize::MAX, usize::MAX), |s| (s.start, s.end));
+            (start, end, d.code)
+        });
+    }
+
     /// True if no findings at all were produced.
     pub fn is_clean(&self) -> bool {
         self.diagnostics.is_empty()
@@ -326,10 +348,32 @@ mod tests {
 
     #[test]
     fn codes_render_stably() {
-        assert_eq!(Code::USE_BEFORE_DEFINE.to_string(), "EQX0101");
+        assert_eq!(Code::USE_BEFORE_DEFINE.to_string(), "EQX0501");
+        assert_eq!(Code::DMA_RACE.to_string(), "EQX0503");
+        assert_eq!(Code::UNDERSIZED_OPERAND.to_string(), "EQX0506");
         assert_eq!(Code::ROUND_TRIP_MISMATCH.to_string(), "EQX0301");
         assert_eq!(Code::NON_PARETO_DESIGN.as_string(), "EQX0404");
         assert_eq!(Code::TILE_TOO_LARGE.value(), 202);
+    }
+
+    #[test]
+    fn sort_by_span_is_deterministic() {
+        let mut r = Report::new("p");
+        r.push(Diagnostic::note(Code::DRAM_TRAFFIC_SANITY, "spanless"));
+        r.push(Diagnostic::warning(Code::DEAD_STORE, "late").with_span(Span::at(9)));
+        r.push(Diagnostic::error(Code::USE_BEFORE_DEFINE, "early").with_span(Span::at(2)));
+        r.push(Diagnostic::warning(Code::PARTIAL_CLOBBER, "also early").with_span(Span::at(2)));
+        r.sort_by_span();
+        let codes: Vec<_> = r.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                Code::USE_BEFORE_DEFINE,
+                Code::PARTIAL_CLOBBER,
+                Code::DEAD_STORE,
+                Code::DRAM_TRAFFIC_SANITY
+            ]
+        );
     }
 
     #[test]
@@ -358,7 +402,7 @@ mod tests {
         let mut r = Report::new("prog");
         r.push(Diagnostic::error(Code::USE_BEFORE_DEFINE, "read of nothing").with_span(Span::at(7)));
         let text = r.render_human();
-        assert!(text.contains("error[EQX0101] prog: read of nothing (instr 7)"), "{text}");
+        assert!(text.contains("error[EQX0501] prog: read of nothing (instr 7)"), "{text}");
         assert!(text.contains("1 error(s)"), "{text}");
     }
 

@@ -5,19 +5,19 @@
 //! decode back to itself would be silently corrupted at installation
 //! time. This pass round-trips every instruction through
 //! encode→decode and reports any mismatch — including genuine lossy
-//! encodings, such as `MatMulTile` row counts that truncate through the
-//! 32-bit operand field.
+//! encodings, such as `MatMulTile` row counts or region offsets that
+//! truncate through the 32-bit operand fields.
 
 use crate::diag::{Code, Diagnostic, Span};
-use equinox_isa::encode::{decode, encode_instruction, DecodeError};
+use equinox_isa::encode::{decode, encode, DecodeError};
 use equinox_isa::Program;
 
 /// Round-trips every instruction of `program` through the wire format.
 pub fn analyze(program: &Program) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     for (index, instr) in program.instructions().iter().enumerate() {
-        let word = encode_instruction(instr);
-        match decode(&word) {
+        let words = encode(std::slice::from_ref(instr));
+        match decode(&words) {
             Ok(decoded) if decoded.len() == 1 && decoded[0] == *instr => {}
             Ok(decoded) => {
                 diags.push(
@@ -59,7 +59,9 @@ pub fn decode_stream(bytes: &[u8]) -> Result<Vec<equinox_isa::Instruction>, Diag
                 Span::at(bytes.len() / equinox_isa::encode::INSTRUCTION_BYTES)
             }
             DecodeError::UnknownOpcode { index, .. }
-            | DecodeError::UnknownModifier { index, .. } => Span::at(index),
+            | DecodeError::UnknownModifier { index, .. }
+            | DecodeError::MissingOperandWord { index }
+            | DecodeError::StrayOperandWord { index } => Span::at(index),
         };
         Diagnostic::error(Code::DECODE_ERROR, e.to_string()).with_span(span)
     })
@@ -68,7 +70,7 @@ pub fn decode_stream(bytes: &[u8]) -> Result<Vec<equinox_isa::Instruction>, Diag
 #[cfg(test)]
 mod tests {
     use super::*;
-    use equinox_isa::instruction::{BufferKind, SimdOpKind};
+    use equinox_isa::instruction::{BufferKind, Region, SimdOpKind};
     use equinox_isa::layers::GemmMode;
     use equinox_isa::Instruction;
 
@@ -81,9 +83,19 @@ mod tests {
                 k_span: 558,
                 out_span: 558,
                 mode: GemmMode::VectorMatrix,
+                weights: Region::new(0x1000, 558 * 558),
+                input: Region::new(0, 186 * 558),
+                output: Region::new(10 << 20, 186 * 558),
             },
-            Instruction::Simd { kind: SimdOpKind::Loss, elems: 4096 },
-            Instruction::LoadDram { target: BufferKind::Weight, bytes: 1 << 20 },
+            Instruction::Simd {
+                kind: SimdOpKind::Loss,
+                elems: 4096,
+                region: Region::new(64, 4096),
+            },
+            Instruction::LoadDram {
+                target: BufferKind::Weight,
+                region: Region::new(0, 1 << 20),
+            },
             Instruction::Sync,
         ]);
         assert!(analyze(&p).is_empty());
@@ -91,19 +103,28 @@ mod tests {
 
     #[test]
     fn truncating_row_count_is_detected() {
-        // The 16-byte word stores rows in 32 bits; larger counts silently
+        // The wire word stores rows in 32 bits; larger counts silently
         // wrap. The round-trip pass is what catches this class of bug.
         let mut p = Program::new("wide");
-        p.push(Instruction::MatMulTile {
-            rows: (u32::MAX as usize) + 2,
-            k_span: 1,
-            out_span: 1,
-            mode: GemmMode::VectorMatrix,
-        });
+        p.push(Instruction::matmul((u32::MAX as usize) + 2, 1, 1, GemmMode::VectorMatrix));
         let d = analyze(&p);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].code, Code::ROUND_TRIP_MISMATCH);
         assert_eq!(d[0].span, Some(Span::at(0)));
+    }
+
+    #[test]
+    fn truncating_region_offset_is_detected() {
+        // Region offsets ride 32-bit fields: a hand-built load past
+        // 4 GiB does not survive the wire.
+        let mut p = Program::new("far");
+        p.push(Instruction::LoadDram {
+            target: BufferKind::Activation,
+            region: Region::new(1 << 33, 64),
+        });
+        let d = analyze(&p);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::ROUND_TRIP_MISMATCH);
     }
 
     #[test]
@@ -117,5 +138,21 @@ mod tests {
         bytes[16] = 0xEE;
         let err = decode_stream(&bytes).unwrap_err();
         assert_eq!(err.span, Some(Span::at(1)));
+    }
+
+    #[test]
+    fn stream_decode_maps_operand_word_errors() {
+        // A geometry word with its operand extensions stripped.
+        let mut p = Program::new("mm");
+        p.push(Instruction::matmul(4, 4, 4, GemmMode::VectorMatrix));
+        let full = encode(p.instructions());
+        let err = decode_stream(&full[..16]).unwrap_err();
+        assert_eq!(err.code, Code::DECODE_ERROR);
+        assert_eq!(err.span, Some(Span::at(0)));
+        // An operand word with no geometry word before it.
+        let stray = full[16..32].to_vec();
+        let err = decode_stream(&stray).unwrap_err();
+        assert_eq!(err.code, Code::DECODE_ERROR);
+        assert_eq!(err.span, Some(Span::at(0)));
     }
 }

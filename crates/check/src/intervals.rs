@@ -1,0 +1,136 @@
+//! Sorted, disjoint byte-interval sets — the defined-bytes tracking
+//! structure behind the dataflow pass.
+//!
+//! Intervals are half-open `[start, end)` byte ranges. The set keeps
+//! them sorted, non-empty, and coalesced, so coverage queries are a
+//! binary search and insertion merges any touching neighbours.
+
+/// A set of disjoint half-open byte intervals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    /// Sorted, disjoint, non-empty `[start, end)` spans.
+    spans: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        IntervalSet { spans: Vec::new() }
+    }
+
+    /// True when no bytes are in the set.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Number of disjoint spans (after coalescing).
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Inserts `[start, end)`, merging with any overlapping or adjacent
+    /// spans. Empty ranges are ignored.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        // First span that could merge: the last one starting at or
+        // before `end` whose end reaches `start`.
+        let lo = self.spans.partition_point(|&(_, e)| e < start);
+        let hi = self.spans.partition_point(|&(s, _)| s <= end);
+        if lo == hi {
+            self.spans.insert(lo, (start, end));
+            return;
+        }
+        let merged = (start.min(self.spans[lo].0), end.max(self.spans[hi - 1].1));
+        self.spans.splice(lo..hi, [merged]);
+    }
+
+    /// True when every byte of `[start, end)` is in the set. The empty
+    /// range is covered trivially.
+    pub fn covers(&self, start: u64, end: u64) -> bool {
+        self.first_gap(start, end).is_none()
+    }
+
+    /// The first maximal sub-range of `[start, end)` not in the set, or
+    /// `None` when the range is fully covered.
+    pub fn first_gap(&self, start: u64, end: u64) -> Option<(u64, u64)> {
+        if start >= end {
+            return None;
+        }
+        let i = self.spans.partition_point(|&(_, e)| e <= start);
+        match self.spans.get(i) {
+            Some(&(s, e)) if s <= start => {
+                if e >= end {
+                    None
+                } else {
+                    // Covered up to `e`; the gap starts there.
+                    let gap_end = self.spans.get(i + 1).map_or(end, |&(ns, _)| ns.min(end));
+                    Some((e, gap_end))
+                }
+            }
+            Some(&(s, _)) => Some((start, s.min(end))),
+            None => Some((start, end)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_coalesces_neighbours() {
+        let mut s = IntervalSet::new();
+        s.insert(0, 10);
+        s.insert(20, 30);
+        assert_eq!(s.span_count(), 2);
+        s.insert(10, 20); // exactly bridges the gap
+        assert_eq!(s.span_count(), 1);
+        assert!(s.covers(0, 30));
+        assert!(!s.covers(0, 31));
+    }
+
+    #[test]
+    fn insert_merges_overlaps() {
+        let mut s = IntervalSet::new();
+        s.insert(5, 15);
+        s.insert(10, 40);
+        s.insert(0, 6);
+        assert_eq!(s.span_count(), 1);
+        assert!(s.covers(0, 40));
+    }
+
+    #[test]
+    fn empty_ranges_are_noops_and_covered() {
+        let mut s = IntervalSet::new();
+        s.insert(7, 7);
+        assert!(s.is_empty());
+        assert!(s.covers(100, 100));
+        assert_eq!(s.first_gap(9, 9), None);
+    }
+
+    #[test]
+    fn first_gap_reports_the_missing_bytes() {
+        let mut s = IntervalSet::new();
+        s.insert(0, 10);
+        s.insert(20, 30);
+        assert_eq!(s.first_gap(0, 30), Some((10, 20)));
+        assert_eq!(s.first_gap(5, 9), None);
+        assert_eq!(s.first_gap(25, 40), Some((30, 40)));
+        assert_eq!(s.first_gap(40, 50), Some((40, 50)));
+        assert_eq!(s.first_gap(12, 18), Some((12, 18)));
+    }
+
+    #[test]
+    fn disjoint_inserts_stay_sorted() {
+        let mut s = IntervalSet::new();
+        s.insert(50, 60);
+        s.insert(0, 10);
+        s.insert(25, 30);
+        assert_eq!(s.span_count(), 3);
+        assert!(s.covers(25, 30));
+        assert!(!s.covers(10, 25));
+        assert_eq!(s.first_gap(55, 70), Some((60, 70)));
+    }
+}

@@ -9,9 +9,11 @@
 //! ([`Diagnostic`]) carrying stable `EQXnnnn` codes, severities, and
 //! instruction spans. Four pass families run:
 //!
-//! 1. **Dataflow** ([`dataflow`]) — def-use and occupancy timelines
-//!    over the on-chip buffers (use-before-define, overflow, dead
-//!    stores);
+//! 1. **Dataflow** ([`dataflow`]) — precise operand-level def-use
+//!    analysis over the byte regions instructions name
+//!    (use-before-define, partial clobber of live regions, DMA races
+//!    across a missing `Sync` / double-buffer aliasing, out-of-bounds
+//!    regions, dead stores, undersized operands);
 //! 2. **Resources** ([`resources`]) — MMU geometry bounds,
 //!    instruction-buffer streaming capacity, installation fit, and
 //!    training DRAM-traffic sanity;
@@ -25,21 +27,26 @@
 //! ```
 //! use equinox_check::{analyze_program, BufferBudget};
 //! use equinox_isa::{ArrayDims, Instruction, Program};
-//! use equinox_isa::instruction::BufferKind;
+//! use equinox_isa::instruction::{BufferKind, Region};
 //! use equinox_arith::Encoding;
 //!
+//! // Stores bytes no instruction ever defined into the buffer.
 //! let mut p = Program::new("broken");
-//! p.push(Instruction::StoreDram { source: BufferKind::Activation, bytes: 64 });
+//! p.push(Instruction::StoreDram {
+//!     source: BufferKind::Activation,
+//!     region: Region::new(0, 64),
+//! });
 //! let dims = ArrayDims { n: 186, w: 3, m: 3 };
 //! let report = analyze_program(&p, &dims, &BufferBudget::paper_default(), Encoding::Hbfp8);
 //! assert!(report.has_errors());
-//! assert_eq!(report.diagnostics()[0].code.to_string(), "EQX0101");
+//! assert_eq!(report.diagnostics()[0].code.to_string(), "EQX0501");
 //! ```
 
 pub mod config;
 pub mod dataflow;
 pub mod diag;
 pub mod encoding;
+pub mod intervals;
 pub mod resources;
 
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
@@ -47,7 +54,9 @@ pub use equinox_isa::validate::BufferBudget;
 
 use equinox_arith::Encoding as ValueEncoding;
 use equinox_isa::models::ModelSpec;
-use equinox_isa::training::TrainingProfile;
+use equinox_isa::training::{
+    estimate_training_instructions, lower_training, TrainingProfile, TrainingSetup,
+};
 use equinox_isa::{ArrayDims, Program};
 use equinox_model::DesignSpace;
 use equinox_sim::AcceleratorConfig;
@@ -90,6 +99,36 @@ pub fn analyze_config(config: &AcceleratorConfig, space: Option<&DesignSpace>) -
     report
 }
 
+/// Lowers one training iteration of `model` and runs the program-level
+/// passes over it.
+///
+/// Training programs on small geometries can reach millions of
+/// instructions; when the size estimate exceeds `max_instructions`, the
+/// lowering is skipped and the report carries a single
+/// [`Code::ANALYSIS_SKIPPED`] note instead (never a silent skip).
+pub fn analyze_training_program(
+    model: &ModelSpec,
+    dims: &ArrayDims,
+    setup: &TrainingSetup,
+    budget: &BufferBudget,
+    max_instructions: u64,
+) -> Report {
+    let estimate = estimate_training_instructions(model, dims, setup);
+    if estimate > max_instructions {
+        let mut report = Report::new(format!("{}-training-b{}", model.name(), setup.batch));
+        report.push(Diagnostic::note(
+            Code::ANALYSIS_SKIPPED,
+            format!(
+                "training lowering estimated at {estimate} instructions exceeds the \
+                 {max_instructions} analysis cap; skipped"
+            ),
+        ));
+        return report;
+    }
+    let program = lower_training(model, dims, setup);
+    analyze_program(&program, dims, budget, setup.encoding)
+}
+
 /// Runs the training-profile sanity pass under `config`'s clock and
 /// DRAM interface.
 pub fn analyze_training(profile: &TrainingProfile, config: &AcceleratorConfig) -> Report {
@@ -120,6 +159,37 @@ mod tests {
             let r = analyze_program(&p, &dims, &budget, ValueEncoding::Hbfp8);
             assert!(!r.has_errors(), "{}", r.render_human());
         }
+    }
+
+    #[test]
+    fn training_lowerings_analyze_clean_for_paper_models() {
+        let dims = ArrayDims { n: 186, w: 3, m: 3 };
+        let budget = BufferBudget::paper_default();
+        for (model, batch) in [
+            (ModelSpec::lstm_2048_25(), 128),
+            (ModelSpec::resnet50(), 8),
+            (ModelSpec::mlp_2048x5(), 128),
+        ] {
+            let setup = TrainingSetup { batch, ..Default::default() };
+            let r = analyze_training_program(&model, &dims, &setup, &budget, 2_000_000);
+            assert!(!r.has_errors(), "{}", r.render_human());
+            assert!(!r.has_code(Code::ANALYSIS_SKIPPED), "{}", r.render_human());
+        }
+    }
+
+    #[test]
+    fn oversized_training_lowering_is_skipped_with_a_note() {
+        let dims = ArrayDims { n: 1, w: 1, m: 1 };
+        let setup = TrainingSetup::paper_default();
+        let r = analyze_training_program(
+            &ModelSpec::gru_2816_1500(),
+            &dims,
+            &setup,
+            &BufferBudget::paper_default(),
+            1_000,
+        );
+        assert!(r.has_code(Code::ANALYSIS_SKIPPED));
+        assert!(!r.has_errors());
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub fn analyze_program(
                 Diagnostic::error(
                     Code::REGION_TOO_LARGE,
                     format!(
-                        "dependence region holds {region} instructions but the \
+                        "dependence region holds {region} encoded words but the \
                          {} byte instruction buffer streams {capacity}",
                         budget.instruction_bytes
                     ),
@@ -41,7 +41,7 @@ pub fn analyze_program(
     };
     for (index, instr) in program.instructions().iter().enumerate() {
         match *instr {
-            Instruction::MatMulTile { rows, k_span, out_span, mode } => {
+            Instruction::MatMulTile { rows, k_span, out_span, mode, .. } => {
                 let max_out = match mode {
                     GemmMode::VectorMatrix => dims.tile_out(),
                     GemmMode::WeightBroadcast => dims.n,
@@ -72,7 +72,7 @@ pub fn analyze_program(
                         .with_span(Span::at(index)),
                     );
                 }
-                region += 1;
+                region += instr.encoded_words();
             }
             Instruction::Simd { elems, .. } => {
                 if elems == 0 {
@@ -91,7 +91,7 @@ pub fn analyze_program(
                 region = 0;
                 region_start = index + 1;
             }
-            _ => region += 1,
+            _ => region += instr.encoded_words(),
         }
     }
     close_region(&mut diags, region, region_start, program.len());
@@ -184,12 +184,7 @@ mod tests {
     fn all_oversized_tiles_reported() {
         let mut p = Program::new("bad");
         for _ in 0..3 {
-            p.push(Instruction::MatMulTile {
-                rows: 1,
-                k_span: dims().tile_k() + 1,
-                out_span: 1,
-                mode: GemmMode::VectorMatrix,
-            });
+            p.push(Instruction::matmul(1, dims().tile_k() + 1, 1, GemmMode::VectorMatrix));
         }
         let diags = analyze_program(&p, &dims(), &BufferBudget::paper_default());
         assert_eq!(
@@ -201,33 +196,22 @@ mod tests {
     #[test]
     fn oversized_region_span_covers_region() {
         let mut p = Program::new("long");
-        for _ in 0..3000 {
-            p.push(Instruction::MatMulTile {
-                rows: 1,
-                k_span: 1,
-                out_span: 1,
-                mode: GemmMode::VectorMatrix,
-            });
+        for _ in 0..1000 {
+            p.push(Instruction::matmul(1, 1, 1, GemmMode::VectorMatrix));
         }
+        // 1000 three-word tile multiplies = 3000 words > 2048.
         let diags = analyze_program(&p, &dims(), &BufferBudget::paper_default());
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, Code::REGION_TOO_LARGE);
-        assert_eq!(diags[0].span, Some(Span { start: 0, end: 3000 }));
+        assert_eq!(diags[0].span, Some(Span { start: 0, end: 1000 }));
+        assert!(diags[0].message.contains("3000 encoded words"), "{}", diags[0].message);
     }
 
     #[test]
     fn zero_extent_is_warning_only() {
         let mut p = Program::new("noop");
-        p.push(Instruction::MatMulTile {
-            rows: 0,
-            k_span: 1,
-            out_span: 1,
-            mode: GemmMode::VectorMatrix,
-        });
-        p.push(Instruction::Simd {
-            kind: equinox_isa::instruction::SimdOpKind::Activation,
-            elems: 0,
-        });
+        p.push(Instruction::matmul(0, 1, 1, GemmMode::VectorMatrix));
+        p.push(Instruction::simd(equinox_isa::instruction::SimdOpKind::Activation, 0));
         let diags = analyze_program(&p, &dims(), &BufferBudget::paper_default());
         assert_eq!(diags.len(), 2);
         assert!(diags.iter().all(|d| d.code == Code::ZERO_EXTENT_TILE));

@@ -2,6 +2,9 @@
 //! instruction stream must produce a coded diagnostic and a non-zero
 //! exit status.
 
+use equinox_isa::instruction::{BufferKind, Region};
+use equinox_isa::layers::GemmMode;
+use equinox_isa::Instruction;
 use std::process::Command;
 
 fn bin() -> Command {
@@ -38,36 +41,54 @@ fn truncated_stream_fails_with_decode_error() {
 
 #[test]
 fn defective_program_fails_with_dataflow_error() {
-    // A well-formed stream that stores activations nothing defined:
+    // A well-formed stream that stores activation bytes nothing defined:
     // decodes fine, then trips the dataflow pass.
-    let program = vec![equinox_isa::Instruction::StoreDram {
-        source: equinox_isa::instruction::BufferKind::Activation,
-        bytes: 4096,
+    let program = vec![Instruction::StoreDram {
+        source: BufferKind::Activation,
+        region: Region::new(0, 4096),
     }];
     let path = scratch("store-first.bin", &equinox_isa::encode::encode(&program));
     let out = bin().arg(&path).output().expect("binary runs");
     assert_eq!(out.status.code(), Some(1));
-    assert!(String::from_utf8_lossy(&out.stdout).contains("EQX0101"));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("EQX0501"));
 }
 
 #[test]
 fn healthy_stream_passes() {
-    use equinox_isa::instruction::BufferKind;
-    use equinox_isa::Instruction;
     let program = vec![
-        Instruction::LoadDram { target: BufferKind::Activation, bytes: 1024 },
+        Instruction::LoadDram { target: BufferKind::Weight, region: Region::new(0, 64) },
+        Instruction::LoadDram { target: BufferKind::Activation, region: Region::new(0, 32) },
+        Instruction::Sync,
         Instruction::MatMulTile {
             rows: 4,
             k_span: 8,
             out_span: 8,
-            mode: equinox_isa::layers::GemmMode::VectorMatrix,
+            mode: GemmMode::VectorMatrix,
+            weights: Region::new(0, 64),
+            input: Region::new(0, 32),
+            output: Region::new(4096, 32),
         },
-        Instruction::StoreDram { source: BufferKind::Activation, bytes: 1024 },
         Instruction::Sync,
+        Instruction::StoreDram { source: BufferKind::Activation, region: Region::new(4096, 32) },
     ];
     let path = scratch("healthy.bin", &equinox_isa::encode::encode(&program));
     let out = bin().arg(&path).output().expect("binary runs");
     assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn deny_warnings_promotes_warnings_to_failure() {
+    // Loaded bytes nothing reads: a dead-store warning, no errors.
+    let program = vec![
+        Instruction::LoadDram { target: BufferKind::Activation, region: Region::new(0, 1024) },
+        Instruction::Sync,
+    ];
+    let path = scratch("wasted.bin", &equinox_isa::encode::encode(&program));
+    let out = bin().arg(&path).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    let out = bin().arg("--deny-warnings").arg(&path).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("EQX0505"));
 }
 
 #[test]

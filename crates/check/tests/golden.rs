@@ -6,7 +6,7 @@
 use equinox_arith::Encoding;
 use equinox_check::{analyze_config, analyze_installation, analyze_program};
 use equinox_check::{BufferBudget, Code, Severity, Span};
-use equinox_isa::instruction::BufferKind;
+use equinox_isa::instruction::{BufferKind, Region, SimdOpKind};
 use equinox_isa::layers::GemmMode;
 use equinox_isa::models::ModelSpec;
 use equinox_isa::{ArrayDims, Instruction, Program};
@@ -21,10 +21,18 @@ fn analyze(program: Program) -> equinox_check::Report {
     analyze_program(&program, &dims(), &BufferBudget::paper_default(), Encoding::Hbfp8)
 }
 
+fn act_load(offset: u64, bytes: u64) -> Instruction {
+    Instruction::LoadDram { target: BufferKind::Activation, region: Region::new(offset, bytes) }
+}
+
+fn act_store(offset: u64, bytes: u64) -> Instruction {
+    Instruction::StoreDram { source: BufferKind::Activation, region: Region::new(offset, bytes) }
+}
+
 #[test]
-fn eqx0101_use_before_define() {
+fn eqx0501_use_before_define() {
     let mut p = Program::new("store-first");
-    p.push(Instruction::StoreDram { source: BufferKind::Activation, bytes: 4096 });
+    p.push(act_store(0, 4096));
     let r = analyze(p);
     assert!(r.has_code(Code::USE_BEFORE_DEFINE), "{}", r.render_human());
     let d = r
@@ -37,38 +45,93 @@ fn eqx0101_use_before_define() {
 }
 
 #[test]
-fn eqx0102_activation_overflow() {
-    // One output tile larger than the 20 MB activation buffer.
-    let mut p = Program::new("flood");
-    p.push(Instruction::MatMulTile {
-        rows: 30 << 20,
-        k_span: 1,
-        out_span: 1,
-        mode: GemmMode::VectorMatrix,
+fn eqx0501_reads_from_the_wrong_place_are_caught() {
+    // Byte-count bookkeeping would accept this: 4096 bytes in, 4096
+    // bytes out. The store reads a region nothing defined.
+    let mut p = Program::new("shifted");
+    p.extend([act_load(0, 4096), Instruction::Sync, act_store(8192, 4096)]);
+    let r = analyze(p);
+    assert!(r.has_code(Code::USE_BEFORE_DEFINE), "{}", r.render_human());
+}
+
+#[test]
+fn eqx0502_partial_clobber() {
+    // The second load lands halfway across the first, still-unread
+    // window, corrupting its tail.
+    let mut p = Program::new("clobber");
+    p.extend([
+        act_load(0, 4096),
+        Instruction::Sync,
+        act_load(2048, 4096),
+        Instruction::Sync,
+        act_store(0, 6144),
+    ]);
+    let r = analyze(p);
+    assert!(r.has_code(Code::PARTIAL_CLOBBER), "{}", r.render_human());
+    let d = r.diagnostics().iter().find(|d| d.code == Code::PARTIAL_CLOBBER).unwrap();
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.span, Some(Span::at(2)));
+}
+
+#[test]
+fn eqx0503_double_buffer_aliasing_missed_by_occupancy_analysis() {
+    // The acceptance case for region-level dataflow: a ping/pong loop
+    // whose second window was mis-offset so the two in-flight DMA loads
+    // overlap by half a window, with no Sync separating them. Total
+    // bytes stay far under the 20 MB activation budget, every loaded
+    // byte is eventually stored, and no read precedes a define — the
+    // retired occupancy-timeline pass (byte counters per buffer) found
+    // nothing wrong with exactly this shape. Only operand-level region
+    // tracking can see the aliasing.
+    let half = 1 << 10;
+    let mut p = Program::new("aliased-pingpong");
+    p.extend([
+        act_load(0, half),      // ping
+        act_load(half / 2, half), // pong, mis-offset into ping
+        Instruction::Sync,
+        act_store(0, half / 2),
+        act_store(half / 2, half),
+    ]);
+    let r = analyze(p);
+    assert!(r.has_code(Code::DMA_RACE), "{}", r.render_human());
+    let d = r.diagnostics().iter().find(|d| d.code == Code::DMA_RACE).unwrap();
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span, Some(Span { start: 0, end: 2 }));
+    // The correctly-offset version of the same loop is clean.
+    let mut ok = Program::new("pingpong");
+    ok.extend([
+        act_load(0, half),
+        act_load(half, half),
+        Instruction::Sync,
+        act_store(0, half),
+        act_store(half, half),
+    ]);
+    assert!(analyze(ok).is_clean());
+}
+
+#[test]
+fn eqx0504_region_out_of_bounds() {
+    let mut p = Program::new("overboard");
+    p.push(Instruction::LoadDram {
+        target: BufferKind::Weight,
+        region: Region::new(49 << 20, 2 << 20), // ends past the 50 MB buffer
     });
     let r = analyze(p);
-    assert!(r.has_code(Code::ACTIVATION_OVERFLOW), "{}", r.render_human());
+    assert!(r.has_code(Code::REGION_OUT_OF_BOUNDS), "{}", r.render_human());
     let d = r
         .diagnostics()
         .iter()
-        .find(|d| d.code == Code::ACTIVATION_OVERFLOW)
+        .find(|d| d.code == Code::REGION_OUT_OF_BOUNDS)
         .unwrap();
+    assert_eq!(d.severity, Severity::Error);
     assert_eq!(d.span, Some(Span::at(0)));
 }
 
 #[test]
-fn eqx0103_weight_buffer_overflow() {
-    let mut p = Program::new("overload");
-    p.push(Instruction::LoadDram { target: BufferKind::Weight, bytes: 60 << 20 });
-    let r = analyze(p);
-    assert!(r.has_code(Code::BUFFER_OVERFLOW), "{}", r.render_human());
-}
-
-#[test]
-fn eqx0104_dead_store() {
+fn eqx0505_dead_store() {
     // Loaded activations that nothing ever reads.
     let mut p = Program::new("wasted");
-    p.push(Instruction::LoadDram { target: BufferKind::Activation, bytes: 1024 });
+    p.push(act_load(0, 1024));
     p.push(Instruction::Sync);
     let r = analyze(p);
     assert!(r.has_code(Code::DEAD_STORE), "{}", r.render_human());
@@ -77,17 +140,42 @@ fn eqx0104_dead_store() {
 }
 
 #[test]
-fn eqx0201_region_too_large() {
-    // 32 KB / 16 B = 2048 instructions stream per region; 3000 without
-    // a sync cannot.
-    let mut p = Program::new("unstreamable");
-    for _ in 0..3000 {
-        p.push(Instruction::MatMulTile {
-            rows: 1,
-            k_span: 1,
-            out_span: 1,
+fn eqx0506_undersized_operand() {
+    let mut p = Program::new("thin");
+    p.extend([
+        Instruction::LoadDram { target: BufferKind::Weight, region: Region::new(0, 16) },
+        act_load(0, 1024),
+        Instruction::Sync,
+        Instruction::MatMulTile {
+            rows: 8,
+            k_span: 16,
+            out_span: 16,
             mode: GemmMode::VectorMatrix,
-        });
+            weights: Region::new(0, 16), // a 16×16 tile needs 256 bytes
+            input: Region::new(0, 1024),
+            output: Region::new(4096, 1024),
+        },
+        Instruction::Sync,
+        act_store(4096, 1024),
+    ]);
+    let r = analyze(p);
+    assert!(r.has_code(Code::UNDERSIZED_OPERAND), "{}", r.render_human());
+    let d = r
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == Code::UNDERSIZED_OPERAND)
+        .unwrap();
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.span, Some(Span::at(3)));
+}
+
+#[test]
+fn eqx0201_region_too_large() {
+    // 32 KB / 16 B = 2048 words stream per region; 1000 three-word tile
+    // multiplies (3000 words) without a sync cannot.
+    let mut p = Program::new("unstreamable");
+    for _ in 0..1000 {
+        p.push(Instruction::matmul(1, 1, 1, GemmMode::VectorMatrix));
     }
     let r = analyze(p);
     assert!(r.has_code(Code::REGION_TOO_LARGE), "{}", r.render_human());
@@ -96,12 +184,7 @@ fn eqx0201_region_too_large() {
 #[test]
 fn eqx0202_tile_too_large() {
     let mut p = Program::new("overwide");
-    p.push(Instruction::MatMulTile {
-        rows: 1,
-        k_span: dims().tile_k() + 1,
-        out_span: 1,
-        mode: GemmMode::VectorMatrix,
-    });
+    p.push(Instruction::matmul(1, dims().tile_k() + 1, 1, GemmMode::VectorMatrix));
     let r = analyze(p);
     assert!(r.has_code(Code::TILE_TOO_LARGE), "{}", r.render_human());
     let d = r.diagnostics().iter().find(|d| d.code == Code::TILE_TOO_LARGE).unwrap();
@@ -134,12 +217,7 @@ fn eqx0301_round_trip_mismatch() {
     // `rows` beyond u32 truncates in the 16-byte wire format — the
     // encoder's known lossy corner, caught by the round-trip pass.
     let mut p = Program::new("truncating");
-    p.push(Instruction::MatMulTile {
-        rows: (u32::MAX as usize) + 2,
-        k_span: 1,
-        out_span: 1,
-        mode: GemmMode::VectorMatrix,
-    });
+    p.push(Instruction::matmul((u32::MAX as usize) + 2, 1, 1, GemmMode::VectorMatrix));
     let r = analyze(p);
     assert!(r.has_code(Code::ROUND_TRIP_MISMATCH), "{}", r.render_human());
 }
@@ -234,22 +312,33 @@ fn config() -> AcceleratorConfig {
 
 #[test]
 fn clean_program_has_no_findings() {
-    // The canonical healthy shape: load, compute, read, store, sync.
+    // The canonical healthy shape: stage, sync, compute, sync, drain —
+    // with every operand region named and consistent.
+    let d = dims();
+    let (rows, k, out) = (16u64, d.tile_k() as u64, d.tile_out() as u64);
+    let out_base = 16384u64;
     let mut p = Program::new("healthy");
-    p.push(Instruction::LoadDram { target: BufferKind::Weight, bytes: 1 << 20 });
-    p.push(Instruction::LoadDram { target: BufferKind::Activation, bytes: 64 << 10 });
-    p.push(Instruction::MatMulTile {
-        rows: 16,
-        k_span: dims().tile_k(),
-        out_span: dims().tile_out(),
-        mode: GemmMode::VectorMatrix,
-    });
-    p.push(Instruction::Simd {
-        kind: equinox_isa::instruction::SimdOpKind::Activation,
-        elems: 1024,
-    });
-    p.push(Instruction::StoreDram { source: BufferKind::Activation, bytes: 64 << 10 });
-    p.push(Instruction::Sync);
+    p.extend([
+        Instruction::LoadDram { target: BufferKind::Weight, region: Region::new(0, k * out) },
+        act_load(0, rows * k),
+        Instruction::Sync,
+        Instruction::MatMulTile {
+            rows: rows as usize,
+            k_span: k as usize,
+            out_span: out as usize,
+            mode: GemmMode::VectorMatrix,
+            weights: Region::new(0, k * out),
+            input: Region::new(0, rows * k),
+            output: Region::new(out_base, rows * out),
+        },
+        Instruction::Simd {
+            kind: SimdOpKind::Activation,
+            elems: (rows * out) as usize,
+            region: Region::new(out_base, rows * out),
+        },
+        Instruction::Sync,
+        act_store(out_base, rows * out),
+    ]);
     let r = analyze(p);
     assert!(r.is_clean(), "{}", r.render_human());
 }

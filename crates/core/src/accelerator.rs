@@ -1,7 +1,7 @@
 //! The `Equinox` facade: design selection → compilation → simulation.
 
 use equinox_arith::Encoding;
-use equinox_isa::lower::{compile_inference, InferenceTiming};
+use equinox_isa::lower::{compile_inference_with, InferenceTiming};
 use equinox_isa::models::ModelSpec;
 use equinox_isa::training::{TrainingProfile, TrainingSetup};
 use equinox_isa::ArrayDims;
@@ -111,13 +111,11 @@ impl Equinox {
         model: &ModelSpec,
         batch: usize,
     ) -> Result<InferenceTiming, EquinoxError> {
-        let program = compile_inference(model, &self.config.dims, batch);
-        let report = equinox_check::analyze_program(
-            &program,
-            &self.config.dims,
-            &equinox_check::BufferBudget::paper_default(),
-            self.config.encoding,
-        );
+        let budget = equinox_check::BufferBudget::paper_default();
+        let program =
+            compile_inference_with(model, &self.config.dims, batch, self.config.encoding, &budget);
+        let report =
+            equinox_check::analyze_program(&program, &self.config.dims, &budget, self.config.encoding);
         if report.has_errors() {
             return Err(EquinoxError::AnalysisRejected {
                 subject: format!("{}/{}@batch{batch}", self.config.name, model.name()),
@@ -130,7 +128,8 @@ impl Equinox {
 
     /// Runs the full static-analysis suite for `model` served at
     /// `batch` on this instance: installation fit, the compiled
-    /// program's dataflow/resource/encoding passes, and the
+    /// inference program's dataflow/resource/encoding passes, the same
+    /// passes over the lowered training iteration, and the
     /// configuration lints. Returns the merged report without
     /// panicking, for drivers that want to surface findings.
     pub fn check(&self, model: &ModelSpec, batch: usize) -> equinox_check::Report {
@@ -144,7 +143,13 @@ impl Equinox {
             equinox_check::analyze_installation(model, self.config.encoding, batch, &budget);
         report.extend(install.diagnostics().iter().cloned());
         if !install.has_errors() {
-            let program = compile_inference(model, &self.config.dims, batch);
+            let program = compile_inference_with(
+                model,
+                &self.config.dims,
+                batch,
+                self.config.encoding,
+                &budget,
+            );
             let program_report = equinox_check::analyze_program(
                 &program,
                 &self.config.dims,
@@ -153,12 +158,53 @@ impl Equinox {
             );
             report.extend(program_report.diagnostics().iter().cloned());
         }
+        let training = self.check_training(model, 2_000_000);
+        report.extend(training.diagnostics().iter().cloned());
         let config_report = equinox_check::analyze_config(&self.config, None);
         report.extend(config_report.diagnostics().iter().cloned());
+        report.sort_by_span();
         report
     }
 
-    /// Profiles one training iteration of `model` on this geometry.
+    /// Lowers one training iteration of `model` on this geometry and
+    /// runs the program-level analyzer passes over it.
+    ///
+    /// Training programs on small geometries shatter into many millions
+    /// of instructions; when the size estimate exceeds
+    /// `max_instructions` the report carries an `ANALYSIS_SKIPPED` note
+    /// instead of a lowering.
+    pub fn check_training(
+        &self,
+        model: &ModelSpec,
+        max_instructions: u64,
+    ) -> equinox_check::Report {
+        equinox_check::analyze_training_program(
+            model,
+            &self.config.dims,
+            &self.training_setup(model),
+            &equinox_check::BufferBudget::paper_default(),
+            max_instructions,
+        )
+    }
+
+    /// Training configuration for `model` on this instance: RNN/MLP
+    /// minibatch 128 (the GRU's 1500-step unroll at 32), im2col
+    /// workloads at 8, streamed in this design's encoding.
+    fn training_setup(&self, model: &ModelSpec) -> TrainingSetup {
+        let batch = match model.name() {
+            "GRU" => 32,
+            _ if model.is_vector_matrix() => 128,
+            _ => 8,
+        };
+        TrainingSetup {
+            batch,
+            encoding: self.config.encoding,
+            ..TrainingSetup::paper_default()
+        }
+    }
+
+    /// Profiles one training iteration of `model` on this geometry at
+    /// the paper's reference minibatch.
     pub fn training_profile(&self, model: &ModelSpec) -> TrainingProfile {
         TrainingProfile::profile(model, &self.config.dims, &TrainingSetup::paper_default())
     }

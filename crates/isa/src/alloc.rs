@@ -1,0 +1,126 @@
+//! Deterministic buffer allocators for the lowering pipeline.
+//!
+//! The compiler assigns every instruction operand a concrete byte
+//! [`Region`] inside its on-chip buffer. Two tiny allocators cover all
+//! placement patterns the lowerings need:
+//!
+//! * [`Bump`] — monotone bump allocation for operands that stay
+//!   resident (installed weight tiles, staged wave tiles). It is
+//!   *total*: allocation past the managed capacity still returns a
+//!   region (the `equinox-check` `EQX0504` pass flags it) so lowering
+//!   never panics on geometries or models that do not fit.
+//! * [`DoubleBuffer`] — the classic ping/pong split of a buffer into
+//!   two halves, used for activation windows (compute reads the active
+//!   half while the next window lands in the spare half) and for
+//!   streamed weight waves.
+
+use crate::instruction::Region;
+
+/// Monotone bump allocator over `[base, ∞)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bump {
+    base: u64,
+    next: u64,
+}
+
+impl Bump {
+    /// An empty allocator starting at `base`.
+    pub fn new(base: u64) -> Self {
+        Bump { base, next: base }
+    }
+
+    /// Allocates `bytes` at the current cursor and advances it. Never
+    /// fails; overflow past any capacity is the analyzer's to flag.
+    pub fn alloc(&mut self, bytes: u64) -> Region {
+        let region = Region::new(self.next, bytes);
+        self.next = self.next.saturating_add(bytes);
+        region
+    }
+
+    /// Bytes allocated so far.
+    pub fn used(&self) -> u64 {
+        self.next - self.base
+    }
+}
+
+/// Ping/pong halves of a buffer: `active` is where new data lands,
+/// `spare` holds what the previous phase produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DoubleBuffer {
+    base: u64,
+    half_bytes: u64,
+    flipped: bool,
+}
+
+impl DoubleBuffer {
+    /// Splits `[base, base + total_bytes)` into two equal halves.
+    pub fn new(base: u64, total_bytes: u64) -> Self {
+        DoubleBuffer { base, half_bytes: total_bytes / 2, flipped: false }
+    }
+
+    /// Capacity of one half, bytes.
+    pub fn half_bytes(&self) -> u64 {
+        self.half_bytes
+    }
+
+    /// Base offset of the active half.
+    pub fn active_base(&self) -> u64 {
+        if self.flipped {
+            self.base + self.half_bytes
+        } else {
+            self.base
+        }
+    }
+
+    /// Base offset of the spare half.
+    pub fn spare_base(&self) -> u64 {
+        if self.flipped {
+            self.base
+        } else {
+            self.base + self.half_bytes
+        }
+    }
+
+    /// Swaps the active and spare halves.
+    pub fn flip(&mut self) {
+        self.flipped = !self.flipped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_is_monotone_and_disjoint() {
+        let mut b = Bump::new(0x100);
+        let r1 = b.alloc(64);
+        let r2 = b.alloc(32);
+        assert_eq!(r1, Region::new(0x100, 64));
+        assert_eq!(r2, Region::new(0x140, 32));
+        assert!(!r1.overlaps(&r2));
+        assert_eq!(b.used(), 96);
+    }
+
+    #[test]
+    fn bump_is_total_past_capacity() {
+        let mut b = Bump::new(u64::MAX - 10);
+        let r = b.alloc(100);
+        assert_eq!(r.bytes, 100);
+        let r2 = b.alloc(1);
+        assert_eq!(r2.offset, u64::MAX, "cursor saturates instead of wrapping");
+    }
+
+    #[test]
+    fn double_buffer_flips() {
+        let mut d = DoubleBuffer::new(0, 20 << 20);
+        assert_eq!(d.half_bytes(), 10 << 20);
+        assert_eq!(d.active_base(), 0);
+        assert_eq!(d.spare_base(), 10 << 20);
+        d.flip();
+        assert_eq!(d.active_base(), 10 << 20);
+        assert_eq!(d.spare_base(), 0);
+        d.flip();
+        assert_eq!(d.active_base(), 0);
+    }
+}

@@ -3,8 +3,76 @@
 //! Instructions are issued by the instruction dispatcher to the datapath;
 //! arithmetic instructions drive the MMU and SIMD unit, data-movement
 //! instructions drive the DRAM and host interfaces.
+//!
+//! Every data-touching instruction names the byte [`Region`] of the
+//! on-chip buffer it reads or writes, so static analysis can reason
+//! about operand-level dataflow (use-before-define, partial clobber,
+//! double-buffer aliasing) instead of whole-buffer occupancy.
 
 use crate::layers::GemmMode;
+
+/// A byte range inside one on-chip buffer: `[offset, offset + bytes)`.
+///
+/// The all-zero region (`offset == 0 && bytes == 0`) is the
+/// *unaddressed* sentinel: it means "this operand's placement was not
+/// assigned" and is skipped by the dataflow passes. The lowering
+/// pipeline always assigns real addresses; the sentinel exists so
+/// hand-written programs (tests, examples) can elide placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Region {
+    /// Byte offset from the start of the buffer.
+    pub offset: u64,
+    /// Extent in bytes.
+    pub bytes: u64,
+}
+
+impl Region {
+    /// A region at `offset` spanning `bytes`.
+    pub fn new(offset: u64, bytes: u64) -> Self {
+        Region { offset, bytes }
+    }
+
+    /// The unaddressed sentinel (see the type docs).
+    pub fn unaddressed() -> Self {
+        Region { offset: 0, bytes: 0 }
+    }
+
+    /// One past the last byte (saturating).
+    pub fn end(&self) -> u64 {
+        self.offset.saturating_add(self.bytes)
+    }
+
+    /// True when the region spans no bytes (this includes the
+    /// unaddressed sentinel).
+    pub fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+
+    /// True when the two regions share at least one byte. Empty
+    /// regions overlap nothing.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.offset < other.end()
+            && other.offset < self.end()
+    }
+
+    /// True when `other` lies entirely within `self`. The empty region
+    /// is contained everywhere.
+    pub fn contains(&self, other: &Region) -> bool {
+        other.is_empty() || (other.offset >= self.offset && other.end() <= self.end())
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            write!(f, "[unaddressed]")
+        } else {
+            write!(f, "[{:#x}..{:#x})", self.offset, self.end())
+        }
+    }
+}
 
 /// Which on-chip buffer a data-movement instruction targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -71,27 +139,36 @@ pub enum Instruction {
         /// weights and splits rows across the `m` arrays (occupancy =
         /// `⌈rows/m⌉` cycles).
         mode: GemmMode,
+        /// Weight-tile region read from the weight buffer.
+        weights: Region,
+        /// Activation region read from the activation buffer.
+        input: Region,
+        /// Output region written to the activation buffer.
+        output: Region,
     },
-    /// Vector-vector operation on `elems` elements.
+    /// Vector-vector operation on `elems` elements, reading and writing
+    /// `region` of the activation buffer in place.
     Simd {
         /// Operation class.
         kind: SimdOpKind,
         /// Total elements processed.
         elems: usize,
+        /// Activation-buffer region operated on (read-modify-write).
+        region: Region,
     },
-    /// Move `bytes` from DRAM into an on-chip buffer.
+    /// Move bytes from DRAM into `region` of an on-chip buffer.
     LoadDram {
         /// Destination buffer.
         target: BufferKind,
-        /// Transfer size.
-        bytes: u64,
+        /// Destination region.
+        region: Region,
     },
-    /// Move `bytes` from an on-chip buffer to DRAM.
+    /// Move `region` of an on-chip buffer to DRAM.
     StoreDram {
         /// Source buffer.
         source: BufferKind,
-        /// Transfer size.
-        bytes: u64,
+        /// Source region.
+        region: Region,
     },
     /// Move `bytes` across the host interface (requests, responses,
     /// parameter-server gradient/model traffic).
@@ -105,6 +182,25 @@ pub enum Instruction {
 }
 
 impl Instruction {
+    /// A tile multiply with unaddressed operands (placement elided; see
+    /// [`Region::unaddressed`]).
+    pub fn matmul(rows: usize, k_span: usize, out_span: usize, mode: GemmMode) -> Self {
+        Instruction::MatMulTile {
+            rows,
+            k_span,
+            out_span,
+            mode,
+            weights: Region::unaddressed(),
+            input: Region::unaddressed(),
+            output: Region::unaddressed(),
+        }
+    }
+
+    /// A SIMD op with an unaddressed operand (placement elided).
+    pub fn simd(kind: SimdOpKind, elems: usize) -> Self {
+        Instruction::Simd { kind, elems, region: Region::unaddressed() }
+    }
+
     /// Useful multiply-accumulate operations performed by the
     /// instruction (`rows × k_span × out_span` for a tile multiply).
     pub fn macs(&self) -> u64 {
@@ -141,8 +237,20 @@ impl Instruction {
     /// Bytes moved over the DRAM interface, if any.
     pub fn dram_bytes(&self) -> u64 {
         match *self {
-            Instruction::LoadDram { bytes, .. } | Instruction::StoreDram { bytes, .. } => bytes,
+            Instruction::LoadDram { region, .. } | Instruction::StoreDram { region, .. } => {
+                region.bytes
+            }
             _ => 0,
+        }
+    }
+
+    /// Number of 16-byte words the instruction occupies on the wire
+    /// (tile multiplies carry two extra operand words for their three
+    /// regions; everything else fits in one word).
+    pub fn encoded_words(&self) -> usize {
+        match self {
+            Instruction::MatMulTile { .. } => 3,
+            _ => 1,
         }
     }
 }
@@ -153,32 +261,18 @@ mod tests {
 
     #[test]
     fn matmul_macs() {
-        let i = Instruction::MatMulTile {
-            rows: 4,
-            k_span: 8,
-            out_span: 16,
-            mode: GemmMode::VectorMatrix,
-        };
+        let i = Instruction::matmul(4, 8, 16, GemmMode::VectorMatrix);
         assert_eq!(i.macs(), 4 * 8 * 16);
         assert!(i.uses_mmu());
         assert!(!i.uses_simd());
         assert_eq!(i.dram_bytes(), 0);
+        assert_eq!(i.encoded_words(), 3);
     }
 
     #[test]
     fn occupancy_by_mode() {
-        let vm = Instruction::MatMulTile {
-            rows: 100,
-            k_span: 8,
-            out_span: 16,
-            mode: GemmMode::VectorMatrix,
-        };
-        let wb = Instruction::MatMulTile {
-            rows: 100,
-            k_span: 8,
-            out_span: 16,
-            mode: GemmMode::WeightBroadcast,
-        };
+        let vm = Instruction::matmul(100, 8, 16, GemmMode::VectorMatrix);
+        let wb = Instruction::matmul(100, 8, 16, GemmMode::WeightBroadcast);
         assert_eq!(vm.mmu_occupancy_cycles(4), 100);
         assert_eq!(wb.mmu_occupancy_cycles(4), 25);
         assert_eq!(wb.mmu_occupancy_cycles(3), 34);
@@ -187,9 +281,10 @@ mod tests {
 
     #[test]
     fn simd_classification() {
-        let i = Instruction::Simd { kind: SimdOpKind::Activation, elems: 128 };
+        let i = Instruction::simd(SimdOpKind::Activation, 128);
         assert!(i.uses_simd());
         assert_eq!(i.macs(), 0);
+        assert_eq!(i.encoded_words(), 1);
         assert!(!SimdOpKind::Activation.is_training_only());
         assert!(SimdOpKind::Derivative.is_training_only());
         assert!(SimdOpKind::WeightUpdate.is_training_only());
@@ -200,10 +295,36 @@ mod tests {
 
     #[test]
     fn dram_bytes_both_directions() {
-        let l = Instruction::LoadDram { target: BufferKind::Weight, bytes: 100 };
-        let s = Instruction::StoreDram { source: BufferKind::Activation, bytes: 200 };
+        let l = Instruction::LoadDram { target: BufferKind::Weight, region: Region::new(0, 100) };
+        let s = Instruction::StoreDram {
+            source: BufferKind::Activation,
+            region: Region::new(64, 200),
+        };
         assert_eq!(l.dram_bytes(), 100);
         assert_eq!(s.dram_bytes(), 200);
         assert_eq!(Instruction::Sync.dram_bytes(), 0);
+        assert_eq!(l.encoded_words(), 1);
+    }
+
+    #[test]
+    fn region_algebra() {
+        let a = Region::new(0, 100);
+        let b = Region::new(50, 100);
+        let c = Region::new(100, 16);
+        let z = Region::unaddressed();
+        assert_eq!(a.end(), 100);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c), "half-open: [0,100) vs [100,116)");
+        assert!(!a.overlaps(&z));
+        assert!(!z.overlaps(&z));
+        assert!(z.is_empty());
+        assert!(!a.is_empty());
+        assert!(a.contains(&Region::new(10, 20)));
+        assert!(!a.contains(&b));
+        assert!(a.contains(&z), "empty region is contained everywhere");
+        assert_eq!(Region::new(u64::MAX, 5).end(), u64::MAX, "end saturates");
+        assert_eq!(format!("{z}"), "[unaddressed]");
+        assert_eq!(format!("{c}"), "[0x64..0x74)");
     }
 }

@@ -31,6 +31,7 @@
 //! assert_eq!(timing.macs_per_request, lstm.macs_per_sample());
 //! ```
 
+pub mod alloc;
 pub mod encode;
 pub mod error;
 pub mod im2col;

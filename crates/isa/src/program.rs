@@ -42,6 +42,13 @@ impl Program {
         self.instructions.is_empty()
     }
 
+    /// Number of 16-byte words the program occupies on the wire (tile
+    /// multiplies take three words each; see
+    /// [`Instruction::encoded_words`]).
+    pub fn encoded_words(&self) -> usize {
+        self.instructions.iter().map(Instruction::encoded_words).sum()
+    }
+
     /// Total useful MACs across all instructions.
     pub fn total_macs(&self) -> u64 {
         self.instructions.iter().map(Instruction::macs).sum()
@@ -90,19 +97,14 @@ impl std::fmt::Display for Program {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::instruction::{BufferKind, SimdOpKind};
+    use crate::instruction::{BufferKind, Region, SimdOpKind};
 
     fn sample() -> Program {
         let mut p = Program::new("test");
-        p.push(Instruction::MatMulTile {
-            rows: 2,
-            k_span: 3,
-            out_span: 4,
-            mode: crate::layers::GemmMode::VectorMatrix,
-        });
-        p.push(Instruction::Simd { kind: SimdOpKind::Activation, elems: 8 });
+        p.push(Instruction::matmul(2, 3, 4, crate::layers::GemmMode::VectorMatrix));
+        p.push(Instruction::simd(SimdOpKind::Activation, 8));
         p.push(Instruction::Sync);
-        p.push(Instruction::LoadDram { target: BufferKind::Weight, bytes: 64 });
+        p.push(Instruction::LoadDram { target: BufferKind::Weight, region: Region::new(0, 64) });
         p
     }
 
@@ -110,6 +112,7 @@ mod tests {
     fn aggregates() {
         let p = sample();
         assert_eq!(p.len(), 4);
+        assert_eq!(p.encoded_words(), 6, "the tile multiply takes three words");
         assert!(!p.is_empty());
         assert_eq!(p.total_macs(), 24);
         assert_eq!(p.total_dram_bytes(), 64);

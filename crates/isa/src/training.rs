@@ -8,8 +8,15 @@
 //! right before computation — training is fundamentally bound by
 //! off-chip bandwidth (§2.2).
 
+use crate::alloc::{Bump, DoubleBuffer};
+use crate::instruction::{BufferKind, Instruction, Region, SimdOpKind};
 use crate::layers::GemmMode;
+use crate::lower::{
+    emit_tiles, partition_waves, split_oversized_regions, tile_list, RepeatGeometry,
+};
 use crate::models::ModelSpec;
+use crate::program::Program;
+use crate::validate::BufferBudget;
 use crate::ArrayDims;
 use equinox_arith::Encoding;
 
@@ -172,6 +179,228 @@ impl TrainingProfile {
     }
 }
 
+/// One GEMM of a training pass, streamed from DRAM.
+#[derive(Debug, Clone, Copy)]
+struct StreamedGemm {
+    rows: usize,
+    k: usize,
+    out: usize,
+    mode: GemmMode,
+    /// SIMD pass applied to each output block after its compute epoch
+    /// (activation for forward, derivative for `dX`, the optimizer
+    /// update for `dW`).
+    post: Option<SimdOpKind>,
+}
+
+/// Emits one streamed GEMM: the activation buffer is split into a fixed
+/// input half and output half; rows are processed in blocks sized so
+/// both windows fit their halves. Each block stages its input window
+/// and weight tiles (waves alternating between the weight-buffer
+/// halves when one load exceeds a half), computes, applies the `post`
+/// SIMD pass, and drains the output block to DRAM. Returns the last
+/// output window.
+fn lower_streamed_gemm(
+    program: &mut Program,
+    dims: &ArrayDims,
+    budget: &BufferBudget,
+    bpv: u64,
+    gemm: StreamedGemm,
+) -> Region {
+    let act_half = (budget.activation_bytes / 2).max(1);
+    let out_base = budget.activation_bytes / 2;
+    let widest = (gemm.k.max(gemm.out) as u64 * bpv).max(1);
+    let rows_per_block = ((act_half / widest) as usize).clamp(1, gemm.rows);
+    let tiles = tile_list(dims, gemm.k, gemm.out, gemm.mode);
+    let mut weight_db = DoubleBuffer::new(0, budget.weight_bytes);
+    let mut last_window = Region::unaddressed();
+    let mut start = 0usize;
+    while start < gemm.rows {
+        let rows_blk = rows_per_block.min(gemm.rows - start);
+        let input = Region::new(0, rows_blk as u64 * gemm.k as u64 * bpv);
+        let out_window = Region::new(out_base, rows_blk as u64 * gemm.out as u64 * bpv);
+        let waves = partition_waves(&tiles, weight_db.half_bytes(), bpv);
+        let last_wave = waves.len().saturating_sub(1);
+        for (wi, wave) in waves.iter().enumerate() {
+            // Stage epoch: the block's input window rides the first wave.
+            if wi == 0 {
+                program.push(Instruction::LoadDram {
+                    target: BufferKind::Activation,
+                    region: input,
+                });
+            }
+            let mut bump = Bump::new(weight_db.active_base());
+            let regions: Vec<Region> =
+                wave.iter().map(|t| bump.alloc(t.weight_bytes(bpv))).collect();
+            for &r in &regions {
+                program.push(Instruction::LoadDram { target: BufferKind::Weight, region: r });
+            }
+            program.push(Instruction::Sync);
+            // Compute epoch.
+            emit_tiles(
+                program,
+                wave,
+                &regions,
+                RepeatGeometry { rows: rows_blk, mode: gemm.mode, input, out_base, bpv },
+            );
+            if wi == last_wave {
+                if let Some(kind) = gemm.post {
+                    program.push(Instruction::Simd {
+                        kind,
+                        elems: rows_blk * gemm.out,
+                        region: out_window,
+                    });
+                }
+            }
+            program.push(Instruction::Sync);
+            weight_db.flip();
+        }
+        // Drain epoch: stash the block for the rest of the iteration.
+        program.push(Instruction::StoreDram {
+            source: BufferKind::Activation,
+            region: out_window,
+        });
+        program.push(Instruction::Sync);
+        last_window = out_window;
+        start += rows_blk;
+    }
+    last_window
+}
+
+/// The three GEMMs of one training step repeat, in backward order for
+/// the reverse passes:
+///
+/// * forward `Y = X·W` — `rows × k → out` in the step's serving mode;
+/// * `dX = dY·Wᵀ` — `rows × out → k`, same mode (the batch stays on the
+///   rows);
+/// * `dW = Xᵀ·dY` — `k × rows → out` with the `rows`-deep reduction: a
+///   tall activation matrix, so it maps in weight-broadcast mode (the
+///   paper's mode 2) with the `dY` tiles staged through the weight
+///   buffer.
+fn step_gemms(step: &crate::layers::GemmStep, batch: usize) -> [StreamedGemm; 3] {
+    let rows = batch * step.rows_per_sample;
+    [
+        StreamedGemm {
+            rows,
+            k: step.k,
+            out: step.out,
+            mode: step.mode,
+            post: if step.simd_elems_per_sample > 0 {
+                Some(SimdOpKind::Activation)
+            } else {
+                None
+            },
+        },
+        StreamedGemm {
+            rows,
+            k: step.out,
+            out: step.k,
+            mode: step.mode,
+            post: Some(SimdOpKind::Derivative),
+        },
+        StreamedGemm {
+            rows: step.k,
+            k: rows,
+            out: step.out,
+            mode: GemmMode::WeightBroadcast,
+            post: Some(SimdOpKind::WeightUpdate),
+        },
+    ]
+}
+
+/// Lowers one synchronous-SGD iteration of `model` into an executable
+/// program: every forward repeat, a loss pass, then the backward
+/// repeats in reverse order (`dX` + `dW` with the optimizer update),
+/// closing with the parameter-server exchange over the host interface.
+///
+/// All operands stream from DRAM through staged buffer regions (§2.2:
+/// the training footprint is a few GBs, so nothing stays installed);
+/// the MAC total is exactly `3 ×` the forward pass — the invariant
+/// [`TrainingProfile::iteration_macs`] counts with.
+///
+/// # Panics
+///
+/// Panics if `setup.batch` is zero.
+pub fn lower_training(model: &ModelSpec, dims: &ArrayDims, setup: &TrainingSetup) -> Program {
+    assert!(setup.batch > 0, "training batch must be positive");
+    let budget = BufferBudget::paper_default();
+    let bpv = setup.encoding.bytes_per_value() as u64;
+    let b = setup.batch;
+    let mut program = Program::new(format!("{}-training-b{}", model.name(), b));
+    // Forward pass.
+    let mut last_window = Region::unaddressed();
+    for step in model.steps() {
+        let [fwd, _, _] = step_gemms(step, b);
+        for _ in 0..step.repeats {
+            last_window = lower_streamed_gemm(&mut program, dims, &budget, bpv, fwd);
+        }
+    }
+    // Loss over the final output window: the SIMD loss overload
+    // rewrites it in place into the output gradient, which drains to
+    // DRAM for the backward pass to stream back.
+    if !last_window.is_empty() {
+        program.push(Instruction::Simd {
+            kind: SimdOpKind::Loss,
+            elems: (last_window.bytes / bpv.max(1)) as usize,
+            region: last_window,
+        });
+        program.push(Instruction::Sync);
+        program.push(Instruction::StoreDram {
+            source: BufferKind::Activation,
+            region: last_window,
+        });
+        program.push(Instruction::Sync);
+    }
+    // Backward pass, reverse step order: activation gradients then
+    // weight gradients + optimizer update per repeat.
+    for step in model.steps().iter().rev() {
+        let [_, dx, dw] = step_gemms(step, b);
+        for _ in 0..step.repeats {
+            lower_streamed_gemm(&mut program, dims, &budget, bpv, dx);
+            lower_streamed_gemm(&mut program, dims, &budget, bpv, dw);
+        }
+    }
+    // Parameter-server exchange: fp32 gradients out, quantized model in.
+    program.push(Instruction::HostIo {
+        bytes: model.weight_params() * (4 + setup.encoding.bytes_per_value() as u64),
+    });
+    split_oversized_regions(program)
+}
+
+/// A cheap upper bound on [`lower_training`]'s instruction count,
+/// mirroring its block/wave arithmetic — used by sweep drivers to skip
+/// lowerings too large to analyze on small geometries.
+pub fn estimate_training_instructions(
+    model: &ModelSpec,
+    dims: &ArrayDims,
+    setup: &TrainingSetup,
+) -> u64 {
+    let budget = BufferBudget::paper_default();
+    let bpv = setup.encoding.bytes_per_value() as u64;
+    let act_half = (budget.activation_bytes / 2).max(1);
+    let weight_half = (budget.weight_bytes / 2).max(1);
+    let tile_k = dims.tile_k().max(1) as u64;
+    let gemm_cost = |g: StreamedGemm| -> u64 {
+        let tile_out = crate::lower::tile_out_span(dims, g.mode).max(1) as u64;
+        let k_chunks = (g.k as u64).div_ceil(tile_k);
+        let out_groups = (g.out as u64).div_ceil(tile_out);
+        let tiles = k_chunks * out_groups;
+        let widest = (g.k.max(g.out) as u64 * bpv).max(1);
+        let rows_per_block = (act_half / widest).clamp(1, g.rows as u64);
+        let blocks = (g.rows as u64).div_ceil(rows_per_block);
+        let tile_bytes = tile_k * tile_out * bpv;
+        let waves = (tiles * tile_bytes).div_ceil(weight_half).max(1);
+        // loads + matmuls + accum/post SIMD + per-wave and drain syncs,
+        // plus slack for region-split syncs (≤ words/1536).
+        blocks * (2 * tiles + out_groups + 2 * waves + 6 + tiles / 256)
+    };
+    let mut total = 6u64; // loss epoch + host I/O
+    for step in model.steps() {
+        let [fwd, dx, dw] = step_gemms(step, setup.batch);
+        total += step.repeats as u64 * (gemm_cost(fwd) + gemm_cost(dx) + gemm_cost(dw));
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +484,101 @@ mod tests {
     fn zero_batch_panics() {
         let setup = TrainingSetup { batch: 0, ..Default::default() };
         TrainingProfile::profile(&ModelSpec::lstm_2048_25(), &dims_500us(), &setup);
+    }
+
+    #[test]
+    fn lowered_training_conserves_macs() {
+        // The executable lowering and the analytical profile must agree
+        // exactly: 3x the forward MACs, for every paper model.
+        let d = dims_500us();
+        for (model, batch) in [
+            (ModelSpec::lstm_2048_25(), 128),
+            (ModelSpec::gru_2816_1500(), 32),
+            (ModelSpec::resnet50(), 8),
+            (ModelSpec::mlp_2048x5(), 128),
+        ] {
+            let setup = TrainingSetup { batch, ..Default::default() };
+            let p = lower_training(&model, &d, &setup);
+            let profile = TrainingProfile::profile(&model, &d, &setup);
+            assert_eq!(
+                p.total_macs(),
+                profile.iteration_macs,
+                "{} training MACs diverge",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn training_program_uses_training_simd_and_host_io() {
+        let p = lower_training(
+            &ModelSpec::mlp_2048x5(),
+            &dims_500us(),
+            &TrainingSetup::paper_default(),
+        );
+        let has_kind = |k: SimdOpKind| {
+            p.instructions()
+                .iter()
+                .any(|i| matches!(i, Instruction::Simd { kind, .. } if *kind == k))
+        };
+        assert!(has_kind(SimdOpKind::Loss));
+        assert!(has_kind(SimdOpKind::Derivative));
+        assert!(has_kind(SimdOpKind::WeightUpdate));
+        assert!(p
+            .instructions()
+            .iter()
+            .any(|i| matches!(i, Instruction::HostIo { bytes } if *bytes > 0)));
+    }
+
+    #[test]
+    fn training_program_validates_on_paper_geometry() {
+        let d = dims_500us();
+        let p = lower_training(&ModelSpec::lstm_2048_25(), &d, &TrainingSetup::paper_default());
+        crate::validate::validate_program(&p, &d, &BufferBudget::paper_default())
+            .expect("training lowering must respect the instruction buffer");
+    }
+
+    #[test]
+    fn training_operands_stay_in_buffer_budgets() {
+        let budget = BufferBudget::paper_default();
+        let p = lower_training(
+            &ModelSpec::resnet50(),
+            &dims_500us(),
+            &TrainingSetup { batch: 8, ..Default::default() },
+        );
+        for i in p.instructions() {
+            match i {
+                Instruction::LoadDram { target: crate::instruction::BufferKind::Weight, region } => {
+                    assert!(region.end() <= budget.weight_bytes, "weight stage {region} overflows");
+                }
+                Instruction::LoadDram { region, .. } | Instruction::StoreDram { region, .. } => {
+                    assert!(
+                        region.end() <= budget.activation_bytes,
+                        "activation window {region} overflows"
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_bounds_lowered_size() {
+        let d = dims_500us();
+        for (model, batch) in [
+            (ModelSpec::lstm_2048_25(), 128),
+            (ModelSpec::resnet50(), 8),
+            (ModelSpec::mlp_2048x5(), 128),
+        ] {
+            let setup = TrainingSetup { batch, ..Default::default() };
+            let actual = lower_training(&model, &d, &setup).instructions().len() as u64;
+            let estimate = estimate_training_instructions(&model, &d, &setup);
+            assert!(
+                estimate >= actual,
+                "{}: estimate {estimate} under actual {actual}",
+                model.name()
+            );
+        }
     }
 
     #[test]

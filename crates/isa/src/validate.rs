@@ -63,11 +63,12 @@ pub enum ValidationError {
         index: usize,
     },
     /// A program region between syncs would overflow the instruction
-    /// buffer (regions are the streaming granularity).
+    /// buffer (regions are the streaming granularity). Counted in
+    /// 16-byte encoded words: a tile multiply occupies three.
     RegionTooLarge {
-        /// Instructions in the offending region.
-        instructions: usize,
-        /// Instruction-buffer capacity in instructions.
+        /// Encoded words in the offending region.
+        words: usize,
+        /// Instruction-buffer capacity in words.
         capacity: usize,
     },
 }
@@ -100,9 +101,9 @@ impl std::fmt::Display for ValidationError {
             ValidationError::TileTooLarge { index } => {
                 write!(f, "instruction {index} addresses a tile larger than the MMU geometry")
             }
-            ValidationError::RegionTooLarge { instructions, capacity } => write!(
+            ValidationError::RegionTooLarge { words, capacity } => write!(
                 f,
-                "a dependence region holds {instructions} instructions but the buffer streams {capacity}"
+                "a dependence region holds {words} encoded words but the buffer streams {capacity}"
             ),
         }
     }
@@ -171,22 +172,19 @@ pub fn validate_program(
                 if *k_span > dims.tile_k() || *out_span > max_out {
                     return Err(ValidationError::TileTooLarge { index });
                 }
-                region += 1;
+                region += instr.encoded_words();
             }
             crate::Instruction::Sync => {
                 if region > capacity {
-                    return Err(ValidationError::RegionTooLarge {
-                        instructions: region,
-                        capacity,
-                    });
+                    return Err(ValidationError::RegionTooLarge { words: region, capacity });
                 }
                 region = 0;
             }
-            _ => region += 1,
+            _ => region += instr.encoded_words(),
         }
     }
     if region > capacity {
-        return Err(ValidationError::RegionTooLarge { instructions: region, capacity });
+        return Err(ValidationError::RegionTooLarge { words: region, capacity });
     }
     Ok(())
 }
@@ -266,7 +264,7 @@ mod tests {
         let weights = ValidationError::WeightsDontFit { required: 2, available: 1 };
         let acts = ValidationError::ActivationsDontFit { required: 2, available: 1 };
         let tile = ValidationError::TileTooLarge { index: 0 };
-        let region = ValidationError::RegionTooLarge { instructions: 2, capacity: 1 };
+        let region = ValidationError::RegionTooLarge { words: 2, capacity: 1 };
         assert_eq!(weights.code(), "EQX0203");
         assert_eq!(acts.code(), "EQX0204");
         assert_eq!(tile.code(), "EQX0202");
@@ -276,12 +274,12 @@ mod tests {
     #[test]
     fn oversized_tile_rejected() {
         let mut p = Program::new("bad");
-        p.push(crate::Instruction::MatMulTile {
-            rows: 1,
-            k_span: dims().tile_k() + 1,
-            out_span: 1,
-            mode: crate::layers::GemmMode::VectorMatrix,
-        });
+        p.push(crate::Instruction::matmul(
+            1,
+            dims().tile_k() + 1,
+            1,
+            crate::layers::GemmMode::VectorMatrix,
+        ));
         let err = validate_program(&p, &dims(), &BufferBudget::default()).unwrap_err();
         assert_eq!(err, ValidationError::TileTooLarge { index: 0 });
     }
@@ -289,27 +287,21 @@ mod tests {
     #[test]
     fn oversized_region_rejected() {
         let mut p = Program::new("long");
-        for _ in 0..3000 {
-            p.push(crate::Instruction::MatMulTile {
-                rows: 1,
-                k_span: 1,
-                out_span: 1,
-                mode: crate::layers::GemmMode::VectorMatrix,
-            });
+        for _ in 0..1000 {
+            p.push(crate::Instruction::matmul(1, 1, 1, crate::layers::GemmMode::VectorMatrix));
         }
-        // 32 KB / 16 B = 2048 instructions per region.
+        // 32 KB / 16 B = 2048 words per region; 1000 three-word tile
+        // multiplies overflow it.
         let err = validate_program(&p, &dims(), &BufferBudget::default()).unwrap_err();
-        assert!(matches!(err, ValidationError::RegionTooLarge { capacity: 2048, .. }));
-        // With a sync in the middle it streams fine.
+        assert!(matches!(
+            err,
+            ValidationError::RegionTooLarge { words: 3000, capacity: 2048 }
+        ));
+        // With syncs every 600 instructions (1800 words) it streams.
         let mut ok = Program::new("split");
         for i in 0..3000 {
-            ok.push(crate::Instruction::MatMulTile {
-                rows: 1,
-                k_span: 1,
-                out_span: 1,
-                mode: crate::layers::GemmMode::VectorMatrix,
-            });
-            if i == 1500 {
+            ok.push(crate::Instruction::matmul(1, 1, 1, crate::layers::GemmMode::VectorMatrix));
+            if i % 600 == 599 {
                 ok.push(crate::Instruction::Sync);
             }
         }

@@ -17,11 +17,18 @@ cargo build --workspace --release --features equinox-bench/paper-bench
 echo "==> tests"
 cargo test --workspace --quiet
 
-echo "==> equinox-check sweep (writes results/equinox_check.json)"
+echo "==> equinox-check sweep: inference + training lowerings across the"
+echo "    paper family; exits non-zero on any error-severity diagnostic"
+echo "    (writes results/equinox_check.json)"
 cargo run --release -p equinox-check --bin equinox-check
 
+echo "==> driver configuration checks, incl. the four paper models'"
+echo "    training lowerings (writes results/driver_checks.json)"
+cargo run --release -p equinox-bench --bin regen-results -- checks
+
 echo "==> fault-injection smoke (reduced grid; fails on panics, SLO"
-echo "    violations in the no-fault baseline, or rejected policies)"
+echo "    violations in the no-fault baseline, rejected policies, or"
+echo "    blowing the --quick wall-clock budget)"
 cargo run --release -p equinox-bench --bin regen-results -- --quick fault
 
 echo "OK"
