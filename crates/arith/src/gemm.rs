@@ -10,10 +10,46 @@
 //!
 //! The kernels are bit-faithful models of the datapath, not fast BLAS;
 //! they are used by the trainer for the Figure 2 convergence study.
+//! Large multiplications run row-tiled across the `equinox-par`
+//! work-stealing pool: each output row is computed by exactly the same
+//! scalar loop as the serial path (accumulation order within a row is
+//! untouched), so results are bitwise identical at any thread count.
 
 use crate::bf16::Bf16;
 use crate::hbfp::{BlockAxis, HbfpMatrix, HbfpSpec};
 use crate::matrix::Matrix;
+
+/// Below this many MACs a GEMM is not worth fanning out: thread startup
+/// would dominate the arithmetic.
+const PARALLEL_MIN_MACS: u64 = 1 << 16;
+
+/// Computes an `m×n` output by filling each row with `fill(i, row)`,
+/// row-tiled over the parallel pool when the work is large enough.
+/// `fill` must be a pure function of the row index for the determinism
+/// contract to hold (every kernel below satisfies this).
+fn fill_rows_tiled(m: usize, n: usize, macs: u64, fill: impl Fn(usize, &mut [f32]) + Sync) -> Matrix {
+    let threads = equinox_par::thread_count();
+    if threads <= 1 || m < 2 || macs < PARALLEL_MIN_MACS {
+        let mut data = vec![0.0f32; m * n];
+        for (i, row) in data.chunks_exact_mut(n.max(1)).enumerate() {
+            fill(i, row);
+        }
+        return Matrix::from_vec(m, n, data);
+    }
+    // Over-partition (4 blocks per worker) so stealing can level uneven
+    // progress; blocks are glued back in index order.
+    let blocks = (threads * 4).min(m);
+    let ranges: Vec<(usize, usize)> =
+        (0..blocks).map(|b| (m * b / blocks, m * (b + 1) / blocks)).collect();
+    let parts: Vec<Vec<f32>> = equinox_par::parallel_map(ranges, |(lo, hi)| {
+        let mut part = vec![0.0f32; (hi - lo) * n];
+        for (off, row) in part.chunks_exact_mut(n.max(1)).enumerate() {
+            fill(lo + off, row);
+        }
+        part
+    });
+    Matrix::from_vec(m, n, parts.concat())
+}
 
 /// Configuration of the hbfp8 GEMM datapath model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,21 +97,19 @@ fn check_shapes(a: &Matrix, b: &Matrix) {
 pub fn gemm_f32(a: &Matrix, b: &Matrix) -> Matrix {
     check_shapes(a, b);
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut out = Matrix::zeros(m, n);
     // Transposing b gives contiguous access along the reduction.
     let bt = b.transpose();
-    for i in 0..m {
+    fill_rows_tiled(m, n, gemm_macs(m, k, n), |i, row| {
         let arow = a.row(i);
-        for j in 0..n {
+        for (j, out) in row.iter_mut().enumerate() {
             let bcol = bt.row(j);
             let mut acc = 0.0f32;
             for kk in 0..k {
                 acc += arow[kk] * bcol[kk];
             }
-            out.set(i, j, acc);
+            *out = acc;
         }
-    }
-    out
+    })
 }
 
 /// bfloat16 GEMM with fp32 accumulation.
@@ -98,17 +132,15 @@ pub fn gemm_bf16(a: &Matrix, b: &Matrix) -> Matrix {
         .iter()
         .map(|&v| Bf16::from_f32(v))
         .collect();
-    let mut out = Matrix::zeros(m, n);
-    for i in 0..m {
-        for j in 0..n {
+    fill_rows_tiled(m, n, gemm_macs(m, k, n), |i, row| {
+        for (j, out) in row.iter_mut().enumerate() {
             let mut acc = 0.0f32;
             for kk in 0..k {
                 acc = qa[i * k + kk].fma_into_f32(qbt[j * k + kk], acc);
             }
-            out.set(i, j, acc);
+            *out = acc;
         }
-    }
-    out
+    })
 }
 
 /// hbfp8 GEMM.
@@ -156,10 +188,9 @@ pub fn gemm_hbfp_prequantized(
         b.cols()
     );
     let (m, n) = (a.rows(), b.cols());
-    let mut out = Matrix::zeros(m, n);
-    for i in 0..m {
+    fill_rows_tiled(m, n, gemm_macs(m, a.cols(), n), |i, row| {
         let a_blocks = a.lane_blocks(i);
-        for j in 0..n {
+        for (j, out) in row.iter_mut().enumerate() {
             let b_blocks = b.lane_blocks(j);
             debug_assert_eq!(a_blocks.len(), b_blocks.len());
             // fp32 across-block accumulation (the "x instructions that add
@@ -168,15 +199,13 @@ pub fn gemm_hbfp_prequantized(
             for (ab, bb) in a_blocks.iter().zip(b_blocks) {
                 acc += ab.dot(bb);
             }
-            let v = if config.round_output_to_bf16 {
+            *out = if config.round_output_to_bf16 {
                 Bf16::from_f32(acc).to_f32()
             } else {
                 acc
             };
-            out.set(i, j, v);
         }
-    }
-    out
+    })
 }
 
 /// Counts the multiply-accumulate operations of a GEMM, the unit used for
@@ -273,6 +302,22 @@ mod tests {
         for &v in out.as_slice() {
             assert_eq!(v, Bf16::from_f32(v).to_f32(), "output must be bf16-representable");
         }
+    }
+
+    #[test]
+    fn parallel_rows_bitwise_identical_to_serial() {
+        // Large enough to cross PARALLEL_MIN_MACS and odd-shaped so the
+        // row blocks are uneven.
+        let (a, b) = test_matrices(97, 130, 33, 5);
+        let cfg = HbfpGemmConfig::default();
+        equinox_par::set_thread_override(Some(1));
+        let serial = (gemm_f32(&a, &b), gemm_bf16(&a, &b), gemm_hbfp(&a, &b, &cfg));
+        equinox_par::set_thread_override(Some(7));
+        let parallel = (gemm_f32(&a, &b), gemm_bf16(&a, &b), gemm_hbfp(&a, &b, &cfg));
+        equinox_par::set_thread_override(None);
+        assert_eq!(serial.0, parallel.0);
+        assert_eq!(serial.1, parallel.1);
+        assert_eq!(serial.2, parallel.2);
     }
 
     #[test]

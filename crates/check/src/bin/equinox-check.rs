@@ -18,12 +18,14 @@ use equinox_check::{
     analyze_training_program,
 };
 use equinox_check::{encoding as wire, BufferBudget, Report};
-use equinox_isa::lower::{compile_inference_with, estimate_inference_instructions};
+use equinox_isa::cache::compile_inference_cached;
+use equinox_isa::lower::estimate_inference_instructions;
 use equinox_isa::models::ModelSpec;
 use equinox_isa::training::{TrainingProfile, TrainingSetup};
 use equinox_isa::{ArrayDims, Program};
 use equinox_model::{DesignSpace, LatencyConstraint, TechnologyParams};
 use equinox_sim::AcceleratorConfig;
+use std::sync::Arc;
 
 fn builtin_models() -> Vec<ModelSpec> {
     vec![
@@ -78,81 +80,114 @@ fn training_setup(model: &ModelSpec, encoding: Encoding) -> TrainingSetup {
 /// tiles, which is a compiler stress test rather than a useful check.
 const MAX_SWEEP_INSTRUCTIONS: u64 = 2_000_000;
 
+/// One independently-analyzable cell of the sweep grid: either the
+/// configuration-level lints (`model: None`) or the full
+/// install/inference/training pass stack for one `(config, model)`
+/// pair. Units carry everything they need so they can run on any
+/// worker; results are re-assembled in grid order, so the report
+/// stream is identical to the old serial sweep at any thread count.
+struct SweepUnit {
+    encoding: Encoding,
+    space: Arc<DesignSpace>,
+    config: AcceleratorConfig,
+    model: Option<ModelSpec>,
+}
+
+/// Analyzes one sweep cell. Returns the cell's reports in emission
+/// order plus whether any of them fails the sweep.
+fn run_unit(unit: SweepUnit, budget: &BufferBudget) -> (Vec<Report>, bool) {
+    let SweepUnit { encoding, space, config, model } = unit;
+    let mut reports = Vec::new();
+    let mut failed = false;
+    let Some(model) = model else {
+        let config_report = analyze_config(&config, Some(&space));
+        failed |= config_report.has_errors();
+        return (vec![config_report], failed);
+    };
+    let batch = serving_batch(&model, &config.dims);
+    let install = analyze_installation(&model, encoding, batch, budget);
+    let installs = !install.has_errors();
+    // Whether a workload fits the buffers is a property of
+    // the workload (Transformer and large-batch ResNet-50
+    // legitimately exceed them, cf. Table 2), so install
+    // findings are reported without failing the sweep; only
+    // defects in compiled programs or configurations do.
+    reports.push(install);
+    // Only analyze programs for models that install, and only
+    // when the lowered program stays a tractable size.
+    if installs {
+        let estimate = estimate_inference_instructions(&model, &config.dims, batch);
+        let subject = format!("{}/{}", config.name, model.name());
+        if estimate > MAX_SWEEP_INSTRUCTIONS {
+            let mut skipped = Report::new(subject);
+            skipped.push(equinox_check::Diagnostic::note(
+                equinox_check::Code::ANALYSIS_SKIPPED,
+                format!(
+                    "~{estimate} instructions on this geometry; \
+                     skipped (sweep cap {MAX_SWEEP_INSTRUCTIONS})"
+                ),
+            ));
+            reports.push(skipped);
+        } else {
+            let program =
+                compile_inference_cached(&model, &config.dims, batch, encoding, budget);
+            let mut report = analyze_program(&program, &config.dims, budget, encoding);
+            rename(&mut report, subject);
+            failed |= report.has_errors();
+            reports.push(report);
+        }
+    }
+    // Training runs on the same geometry regardless of how
+    // inference is served: the lowered backward pass streams
+    // from DRAM, so it is analyzed even when the serving
+    // installation does not fit.
+    let setup = training_setup(&model, encoding);
+    let mut training_prog =
+        analyze_training_program(&model, &config.dims, &setup, budget, MAX_SWEEP_INSTRUCTIONS);
+    rename(
+        &mut training_prog,
+        format!("{}/{}:training", config.name, model.name()),
+    );
+    failed |= training_prog.has_errors();
+    reports.push(training_prog);
+    let profile = TrainingProfile::profile(&model, &config.dims, &setup);
+    let training = analyze_training(&profile, &config);
+    failed |= training.has_errors();
+    reports.push(training);
+    (reports, failed)
+}
+
 fn run_sweep() -> (Vec<Report>, bool) {
     let tech = TechnologyParams::tsmc28();
     let budget = BufferBudget::paper_default();
-    let mut reports = Vec::new();
-    let mut failed = false;
+    // Enumerate the grid serially (cheap), analyze cells in parallel,
+    // then flatten in enumeration order so output is deterministic.
+    let mut units = Vec::new();
     for encoding in [Encoding::Hbfp8, Encoding::Bfloat16] {
-        let space = DesignSpace::sweep(encoding, &tech);
+        let space = Arc::new(DesignSpace::sweep(encoding, &tech));
         for config in paper_family(encoding, &space) {
-            let config_report = analyze_config(&config, Some(&space));
-            failed |= config_report.has_errors();
-            reports.push(config_report);
+            units.push(SweepUnit {
+                encoding,
+                space: Arc::clone(&space),
+                config: config.clone(),
+                model: None,
+            });
             for model in builtin_models() {
-                let batch = serving_batch(&model, &config.dims);
-                let install = analyze_installation(&model, encoding, batch, &budget);
-                let installs = !install.has_errors();
-                // Whether a workload fits the buffers is a property of
-                // the workload (Transformer and large-batch ResNet-50
-                // legitimately exceed them, cf. Table 2), so install
-                // findings are reported without failing the sweep; only
-                // defects in compiled programs or configurations do.
-                reports.push(install);
-                // Only analyze programs for models that install, and only
-                // when the lowered program stays a tractable size.
-                if installs {
-                    let estimate = estimate_inference_instructions(&model, &config.dims, batch);
-                    let subject = format!("{}/{}", config.name, model.name());
-                    if estimate > MAX_SWEEP_INSTRUCTIONS {
-                        let mut skipped = Report::new(subject);
-                        skipped.push(equinox_check::Diagnostic::note(
-                            equinox_check::Code::ANALYSIS_SKIPPED,
-                            format!(
-                                "~{estimate} instructions on this geometry; \
-                                 skipped (sweep cap {MAX_SWEEP_INSTRUCTIONS})"
-                            ),
-                        ));
-                        reports.push(skipped);
-                    } else {
-                        let program = compile_inference_with(
-                            &model,
-                            &config.dims,
-                            batch,
-                            encoding,
-                            &budget,
-                        );
-                        let mut report =
-                            analyze_program(&program, &config.dims, &budget, encoding);
-                        rename(&mut report, subject);
-                        failed |= report.has_errors();
-                        reports.push(report);
-                    }
-                }
-                // Training runs on the same geometry regardless of how
-                // inference is served: the lowered backward pass streams
-                // from DRAM, so it is analyzed even when the serving
-                // installation does not fit.
-                let setup = training_setup(&model, encoding);
-                let mut training_prog = analyze_training_program(
-                    &model,
-                    &config.dims,
-                    &setup,
-                    &budget,
-                    MAX_SWEEP_INSTRUCTIONS,
-                );
-                rename(
-                    &mut training_prog,
-                    format!("{}/{}:training", config.name, model.name()),
-                );
-                failed |= training_prog.has_errors();
-                reports.push(training_prog);
-                let profile = TrainingProfile::profile(&model, &config.dims, &setup);
-                let training = analyze_training(&profile, &config);
-                failed |= training.has_errors();
-                reports.push(training);
+                units.push(SweepUnit {
+                    encoding,
+                    space: Arc::clone(&space),
+                    config: config.clone(),
+                    model: Some(model),
+                });
             }
         }
+    }
+    let cells = equinox_par::parallel_map(units, |u| run_unit(u, &budget));
+    let mut reports = Vec::new();
+    let mut failed = false;
+    for (cell_reports, cell_failed) in cells {
+        reports.extend(cell_reports);
+        failed |= cell_failed;
     }
     (reports, failed)
 }

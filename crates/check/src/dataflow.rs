@@ -38,6 +38,7 @@ use equinox_arith::Encoding;
 use equinox_isa::instruction::{BufferKind, Region};
 use equinox_isa::validate::BufferBudget;
 use equinox_isa::{Instruction, Program};
+use std::collections::BTreeMap;
 
 /// SIMD register file capacity (§5's SRAM split: 5 MB).
 pub const SIMD_REGISTER_BYTES: u64 = 5 << 20;
@@ -107,15 +108,37 @@ struct Access {
 #[derive(Default)]
 struct BufferState {
     defined: IntervalSet,
-    defs: Vec<DefRecord>,
+    /// Pending definitions indexed by byte offset (`region.offset` →
+    /// record). The settle-on-write discipline keeps them pairwise
+    /// disjoint, so every overlap query is one `range(..end)` walk that
+    /// stops at the first non-overlapping def — near-linear over whole
+    /// programs instead of the old full-scan-per-access `Vec`, which
+    /// went quadratic on the ~1.2 M-instruction training lowerings.
+    defs: BTreeMap<u64, DefRecord>,
     epoch: Vec<Access>,
     oob_reported: bool,
+}
+
+/// Work counters for the pass, used by the scaling regression test
+/// (counter-based, not wall-clock).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataflowStats {
+    /// Instructions walked.
+    pub instructions: u64,
+    /// Pending-definition intervals visited across all reads/writes
+    /// (each overlap test or settle touches one). Near-linear analysis
+    /// keeps this O(instructions); the old linear scan made it
+    /// O(instructions × live defs).
+    pub visited_intervals: u64,
+    /// High-water mark of simultaneously pending definitions.
+    pub max_pending_defs: usize,
 }
 
 struct Analyzer<'a> {
     budget: &'a BufferBudget,
     state: [BufferState; 4],
     diags: Vec<Diagnostic>,
+    stats: DataflowStats,
 }
 
 impl Analyzer<'_> {
@@ -137,10 +160,15 @@ impl Analyzer<'_> {
                 .with_span(Span::at(pc)),
             );
         }
-        for def in s.defs.iter_mut() {
-            if def.region.overlaps(&region) {
-                def.read = true;
+        // Defs are disjoint and start-sorted: walking `range(..end)`
+        // backward, the first def ending at or before `region.offset`
+        // proves every earlier def is disjoint too.
+        for (_, def) in s.defs.range_mut(..region.end()).rev() {
+            self.stats.visited_intervals += 1;
+            if def.region.end() <= region.offset {
+                break;
             }
+            def.read = true;
         }
         s.epoch.push(Access { region, pc, is_write: false, is_dma });
     }
@@ -173,13 +201,22 @@ impl Analyzer<'_> {
                 .with_span(Span::at(pc)),
             );
         }
-        // Settle every pending definition this write touches.
-        let mut kept = Vec::with_capacity(s.defs.len() + 1);
-        for def in s.defs.drain(..) {
-            if !region.overlaps(&def.region) {
-                kept.push(def);
-                continue;
+        // Settle every pending definition this write touches: collect
+        // the overlapping starts via the offset index (same backward
+        // walk as `read`), then remove and split each one. Everything
+        // outside `range(..end)` up to the break point is untouched.
+        let mut overlapping: Vec<u64> = Vec::new();
+        for (&start, def) in s.defs.range(..region.end()).rev() {
+            self.stats.visited_intervals += 1;
+            if def.region.end() <= region.offset {
+                break;
             }
+            overlapping.push(start);
+        }
+        // Process in ascending start order, matching the old in-order
+        // `Vec` scan so diagnostic order is stable.
+        for &start in overlapping.iter().rev() {
+            let def = s.defs.remove(&start).expect("indexed def exists");
             if region.contains(&def.region) {
                 // Fully superseded. An unread DRAM load that never met a
                 // consumer was a wasted transfer.
@@ -217,20 +254,17 @@ impl Analyzer<'_> {
             }
             // Keep the surviving left/right remainders.
             if def.region.offset < region.offset {
-                kept.push(DefRecord {
-                    region: Region::new(def.region.offset, region.offset - def.region.offset),
-                    ..def
-                });
+                let left = Region::new(def.region.offset, region.offset - def.region.offset);
+                s.defs.insert(left.offset, DefRecord { region: left, ..def });
             }
             if def.region.end() > region.end() {
-                kept.push(DefRecord {
-                    region: Region::new(region.end(), def.region.end() - region.end()),
-                    ..def
-                });
+                let right = Region::new(region.end(), def.region.end() - region.end());
+                s.defs.insert(right.offset, DefRecord { region: right, ..def });
             }
         }
-        kept.push(DefRecord { region, kind: def_kind, pc, read: false });
-        s.defs = kept;
+        s.defs.insert(region.offset, DefRecord { region, kind: def_kind, pc, read: false });
+        self.stats.visited_intervals += 1;
+        self.stats.max_pending_defs = self.stats.max_pending_defs.max(s.defs.len());
         s.defined.insert(region.offset, region.end());
         s.epoch.push(Access { region, pc, is_write: true, is_dma });
     }
@@ -283,8 +317,24 @@ impl Analyzer<'_> {
 /// `encoding` sizes the bytes a tile multiply's extents touch for the
 /// undersized-operand lint.
 pub fn analyze(program: &Program, budget: &BufferBudget, encoding: Encoding) -> Vec<Diagnostic> {
+    analyze_with_stats(program, budget, encoding).0
+}
+
+/// [`analyze`], additionally returning the pass's work counters (the
+/// scaling regression test asserts near-linearity on them).
+pub fn analyze_with_stats(
+    program: &Program,
+    budget: &BufferBudget,
+    encoding: Encoding,
+) -> (Vec<Diagnostic>, DataflowStats) {
     let bpv = encoding.bytes_per_value() as u64;
-    let mut a = Analyzer { budget, state: Default::default(), diags: Vec::new() };
+    let mut a = Analyzer {
+        budget,
+        state: Default::default(),
+        diags: Vec::new(),
+        stats: DataflowStats::default(),
+    };
+    a.stats.instructions = program.instructions().len() as u64;
 
     for (pc, instr) in program.instructions().iter().enumerate() {
         match *instr {
@@ -344,7 +394,7 @@ pub fn analyze(program: &Program, budget: &BufferBudget, encoding: Encoding) -> 
     // Loads whose data never met a consumer.
     for kind in BUFFERS {
         let s = &a.state[buffer_index(kind)];
-        for def in &s.defs {
+        for def in s.defs.values() {
             if def.kind == DefKind::Load && !def.read {
                 a.diags.push(
                     Diagnostic::warning(
@@ -360,7 +410,7 @@ pub fn analyze(program: &Program, budget: &BufferBudget, encoding: Encoding) -> 
             }
         }
     }
-    a.diags
+    (a.diags, a.stats)
 }
 
 #[cfg(test)]
@@ -385,6 +435,42 @@ mod tests {
             source: BufferKind::Activation,
             region: Region::new(offset, bytes),
         }
+    }
+
+    /// `n` disjoint loads, one sync, then `n` matching stores — the
+    /// shape of a training lowering's streamed activation traffic.
+    fn disjoint_grid(n: u64) -> Program {
+        let mut p = Program::new("grid");
+        for i in 0..n {
+            p.push(load(i * 64, 64));
+        }
+        p.push(Instruction::Sync);
+        for i in 0..n {
+            p.push(store(i * 64, 64));
+        }
+        p
+    }
+
+    #[test]
+    fn visited_interval_work_scales_near_linearly() {
+        // Regression guard for the offset index: with the old linear
+        // pending-defs scan a 4x larger program cost ~16x the interval
+        // visits; the BTreeMap range walk keeps it ~4x. Counter-based,
+        // not wall-clock, so it is stable on loaded CI machines.
+        let b = budget();
+        let (d1, s1) = analyze_with_stats(&disjoint_grid(256), &b, Encoding::Hbfp8);
+        let (d4, s4) = analyze_with_stats(&disjoint_grid(1024), &b, Encoding::Hbfp8);
+        assert!(d1.is_empty(), "{d1:?}");
+        assert!(d4.is_empty(), "{d4:?}");
+        assert!(s4.instructions > 3 * s1.instructions);
+        assert_eq!(s4.max_pending_defs, 1024);
+        assert!(s1.visited_intervals > 0);
+        assert!(
+            s4.visited_intervals < 8 * s1.visited_intervals,
+            "4x program should cost <8x interval visits, got {} -> {}",
+            s1.visited_intervals,
+            s4.visited_intervals
+        );
     }
 
     #[test]

@@ -53,9 +53,10 @@ pub use diag::{Code, Diagnostic, Report, Severity, Span};
 pub use equinox_isa::validate::BufferBudget;
 
 use equinox_arith::Encoding as ValueEncoding;
+use equinox_isa::cache::lower_training_cached;
 use equinox_isa::models::ModelSpec;
 use equinox_isa::training::{
-    estimate_training_instructions, lower_training, TrainingProfile, TrainingSetup,
+    estimate_training_instructions, TrainingProfile, TrainingSetup,
 };
 use equinox_isa::{ArrayDims, Program};
 use equinox_model::DesignSpace;
@@ -125,7 +126,7 @@ pub fn analyze_training_program(
         ));
         return report;
     }
-    let program = lower_training(model, dims, setup);
+    let program = lower_training_cached(model, dims, setup);
     analyze_program(&program, dims, budget, setup.encoding)
 }
 

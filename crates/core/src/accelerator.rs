@@ -1,7 +1,8 @@
 //! The `Equinox` facade: design selection → compilation → simulation.
 
 use equinox_arith::Encoding;
-use equinox_isa::lower::{compile_inference_with, InferenceTiming};
+use equinox_isa::cache::compile_inference_cached;
+use equinox_isa::lower::InferenceTiming;
 use equinox_isa::models::ModelSpec;
 use equinox_isa::training::{TrainingProfile, TrainingSetup};
 use equinox_isa::ArrayDims;
@@ -32,6 +33,22 @@ impl Equinox {
     pub fn build(encoding: Encoding, constraint: LatencyConstraint) -> Result<Self, EquinoxError> {
         let tech = TechnologyParams::tsmc28();
         let space = DesignSpace::sweep(encoding, &tech);
+        Equinox::build_from_space(encoding, constraint, &space)
+    }
+
+    /// [`Equinox::build`] against an already-swept design space, so
+    /// callers instantiating several family members pay for the §4
+    /// sweep once.
+    ///
+    /// # Errors
+    ///
+    /// [`EquinoxError::NoDesign`] if no design satisfies the
+    /// constraint.
+    pub fn build_from_space(
+        encoding: Encoding,
+        constraint: LatencyConstraint,
+        space: &DesignSpace,
+    ) -> Result<Self, EquinoxError> {
         let design = space.best_under_latency(constraint).ok_or_else(|| EquinoxError::NoDesign {
             encoding: encoding.to_string(),
             constraint: constraint.config_name(),
@@ -47,11 +64,14 @@ impl Equinox {
     }
 
     /// The four-configuration family of Table 1 for one encoding
-    /// (constraints that admit no design are skipped).
+    /// (constraints that admit no design are skipped). The design
+    /// space is swept once and shared across the members.
     pub fn family(encoding: Encoding) -> Vec<Equinox> {
+        let tech = TechnologyParams::tsmc28();
+        let space = DesignSpace::sweep(encoding, &tech);
         LatencyConstraint::table1_rows()
             .into_iter()
-            .filter_map(|c| Equinox::build(encoding, c).ok())
+            .filter_map(|c| Equinox::build_from_space(encoding, c, &space).ok())
             .collect()
     }
 
@@ -113,7 +133,7 @@ impl Equinox {
     ) -> Result<InferenceTiming, EquinoxError> {
         let budget = equinox_check::BufferBudget::paper_default();
         let program =
-            compile_inference_with(model, &self.config.dims, batch, self.config.encoding, &budget);
+            compile_inference_cached(model, &self.config.dims, batch, self.config.encoding, &budget);
         let report =
             equinox_check::analyze_program(&program, &self.config.dims, &budget, self.config.encoding);
         if report.has_errors() {
@@ -143,7 +163,7 @@ impl Equinox {
             equinox_check::analyze_installation(model, self.config.encoding, batch, &budget);
         report.extend(install.diagnostics().iter().cloned());
         if !install.has_errors() {
-            let program = compile_inference_with(
+            let program = compile_inference_cached(
                 model,
                 &self.config.dims,
                 batch,

@@ -18,11 +18,16 @@ pub struct Fig6 {
     pub bf16_csv: String,
 }
 
-/// Runs the full §4 sweep for both encodings.
+/// Runs the full §4 sweep for both encodings (concurrently; the
+/// panels are independent).
 pub fn run() -> Fig6 {
     let tech = TechnologyParams::tsmc28();
-    let h = DesignSpace::sweep(Encoding::Hbfp8, &tech);
-    let b = DesignSpace::sweep(Encoding::Bfloat16, &tech);
+    let mut spaces = equinox_par::parallel_map(
+        vec![Encoding::Hbfp8, Encoding::Bfloat16],
+        |enc| DesignSpace::sweep(enc, &tech),
+    );
+    let b = spaces.pop().expect("two panels swept");
+    let h = spaces.pop().expect("two panels swept");
     Fig6 {
         hbfp8: figure6_scatter(&h),
         bf16: figure6_scatter(&b),

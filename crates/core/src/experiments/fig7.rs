@@ -21,27 +21,40 @@ pub struct Fig7 {
 /// inference only (the baseline panel).
 pub fn run(encoding: Encoding, scale: ExperimentScale) -> Fig7 {
     let model = ModelSpec::lstm_2048_25();
-    let mut series = Vec::new();
-    for eq in Equinox::family(encoding) {
+    // Each (configuration, load) simulation is seeded and independent;
+    // fan the grid out and reassemble per-configuration series in
+    // family order so results match the serial sweep exactly.
+    let family = Equinox::family(encoding);
+    let loads = scale.loads();
+    let mut grid = Vec::new();
+    for eq in &family {
         let timing = eq.compile(&model).expect("reference workload compiles");
-        let mut points = Vec::new();
-        for &load in &scale.loads() {
-            let report = eq.run_compiled(
+        for &load in &loads {
+            grid.push((eq.clone(), timing, load));
+        }
+    }
+    let points = equinox_par::parallel_map(grid, |(eq, timing, load)| {
+        let report = eq
+            .run_compiled(
                 &timing,
                 &RunOptions {
                     target_requests: scale.target_requests(),
                     ..RunOptions::inference(load)
                 },
-            ).expect("simulation run");
-            points.push(LoadPoint {
-                load,
-                inference_tops: report.inference_tops(),
-                p99_ms: report.p99_ms(),
-                training_tops: 0.0,
-            });
+            )
+            .expect("simulation run");
+        LoadPoint {
+            load,
+            inference_tops: report.inference_tops(),
+            p99_ms: report.p99_ms(),
+            training_tops: 0.0,
         }
-        series.push(Series { name: eq.config().name.clone(), points });
-    }
+    });
+    let series: Vec<Series> = family
+        .iter()
+        .zip(points.chunks(loads.len()))
+        .map(|(eq, pts)| Series { name: eq.config().name.clone(), points: pts.to_vec() })
+        .collect();
     Fig7 {
         encoding,
         series,

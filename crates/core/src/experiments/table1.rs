@@ -3,11 +3,16 @@
 use equinox_arith::Encoding;
 use equinox_model::{DesignSpace, ParetoTable, TechnologyParams};
 
-/// Builds Table 1 from the full §4 sweep.
+/// Builds Table 1 from the full §4 sweep (both encodings swept
+/// concurrently; they are independent).
 pub fn run() -> ParetoTable {
     let tech = TechnologyParams::tsmc28();
-    let bf16 = DesignSpace::sweep(Encoding::Bfloat16, &tech);
-    let hbfp8 = DesignSpace::sweep(Encoding::Hbfp8, &tech);
+    let mut spaces = equinox_par::parallel_map(
+        vec![Encoding::Bfloat16, Encoding::Hbfp8],
+        |enc| DesignSpace::sweep(enc, &tech),
+    );
+    let hbfp8 = spaces.pop().expect("two encodings swept");
+    let bf16 = spaces.pop().expect("two encodings swept");
     ParetoTable::build(&bf16, &hbfp8)
 }
 

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod alloc;
+pub mod cache;
 pub mod encode;
 pub mod error;
 pub mod im2col;

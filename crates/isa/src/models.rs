@@ -10,7 +10,7 @@
 use crate::layers::{GemmMode, GemmStep};
 
 /// A workload: a named sequence of GEMM steps.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ModelSpec {
     name: String,
     steps: Vec<GemmStep>,

@@ -60,8 +60,11 @@ impl DesignSpace {
         w_max: usize,
     ) -> Self {
         let enc = EncodingParams::for_encoding(encoding);
-        let mut points = Vec::new();
-        for n in 1..=n_max {
+        // The (n, frequency) cells are independent; evaluate one `n`
+        // column per task and flatten in `n` order, so the point list
+        // is identical to the serial sweep at any thread count.
+        let columns = equinox_par::parallel_map((1..=n_max).collect::<Vec<usize>>(), |n| {
+            let mut column = Vec::new();
             for &freq_hz in &tech.frequencies_hz {
                 let mut best: Option<EvaluatedDesign> = None;
                 for w in 1..=w_max {
@@ -85,10 +88,12 @@ impl DesignSpace {
                     }
                 }
                 if let Some(b) = best {
-                    points.push(b);
+                    column.push(b);
                 }
             }
-        }
+            column
+        });
+        let points: Vec<EvaluatedDesign> = columns.into_iter().flatten().collect();
         let frontier = pareto::pareto_frontier(&points);
         DesignSpace { encoding, tech: tech.clone(), points, frontier }
     }

@@ -28,7 +28,22 @@ cargo run --release -p equinox-bench --bin regen-results -- checks
 
 echo "==> fault-injection smoke (reduced grid; fails on panics, SLO"
 echo "    violations in the no-fault baseline, rejected policies, or"
-echo "    blowing the --quick wall-clock budget)"
+echo "    blowing a per-figure --quick wall-clock budget)"
 cargo run --release -p equinox-bench --bin regen-results -- --quick fault
+
+echo "==> determinism smoke: the --quick regen of the sweep-backed"
+echo "    figures must be byte-identical serial vs parallel"
+EQUINOX_THREADS=1 cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks
+cp results/fig6a_hbfp8.csv /tmp/equinox_fig6a_serial.csv
+cp results/table1_pareto.txt /tmp/equinox_table1_serial.txt
+cp results/driver_checks.json /tmp/equinox_checks_serial.json
+cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks
+cmp results/fig6a_hbfp8.csv /tmp/equinox_fig6a_serial.csv
+cmp results/table1_pareto.txt /tmp/equinox_table1_serial.txt
+cmp results/driver_checks.json /tmp/equinox_checks_serial.json
+echo "    byte-identical at EQUINOX_THREADS=1 and the default pool"
+
+echo "==> wall-clock + compile-cache profile of this run"
+cat results/bench_timings.json
 
 echo "OK"

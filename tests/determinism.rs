@@ -1,0 +1,97 @@
+//! The parallel runtime's determinism contract: every serialized
+//! result is byte-identical at any thread count.
+//!
+//! Each probe renders a representative driver output to a `String` at
+//! `EQUINOX_THREADS`-equivalent 1 (forced serial) and 4 (work-stealing
+//! engaged) via [`equinox_par::set_thread_override`], and asserts the
+//! bytes match. The container running CI may only have one core —
+//! that's fine: with 4 workers on one core the OS interleaves them
+//! arbitrarily, which is exactly the schedule nondeterminism the
+//! contract must be immune to.
+
+use equinox_arith::Encoding;
+use equinox_core::experiments::{fig6, fig7, table1};
+use equinox_core::{Equinox, ExperimentScale};
+use equinox_isa::models::ModelSpec;
+use equinox_model::LatencyConstraint;
+use std::fmt::Write as _;
+use std::sync::{Mutex, MutexGuard};
+
+/// Thread-count overrides are process-global; probes must not overlap.
+fn override_guard() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Renders `probe()` under a forced thread count, restoring the
+/// default afterwards even if the probe panics.
+fn rendered_with_threads(threads: usize, probe: impl Fn() -> String) -> String {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            equinox_par::set_thread_override(None);
+        }
+    }
+    let _restore = Restore;
+    equinox_par::set_thread_override(Some(threads));
+    probe()
+}
+
+fn assert_identical_across_thread_counts(probe: impl Fn() -> String) {
+    let _g = override_guard();
+    let serial = rendered_with_threads(1, &probe);
+    let parallel = rendered_with_threads(4, &probe);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "output differs between 1 and 4 threads");
+}
+
+#[test]
+fn fig6_csvs_are_thread_count_invariant() {
+    assert_identical_across_thread_counts(|| {
+        let fig = fig6::run();
+        format!("{}\n{}", fig.hbfp8_csv, fig.bf16_csv)
+    });
+}
+
+#[test]
+fn table1_is_thread_count_invariant() {
+    assert_identical_across_thread_counts(|| table1::run().to_string());
+}
+
+#[test]
+fn fig7_quick_series_is_thread_count_invariant() {
+    assert_identical_across_thread_counts(|| {
+        fig7::run(Encoding::Hbfp8, ExperimentScale::Quick).to_string()
+    });
+}
+
+#[test]
+fn check_report_is_thread_count_invariant() {
+    assert_identical_across_thread_counts(|| {
+        let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(500))
+            .expect("paper design exists");
+        let mut out = String::new();
+        for model in [ModelSpec::lstm_2048_25(), ModelSpec::mlp_2048x5()] {
+            let report = eq.check(&model, eq.dims().n);
+            let _ = writeln!(out, "{}", report.to_json());
+        }
+        out
+    });
+}
+
+#[test]
+fn gemm_kernels_are_thread_count_invariant() {
+    use equinox_arith::gemm::{gemm_bf16, gemm_f32};
+    use equinox_arith::Matrix;
+    let _g = override_guard();
+    let a = Matrix::from_fn(64, 96, |i, j| ((i * 31 + j * 17) % 23) as f32 - 11.0);
+    let b = Matrix::from_fn(96, 48, |i, j| ((i * 13 + j * 7) % 19) as f32 - 9.0);
+    let probe = || {
+        let f = gemm_f32(&a, &b);
+        let h = gemm_bf16(&a, &b);
+        format!("{:?}{:?}", f.as_slice(), h.as_slice())
+    };
+    let serial = rendered_with_threads(1, probe);
+    let parallel = rendered_with_threads(4, probe);
+    assert_eq!(serial, parallel);
+}
