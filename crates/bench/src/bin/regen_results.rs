@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures at full scale.
 //!
 //! Usage: `cargo run --release -p equinox-bench --bin regen-results
-//! [--quick] [fig2|fig6|table1|fig7|…|fault|checks]...`
+//! [--quick] [fig2|fig6|table1|fig7|…|fault|fleet|checks]...`
 //!
 //! With no ids, everything is regenerated. `--quick` switches to the
 //! reduced [`ExperimentScale::Quick`] grids (the CI fault-injection
@@ -28,7 +28,7 @@
 //! run, so a CI blowup names the experiment that regained full scale.
 
 use equinox_core::experiments::{
-    ablation, diurnal, fault_sweep, fig10, fig11, fig2, fig6, fig7, fig8, fig9,
+    ablation, diurnal, fault_sweep, fig10, fig11, fig2, fig6, fig7, fig8, fig9, fleet,
     software_sched, table1, table2, table3,
 };
 use equinox_core::ExperimentScale;
@@ -80,7 +80,7 @@ fn default_quick_budget_s(id: &str) -> f64 {
         "fig6" | "table1" | "fig8" | "software" | "diurnal" => 60.0,
         "fig7" | "fig9" | "table2" | "fig10" => 90.0,
         "table3" => 15.0,
-        "fig11" | "ablation" | "fault" => 120.0,
+        "fig11" | "ablation" | "fault" | "fleet" => 120.0,
         "checks" => 180.0,
         _ => 120.0,
     }
@@ -434,6 +434,26 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
             JobBody {
                 log,
                 files: vec![("fault_sweep.json".into(), sweep.to_json())],
+                failure,
+            }
+        }));
+    }
+
+    if selected("fleet") {
+        push("fleet", "fleet size × routing policy × load (extension)", Box::new(move || {
+            let mut log = String::new();
+            let sweep = fleet::run(scale);
+            let _ = writeln!(log, "{sweep}");
+            // The CI smoke gate: training-aware routing must harvest
+            // strictly more fleet-wide free epochs than round-robin at
+            // the moderate operating point, on every fleet size,
+            // without violating the inference SLO.
+            let failure = (!sweep.training_aware_wins()).then(|| {
+                "fleet: training-aware routing failed the harvest-advantage/SLO gate".to_string()
+            });
+            JobBody {
+                log,
+                files: vec![("fleet_sweep.json".into(), sweep.to_json())],
                 failure,
             }
         }));

@@ -31,32 +31,45 @@ pub fn run(scale: ExperimentScale) -> Fig10 {
             true,
         ),
     ];
-    let mut series = Vec::new();
-    for (name, scheduler, train) in variants {
-        let mut points = Vec::new();
-        for &load in &scale.loads() {
-            let base = if train {
-                RunOptions::colocated(load)
-            } else {
-                RunOptions::inference(load)
-            };
-            let report = eq.run_compiled(
-                &timing,
-                &RunOptions {
-                    scheduler,
-                    target_requests: scale.target_requests(),
-                    ..base
-                },
-            ).expect("simulation run");
-            points.push(LoadPoint {
-                load,
-                inference_tops: report.inference_tops(),
-                p99_ms: report.p99_ms(),
-                training_tops: report.training_tops(),
-            });
+    // The (variant × load) grid cells are independent simulations: fan
+    // them out on the pool and regroup by variant in figure order.
+    let loads = scale.loads();
+    let mut grid = Vec::new();
+    for v in 0..variants.len() {
+        for &load in &loads {
+            grid.push((v, load));
         }
-        series.push(Series { name: name.to_string(), points });
     }
+    let points = equinox_par::parallel_map(grid, |(v, load)| {
+        let (_, scheduler, train) = variants[v];
+        let base = if train {
+            RunOptions::colocated(load)
+        } else {
+            RunOptions::inference(load)
+        };
+        let report = eq.run_compiled(
+            &timing,
+            &RunOptions {
+                scheduler,
+                target_requests: scale.target_requests(),
+                ..base
+            },
+        ).expect("simulation run");
+        LoadPoint {
+            load,
+            inference_tops: report.inference_tops(),
+            p99_ms: report.p99_ms(),
+            training_tops: report.training_tops(),
+        }
+    });
+    let series = variants
+        .iter()
+        .enumerate()
+        .map(|(v, (name, _, _))| Series {
+            name: name.to_string(),
+            points: points[v * loads.len()..(v + 1) * loads.len()].to_vec(),
+        })
+        .collect();
     Fig10 {
         series,
         latency_target_ms: Equinox::latency_target_s(Encoding::Hbfp8) * 1e3,

@@ -56,30 +56,30 @@ pub fn run(scale: ExperimentScale) -> Fig11 {
         }
         Series { name, points }
     };
-    let panel_a = vec![
-        sweep(BatchingPolicy::Static, false, "Static batching".into()),
-        sweep(
-            BatchingPolicy::Adaptive { threshold_x: 2.0 },
-            false,
-            "Adaptive batching".into(),
-        ),
+    // All twelve (batching, training) sweeps are independent: fan them
+    // out on the pool as one flat list and split it back into the three
+    // panels in figure order.
+    let mut specs: Vec<(BatchingPolicy, bool, String)> = vec![
+        (BatchingPolicy::Static, false, "Static batching".into()),
+        (BatchingPolicy::Adaptive { threshold_x: 2.0 }, false, "Adaptive batching".into()),
     ];
-    let threshold_series = |train: bool| -> Vec<Series> {
-        THRESHOLDS
-            .iter()
-            .map(|&x| {
-                sweep(
-                    BatchingPolicy::Adaptive { threshold_x: x },
-                    train,
-                    format!("{x:.0}x service time"),
-                )
-            })
-            .collect()
-    };
+    for train in [false, true] {
+        for &x in &THRESHOLDS {
+            specs.push((
+                BatchingPolicy::Adaptive { threshold_x: x },
+                train,
+                format!("{x:.0}x service time"),
+            ));
+        }
+    }
+    let mut all =
+        equinox_par::parallel_map(specs, |(batching, train, name)| sweep(batching, train, name));
+    let panel_c = all.split_off(2 + THRESHOLDS.len());
+    let panel_b = all.split_off(2);
     Fig11 {
-        panel_a,
-        panel_b: threshold_series(false),
-        panel_c: threshold_series(true),
+        panel_a: all,
+        panel_b,
+        panel_c,
         latency_target_ms: Equinox::latency_target_s(Encoding::Hbfp8) * 1e3,
     }
 }

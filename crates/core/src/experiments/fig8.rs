@@ -31,25 +31,31 @@ pub fn run(scale: ExperimentScale) -> Fig8 {
     let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(500))
         .expect("the 500 µs design exists");
     let timing = eq.compile(&ModelSpec::lstm_2048_25()).expect("reference workload compiles");
-    let mut bars = Vec::new();
+    // The six bars are independent simulations: fan them out on the
+    // pool and collect in figure order (load-major, Inf before
+    // Inf+Train).
+    let mut cells = Vec::new();
     for &load in &[0.05, 0.5, 0.95] {
         for with_training in [false, true] {
-            let opts = RunOptions {
-                target_requests: scale.target_requests(),
-                ..if with_training {
-                    RunOptions::colocated(load)
-                } else {
-                    RunOptions::inference(load)
-                }
-            };
-            let report = eq.run_compiled(&timing, &opts).expect("simulation run");
-            bars.push(Fig8Bar {
-                load,
-                with_training,
-                breakdown: report.breakdown.fractions(),
-            });
+            cells.push((load, with_training));
         }
     }
+    let bars = equinox_par::parallel_map(cells, |(load, with_training)| {
+        let opts = RunOptions {
+            target_requests: scale.target_requests(),
+            ..if with_training {
+                RunOptions::colocated(load)
+            } else {
+                RunOptions::inference(load)
+            }
+        };
+        let report = eq.run_compiled(&timing, &opts).expect("simulation run");
+        Fig8Bar {
+            load,
+            with_training,
+            breakdown: report.breakdown.fractions(),
+        }
+    });
     Fig8 { bars }
 }
 

@@ -19,33 +19,55 @@ pub struct Fig9 {
 /// Sweeps inference load with a colocated LSTM training service.
 pub fn run(scale: ExperimentScale) -> Fig9 {
     let model = ModelSpec::lstm_2048_25();
-    let mut series = Vec::new();
+    // Build/compile the family serially (the compile cache makes this
+    // cheap), then fan the (member × load) simulation grid out on the
+    // pool and regroup by member in family order.
+    let compiled: Vec<_> = Equinox::family(Encoding::Hbfp8)
+        .into_iter()
+        .map(|eq| {
+            let timing = eq.compile(&model).expect("reference workload compiles");
+            (eq, timing)
+        })
+        .collect();
     let mut max_achievable: f64 = 0.0;
-    for eq in Equinox::family(Encoding::Hbfp8) {
-        let timing = eq.compile(&model).expect("reference workload compiles");
+    for (eq, _) in &compiled {
         let profile = eq.training_profile(&model);
         max_achievable = max_achievable.max(
             profile.max_achievable_ops(eq.freq_hz(), eq.config().dram.bandwidth_bytes_per_s)
                 / 1e12,
         );
-        let mut points = Vec::new();
-        for &load in &scale.loads() {
-            let report = eq.run_compiled(
-                &timing,
-                &RunOptions {
-                    target_requests: scale.target_requests(),
-                    ..RunOptions::colocated(load)
-                },
-            ).expect("simulation run");
-            points.push(LoadPoint {
-                load,
-                inference_tops: report.inference_tops(),
-                p99_ms: report.p99_ms(),
-                training_tops: report.training_tops(),
-            });
-        }
-        series.push(Series { name: eq.config().name.clone(), points });
     }
+    let loads = scale.loads();
+    let mut grid = Vec::new();
+    for i in 0..compiled.len() {
+        for &load in &loads {
+            grid.push((i, load));
+        }
+    }
+    let points = equinox_par::parallel_map(grid, |(i, load)| {
+        let (eq, timing) = &compiled[i];
+        let report = eq.run_compiled(
+            timing,
+            &RunOptions {
+                target_requests: scale.target_requests(),
+                ..RunOptions::colocated(load)
+            },
+        ).expect("simulation run");
+        LoadPoint {
+            load,
+            inference_tops: report.inference_tops(),
+            p99_ms: report.p99_ms(),
+            training_tops: report.training_tops(),
+        }
+    });
+    let series = compiled
+        .iter()
+        .enumerate()
+        .map(|(i, (eq, _))| Series {
+            name: eq.config().name.clone(),
+            points: points[i * loads.len()..(i + 1) * loads.len()].to_vec(),
+        })
+        .collect();
     Fig9 { series, max_achievable_tops: max_achievable }
 }
 

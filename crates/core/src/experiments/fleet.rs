@@ -1,0 +1,433 @@
+//! Extension: fleet-level sweep — fleet size × routing policy × load.
+//!
+//! The paper evaluates one device; this sweep serves the same LSTM
+//! traffic from fleets of Equinox_500µs devices behind a request
+//! router. Half of each fleet co-hosts the training service (the
+//! production-relevant mixed deployment), so the sweep quantifies what
+//! the routing tier is worth at the fleet level: aggregate throughput,
+//! fleet-wide tail latency against a per-request deadline SLO, and
+//! free-training epochs harvested under each policy.
+//!
+//! Measured harvest is concave in device load (`fig9_training.csv`:
+//! flat to ≈50 % load, steep fall after), so the interesting policy
+//! question is asymmetry on mixed fleets: the training-aware router
+//! steers inference toward the inference-only half, holding the
+//! harvesting half in the flat region of the curve. The sweep records
+//! both its harvest and round-robin's per cell so the comparison is
+//! part of the artifact (`results/fleet_sweep.json`).
+
+use crate::accelerator::Equinox;
+use crate::experiments::ExperimentScale;
+use equinox_arith::Encoding;
+use equinox_check::diag::json_string;
+use equinox_fleet::{ArrivalSource, DeviceSpec, Fleet, FleetRunOptions, RoutingPolicy};
+use equinox_isa::models::ModelSpec;
+use equinox_model::LatencyConstraint;
+use equinox_sim::SloSpec;
+
+/// Fleet sizes swept (≥ 3, per the sweep's acceptance contract).
+pub const FLEET_SIZES: [usize; 3] = [2, 4, 8];
+
+/// Offered fleet loads swept (fractions of aggregate saturation):
+/// light, the moderate operating point where training-aware routing
+/// pays, and heavy.
+pub const LOADS: [f64; 3] = [0.3, 0.6, 0.85];
+
+/// The moderate-load operating point the harvest-advantage gate is
+/// held at.
+pub const MODERATE_LOAD: f64 = 0.6;
+
+/// Per-request deadline as a multiple of the batch service time (the
+/// fault sweep's bound, reused so SLO numbers are comparable).
+const DEADLINE_X: f64 = 16.0;
+
+/// Master seed of every fleet run in the sweep.
+const SWEEP_SEED: u64 = 42;
+
+/// One (fleet size, policy, load) cell.
+#[derive(Debug, Clone)]
+pub struct FleetCell {
+    /// Devices in the fleet.
+    pub fleet_size: usize,
+    /// Devices co-hosting training (the second half of the fleet).
+    pub training_devices: usize,
+    /// Routing policy name.
+    pub policy: &'static str,
+    /// Offered fleet load (fraction of aggregate saturation).
+    pub load: f64,
+    /// Requests the front end offered.
+    pub offered: usize,
+    /// Requests completed fleet-wide.
+    pub completed: u64,
+    /// Requests shed at admission fleet-wide.
+    pub shed: u64,
+    /// SLO violations fleet-wide (misses + shed + dropped).
+    pub violations: usize,
+    /// Violations over measured requests.
+    pub violation_rate: f64,
+    /// Fleet-wide 99th-percentile latency, ms.
+    pub p99_ms: f64,
+    /// Fleet-wide 99.9th-percentile latency, ms.
+    pub p999_ms: f64,
+    /// Aggregate inference throughput, TOp/s.
+    pub inference_tops: f64,
+    /// Aggregate harvested training throughput, TOp/s.
+    pub training_tops: f64,
+    /// Fleet-wide free-training epochs harvested.
+    pub free_epochs: f64,
+    /// Free epochs per device, in device-index order.
+    pub epochs_per_device: Vec<f64>,
+    /// Requests routed per device, in device-index order.
+    pub assigned_per_device: Vec<usize>,
+}
+
+/// The harvest comparison the sweep exists to record: training-aware
+/// vs round-robin at one (fleet size, load) point.
+#[derive(Debug, Clone)]
+pub struct HarvestComparison {
+    /// Devices in the fleet.
+    pub fleet_size: usize,
+    /// Offered fleet load.
+    pub load: f64,
+    /// Round-robin's fleet-wide free epochs.
+    pub round_robin_epochs: f64,
+    /// Training-aware routing's fleet-wide free epochs.
+    pub training_aware_epochs: f64,
+    /// `training_aware_epochs / round_robin_epochs` (0 if undefined).
+    pub advantage: f64,
+    /// Whether training-aware routing held the SLO (zero violations).
+    pub training_aware_slo_clean: bool,
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone)]
+pub struct FleetSweep {
+    /// The per-request deadline every run was held against, ms.
+    pub deadline_ms: f64,
+    /// All cells, size-major, then policy (canonical order), then load.
+    pub cells: Vec<FleetCell>,
+    /// Harvest comparisons for every (size, load) point.
+    pub comparisons: Vec<HarvestComparison>,
+}
+
+/// A mixed fleet of `size` Equinox_500µs devices: the first half
+/// serves inference only, the second half co-hosts training.
+fn mixed_fleet(eq: &Equinox, size: usize) -> Fleet {
+    let timing = eq
+        .compile(&ModelSpec::lstm_2048_25())
+        .expect("reference workload compiles");
+    let profile = eq.training_profile(&ModelSpec::lstm_2048_25());
+    let devices: Vec<DeviceSpec> = (0..size)
+        .map(|i| {
+            let mut config = eq.config().clone();
+            config.name = format!("{}[{i}]", config.name);
+            let spec = DeviceSpec::new(config, timing);
+            if i >= size - size / 2 {
+                spec.with_training(profile)
+            } else {
+                spec
+            }
+        })
+        .collect();
+    Fleet::new(devices).expect("non-empty fleet with router-fed traffic")
+}
+
+/// Runs the sweep on mixed Equinox_500µs fleets serving the reference
+/// LSTM.
+pub fn run(scale: ExperimentScale) -> FleetSweep {
+    let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(500))
+        .expect("the 500 µs design exists");
+    let timing = eq
+        .compile(&ModelSpec::lstm_2048_25())
+        .expect("reference workload compiles");
+    // Fixed horizon in batch-service intervals so every policy sees the
+    // same offered stream per (size, load).
+    let intervals: u64 = match scale {
+        ExperimentScale::Quick => 100,
+        ExperimentScale::Full => 600,
+    };
+    let horizon = intervals * timing.total_cycles;
+    let deadline_s = DEADLINE_X * timing.service_time_s(eq.freq_hz());
+    let slo = SloSpec::new(deadline_s).expect("positive deadline");
+
+    // The grid cells are independent fleet runs: fan them out on the
+    // pool (each run fans its devices out again; nesting composes) and
+    // collect in canonical order.
+    let mut grid: Vec<(usize, RoutingPolicy, f64)> = Vec::new();
+    for &size in &FLEET_SIZES {
+        for policy in RoutingPolicy::all_default() {
+            for &load in &LOADS {
+                grid.push((size, policy, load));
+            }
+        }
+    }
+    let cells = equinox_par::parallel_map(grid, |(size, policy, load)| {
+        let fleet = mixed_fleet(&eq, size);
+        let report = fleet
+            .run(&FleetRunOptions {
+                source: ArrivalSource::Poisson { load },
+                policy,
+                horizon_cycles: horizon,
+                seed: SWEEP_SEED,
+                slo: Some(slo),
+            })
+            .expect("fleet runs complete");
+        FleetCell {
+            fleet_size: size,
+            training_devices: size / 2,
+            policy: policy.name(),
+            load,
+            offered: report.offered_requests,
+            completed: report.completed_requests(),
+            shed: report.shed_requests(),
+            violations: report.total_violations(),
+            violation_rate: report.violation_rate(),
+            p99_ms: report.p99_ms(),
+            p999_ms: report.p999_ms(),
+            inference_tops: report.inference_tops(),
+            training_tops: report.training_tops(),
+            free_epochs: report.free_epochs(),
+            epochs_per_device: report.devices.iter().map(|d| d.free_epochs).collect(),
+            assigned_per_device: report
+                .devices
+                .iter()
+                .map(|d| d.assigned_requests)
+                .collect(),
+        }
+    });
+
+    let mut comparisons = Vec::new();
+    for &size in &FLEET_SIZES {
+        for &load in &LOADS {
+            let cell = |policy: &str| {
+                cells.iter().find(|c| {
+                    c.fleet_size == size && c.policy == policy && (c.load - load).abs() < 1e-9
+                })
+            };
+            let (Some(rr), Some(ta)) = (cell("round_robin"), cell("training_aware")) else {
+                continue;
+            };
+            comparisons.push(HarvestComparison {
+                fleet_size: size,
+                load,
+                round_robin_epochs: rr.free_epochs,
+                training_aware_epochs: ta.free_epochs,
+                advantage: if rr.free_epochs > 0.0 {
+                    ta.free_epochs / rr.free_epochs
+                } else {
+                    0.0
+                },
+                training_aware_slo_clean: ta.violations == 0,
+            });
+        }
+    }
+    FleetSweep { deadline_ms: deadline_s * 1e3, cells, comparisons }
+}
+
+impl FleetSweep {
+    /// The cell for (`size`, `policy`, `load`), if present.
+    pub fn cell(&self, size: usize, policy: &str, load: f64) -> Option<&FleetCell> {
+        self.cells.iter().find(|c| {
+            c.fleet_size == size && c.policy == policy && (c.load - load).abs() < 1e-9
+        })
+    }
+
+    /// The harvest comparison at (`size`, `load`), if present.
+    pub fn comparison(&self, size: usize, load: f64) -> Option<&HarvestComparison> {
+        self.comparisons
+            .iter()
+            .find(|c| c.fleet_size == size && (c.load - load).abs() < 1e-9)
+    }
+
+    /// The gate the CI smoke holds the tree to: at the moderate
+    /// operating point, training-aware routing harvests strictly more
+    /// fleet-wide free epochs than round-robin on every fleet size,
+    /// without a single SLO violation.
+    pub fn training_aware_wins(&self) -> bool {
+        FLEET_SIZES.iter().all(|&size| {
+            self.comparison(size, MODERATE_LOAD).is_some_and(|c| {
+                c.advantage > 1.0 && c.training_aware_slo_clean
+            })
+        })
+    }
+
+    /// The sweep as a JSON document (hand-rolled; the workspace carries
+    /// no serialization dependency).
+    pub fn to_json(&self) -> String {
+        fn f64s(values: &[f64]) -> String {
+            let inner: Vec<String> = values.iter().map(|v| format!("{v}")).collect();
+            format!("[{}]", inner.join(","))
+        }
+        let mut out = String::from("{");
+        out.push_str(&format!("\"deadline_ms\":{},", self.deadline_ms));
+        out.push_str(&format!("\"training_aware_wins\":{},", self.training_aware_wins()));
+        out.push_str("\"cells\":[");
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let assigned: Vec<String> =
+                c.assigned_per_device.iter().map(|v| format!("{v}")).collect();
+            out.push_str(&format!(
+                "{{\"fleet_size\":{},\"training_devices\":{},\"policy\":{},\
+                 \"load\":{},\"offered\":{},\"completed\":{},\"shed\":{},\
+                 \"violations\":{},\"violation_rate\":{},\"p99_ms\":{},\
+                 \"p999_ms\":{},\"inference_tops\":{},\"training_tops\":{},\
+                 \"free_epochs\":{},\"epochs_per_device\":{},\
+                 \"assigned_per_device\":[{}]}}",
+                c.fleet_size,
+                c.training_devices,
+                json_string(c.policy),
+                c.load,
+                c.offered,
+                c.completed,
+                c.shed,
+                c.violations,
+                c.violation_rate,
+                c.p99_ms,
+                c.p999_ms,
+                c.inference_tops,
+                c.training_tops,
+                c.free_epochs,
+                f64s(&c.epochs_per_device),
+                assigned.join(","),
+            ));
+        }
+        out.push_str("],\"harvest_comparisons\":[");
+        for (i, c) in self.comparisons.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"fleet_size\":{},\"load\":{},\"round_robin_epochs\":{},\
+                 \"training_aware_epochs\":{},\"advantage\":{},\
+                 \"training_aware_slo_clean\":{}}}",
+                c.fleet_size,
+                c.load,
+                c.round_robin_epochs,
+                c.training_aware_epochs,
+                c.advantage,
+                c.training_aware_slo_clean,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl std::fmt::Display for FleetSweep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Fleet sweep — mixed Equinox_500us fleets (half co-host training), \
+             LSTM traffic, deadline {:.2} ms:",
+            self.deadline_ms
+        )?;
+        writeln!(
+            f,
+            "  {:<5} {:<17} {:>5} {:>8} {:>6} {:>5} {:>9} {:>9} {:>9} {:>8}",
+            "Size", "Policy", "Load", "Complete", "Shed", "Viol", "p99(ms)", "Inf(TOp/s)", "Trn(TOp/s)", "Epochs"
+        )?;
+        for c in &self.cells {
+            writeln!(
+                f,
+                "  {:<5} {:<17} {:>4.0}% {:>8} {:>6} {:>5} {:>9.3} {:>9.1} {:>9.1} {:>8.2}",
+                c.fleet_size,
+                c.policy,
+                c.load * 100.0,
+                c.completed,
+                c.shed,
+                c.violations,
+                c.p99_ms,
+                c.inference_tops,
+                c.training_tops,
+                c.free_epochs,
+            )?;
+        }
+        writeln!(f, "  harvest at the moderate operating point (training-aware vs round-robin):")?;
+        for c in &self.comparisons {
+            if (c.load - MODERATE_LOAD).abs() > 1e-9 {
+                continue;
+            }
+            writeln!(
+                f,
+                "    {} devices @ {:>2.0}% load: {:.2} vs {:.2} epochs ({:.2}x), SLO {}",
+                c.fleet_size,
+                c.load * 100.0,
+                c.training_aware_epochs,
+                c.round_robin_epochs,
+                c.advantage,
+                if c.training_aware_slo_clean { "clean" } else { "VIOLATED" },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// The Quick sweep, shared across tests (it is the heaviest driver
+    /// in the suite: 36 fleet runs).
+    fn sweep() -> &'static FleetSweep {
+        static SWEEP: OnceLock<FleetSweep> = OnceLock::new();
+        SWEEP.get_or_init(|| run(ExperimentScale::Quick))
+    }
+
+    #[test]
+    fn grid_covers_sizes_policies_loads() {
+        let s = sweep();
+        assert_eq!(s.cells.len(), FLEET_SIZES.len() * 4 * LOADS.len());
+        let policies: std::collections::BTreeSet<_> =
+            s.cells.iter().map(|c| c.policy).collect();
+        assert_eq!(policies.len(), 4);
+        let sizes: std::collections::BTreeSet<_> =
+            s.cells.iter().map(|c| c.fleet_size).collect();
+        assert!(sizes.len() >= 3);
+    }
+
+    #[test]
+    fn requests_are_conserved_in_every_cell() {
+        for c in &sweep().cells {
+            let assigned: usize = c.assigned_per_device.iter().sum();
+            assert_eq!(assigned, c.offered, "{} size {}", c.policy, c.fleet_size);
+            assert!(c.completed > 0, "{} size {}", c.policy, c.fleet_size);
+            assert_eq!(c.epochs_per_device.len(), c.fleet_size);
+            // Only the training half harvests.
+            let inference_half: f64 =
+                c.epochs_per_device[..c.fleet_size - c.training_devices].iter().sum();
+            assert_eq!(inference_half, 0.0);
+        }
+    }
+
+    #[test]
+    fn training_aware_beats_round_robin_at_moderate_load() {
+        let s = sweep();
+        assert!(s.training_aware_wins(), "{s}");
+        // And the advantage is substantial on the larger fleets, not a
+        // rounding artifact (fig9's concave harvest curve predicts
+        // ≈20 % at this operating point).
+        let c = s.comparison(8, MODERATE_LOAD).unwrap();
+        assert!(c.advantage > 1.1, "advantage {:.3}: {s}", c.advantage);
+    }
+
+    #[test]
+    fn harvest_numbers_are_recorded_in_the_artifact() {
+        let json = sweep().to_json();
+        assert!(json.contains("\"training_aware_wins\":true"));
+        assert!(json.contains("\"round_robin_epochs\":"));
+        assert!(json.contains("\"training_aware_epochs\":"));
+        assert!(json.contains("\"policy\":\"power_of_two\""));
+        assert!(json.contains("\"epochs_per_device\":["));
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        // Two fresh runs (not the shared one) must render identically.
+        let a = run(ExperimentScale::Quick).to_json();
+        let b = run(ExperimentScale::Quick).to_json();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,357 @@
+//! The fleet itself: one arrival stream in, one [`FleetReport`] out.
+//!
+//! A run has three stages. First the front end draws the fleet-wide
+//! arrival stream (Poisson or diurnal, reusing `equinox_sim::loadgen`)
+//! on the *reference clock* — device 0's — and routes every request in
+//! one serial pass (see [`crate::routing`]). Then each device
+//! simulates its share of the traffic with the full `equinox-sim`
+//! event engine, concurrently on the `equinox-par` pool; timestamps
+//! are rescaled to each device's own clock, so heterogeneous-frequency
+//! fleets compose. Finally the per-device reports are merged in device
+//! index order into a [`FleetReport`] — byte-identical at any thread
+//! count.
+
+use crate::device::DeviceSpec;
+use crate::report::{free_epochs, DeviceOutcome, FleetReport};
+use crate::routing::{Router, RoutingPolicy};
+use equinox_isa::EquinoxError;
+use equinox_sim::loadgen::{diurnal_arrivals, poisson_arrivals, split_seed, DiurnalProfile};
+use equinox_sim::{LatencyStats, SimReport, SloSpec};
+
+/// Where the fleet's request traffic comes from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalSource {
+    /// Homogeneous Poisson traffic at `load ×` the fleet's aggregate
+    /// saturation rate.
+    Poisson {
+        /// Offered load as a fraction of aggregate fleet saturation.
+        load: f64,
+    },
+    /// Non-homogeneous Poisson traffic following a diurnal profile over
+    /// one simulated "day" (the horizon), with the profile's load
+    /// fractions applied to the aggregate fleet saturation rate.
+    Diurnal {
+        /// The day's load profile.
+        profile: DiurnalProfile,
+    },
+}
+
+/// Parameters of one fleet run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetRunOptions {
+    /// The traffic source.
+    pub source: ArrivalSource,
+    /// The routing policy.
+    pub policy: RoutingPolicy,
+    /// Horizon in reference-clock cycles (device 0's clock).
+    pub horizon_cycles: u64,
+    /// Master seed; every random stream derives from it via
+    /// [`split_seed`] (see the crate docs for the stream map).
+    pub seed: u64,
+    /// Per-request deadline every device is held against, if any.
+    pub slo: Option<SloSpec>,
+}
+
+/// A set of devices behind one request router.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    devices: Vec<DeviceSpec>,
+}
+
+impl Fleet {
+    /// Builds a fleet.
+    ///
+    /// # Errors
+    ///
+    /// [`EquinoxError::InvalidArgument`] if `devices` is empty, and
+    /// [`EquinoxError::FaultModel`] if a device scenario carries
+    /// traffic bursts — fleet traffic enters only through the router,
+    /// so per-device burst injection would bypass the policy under
+    /// study (throttles, stalls, and corruption are device-local and
+    /// fine).
+    pub fn new(devices: Vec<DeviceSpec>) -> Result<Self, EquinoxError> {
+        if devices.is_empty() {
+            return Err(EquinoxError::invalid_argument(
+                "Fleet::new",
+                "a fleet needs at least one device",
+            ));
+        }
+        if let Some(d) = devices.iter().find(|d| !d.scenario.bursts.is_empty()) {
+            return Err(EquinoxError::fault_model(
+                d.scenario.name.clone(),
+                "device scenarios must not inject burst traffic; fleet \
+                 traffic enters through the router (use a Poisson or \
+                 diurnal source instead)",
+            ));
+        }
+        Ok(Fleet { devices })
+    }
+
+    /// The device specifications, in index order.
+    pub fn devices(&self) -> &[DeviceSpec] {
+        &self.devices
+    }
+
+    /// Aggregate saturation request rate of the fleet, requests/s.
+    pub fn max_request_rate_per_s(&self) -> f64 {
+        self.devices.iter().map(DeviceSpec::max_request_rate_per_s).sum()
+    }
+
+    /// The reference clock (device 0's), Hz.
+    pub fn reference_freq_hz(&self) -> f64 {
+        self.devices[0].config.freq_hz
+    }
+
+    /// Runs the fleet (see the module docs for the three stages).
+    ///
+    /// # Errors
+    ///
+    /// Propagates load-generation and per-device simulation errors
+    /// ([`EquinoxError::InvalidArgument`], [`EquinoxError::FaultModel`]);
+    /// the first failing device (by index) wins, deterministically.
+    pub fn run(&self, opts: &FleetRunOptions) -> Result<FleetReport, EquinoxError> {
+        let freq_ref = self.reference_freq_hz();
+        let fleet_rate_per_cycle = self.max_request_rate_per_s() / freq_ref;
+        let arrival_seed = split_seed(opts.seed, 0);
+        let arrivals = match opts.source {
+            ArrivalSource::Poisson { load } => {
+                let rate = equinox_sim::loadgen::rate_for_load(load, fleet_rate_per_cycle)?;
+                poisson_arrivals(rate, opts.horizon_cycles, arrival_seed)?
+            }
+            ArrivalSource::Diurnal { profile } => {
+                diurnal_arrivals(&profile, fleet_rate_per_cycle, opts.horizon_cycles, arrival_seed)?
+            }
+        };
+
+        // Stage 1: route the merged stream in one serial pass, binning
+        // arrivals per device on each device's own clock. Both maps are
+        // monotone, so per-device streams stay sorted and inside the
+        // device's horizon.
+        let mut router = Router::new(&self.devices, opts.policy, split_seed(opts.seed, 1));
+        let mut per_device: Vec<Vec<u64>> = vec![Vec::new(); self.devices.len()];
+        for &t in &arrivals {
+            let d = router.route(t as f64 / freq_ref);
+            let scale = self.devices[d].config.freq_hz / freq_ref;
+            let t_local = if scale == 1.0 { t } else { (t as f64 * scale) as u64 };
+            per_device[d].push(t_local);
+        }
+
+        // Stage 2: per-device simulations, concurrent and index-merged.
+        let assigned: Vec<usize> = per_device.iter().map(Vec::len).collect();
+        let work: Vec<(usize, Vec<u64>)> = per_device.into_iter().enumerate().collect();
+        let reports: Vec<Result<SimReport, EquinoxError>> =
+            equinox_par::parallel_map(work, |(i, device_arrivals)| {
+                let spec = &self.devices[i];
+                let scale = spec.config.freq_hz / freq_ref;
+                let horizon = if scale == 1.0 {
+                    opts.horizon_cycles
+                } else {
+                    (opts.horizon_cycles as f64 * scale).ceil() as u64
+                };
+                spec.simulation()?.run_faulted(
+                    &device_arrivals,
+                    horizon,
+                    &spec.scenario,
+                    opts.slo,
+                )
+            });
+
+        // Stage 3: merge in device-index order.
+        let mut devices = Vec::with_capacity(self.devices.len());
+        for ((spec, report), assigned) in self.devices.iter().zip(reports).zip(assigned) {
+            let report = report?;
+            devices.push(DeviceOutcome {
+                name: spec.config.name.clone(),
+                assigned_requests: assigned,
+                free_epochs: free_epochs(&report, spec.training.as_ref()),
+                report,
+            });
+        }
+        Ok(FleetReport {
+            policy: opts.policy.name(),
+            horizon_cycles: opts.horizon_cycles,
+            freq_hz: freq_ref,
+            offered_requests: arrivals.len(),
+            latency: LatencyStats::merged(devices.iter().map(|d| &d.report.latency)),
+            devices,
+        })
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use equinox_arith::Encoding;
+    use equinox_isa::lower::InferenceTiming;
+    use equinox_isa::training::TrainingProfile;
+    use equinox_isa::ArrayDims;
+    use equinox_sim::{AcceleratorConfig, FaultScenario};
+
+    /// A small synthetic device: 16-request batches served in 16 µs at
+    /// `freq_hz` = 1 GHz (saturation 1 M req/s), optionally co-hosting
+    /// a training service whose DRAM appetite stays comfortably inside
+    /// the default staging bandwidth.
+    pub(crate) fn test_device(name: &str, freq_hz: f64, harvests: bool) -> DeviceSpec {
+        let dims = ArrayDims { n: 16, w: 4, m: 4 };
+        let config = AcceleratorConfig::new(name, dims, freq_hz, Encoding::Hbfp8);
+        let timing = InferenceTiming {
+            total_cycles: 16_000,
+            mmu_busy_cycles: 12_000,
+            mmu_utilization: 0.85,
+            stall_cycles: 1_000,
+            simd_busy_cycles: 2_000,
+            total_macs: 32_000_000,
+            macs_per_request: 2_000_000,
+            batch: 16,
+        };
+        let spec = DeviceSpec::new(config, timing);
+        if harvests {
+            spec.with_training(TrainingProfile {
+                iteration_macs: 1_000_000_000,
+                iteration_mmu_cycles: 40_000,
+                iteration_dram_bytes: 4_000_000,
+                iteration_simd_cycles: 4_000,
+                batch: 128,
+            })
+        } else {
+            spec
+        }
+    }
+
+    fn mixed_fleet(n: usize, harvesting: usize) -> Fleet {
+        let devices = (0..n)
+            .map(|i| test_device(&format!("dev{i}"), 1e9, i >= n - harvesting))
+            .collect();
+        Fleet::new(devices).unwrap()
+    }
+
+    fn opts(policy: RoutingPolicy, load: f64, intervals: u64) -> FleetRunOptions {
+        FleetRunOptions {
+            source: ArrivalSource::Poisson { load },
+            policy,
+            horizon_cycles: intervals * 16_000,
+            seed: 42,
+            slo: Some(SloSpec::new(16.0 * 16_000.0 / 1e9).unwrap()),
+        }
+    }
+
+    #[test]
+    fn rejects_empty_fleets_and_burst_scenarios() {
+        assert_eq!(Fleet::new(Vec::new()).unwrap_err().kind(), "invalid-argument");
+        let bursty = test_device("d0", 1e9, false)
+            .with_scenario(FaultScenario::named("burst").with_burst(10, 20, 4.0));
+        assert_eq!(Fleet::new(vec![bursty]).unwrap_err().kind(), "fault-model");
+    }
+
+    #[test]
+    fn single_device_fleet_matches_the_direct_simulation() {
+        let fleet = mixed_fleet(1, 0);
+        let o = opts(RoutingPolicy::RoundRobin, 0.5, 400);
+        let fr = fleet.run(&o).unwrap();
+        // Reconstruct the same arrival stream and run the device alone.
+        let rate = equinox_sim::loadgen::rate_for_load(
+            0.5,
+            fleet.devices()[0].max_request_rate_per_s() / 1e9,
+        )
+        .unwrap();
+        let arrivals =
+            poisson_arrivals(rate, o.horizon_cycles, split_seed(o.seed, 0)).unwrap();
+        let direct = fleet.devices()[0]
+            .simulation()
+            .unwrap()
+            .run_faulted(&arrivals, o.horizon_cycles, &FaultScenario::baseline(), o.slo)
+            .unwrap();
+        assert_eq!(fr.offered_requests, arrivals.len());
+        assert_eq!(fr.devices[0].assigned_requests, arrivals.len());
+        assert_eq!(fr.completed_requests(), direct.completed_requests);
+        assert_eq!(fr.inference_throughput_ops(), direct.inference_throughput_ops);
+        assert_eq!(fr.p99_ms(), direct.p99_ms());
+    }
+
+    #[test]
+    fn every_offered_request_is_assigned_exactly_once() {
+        for policy in RoutingPolicy::all_default() {
+            let fleet = mixed_fleet(4, 2);
+            let fr = fleet.run(&opts(policy, 0.6, 300)).unwrap();
+            let assigned: usize = fr.devices.iter().map(|d| d.assigned_requests).sum();
+            assert_eq!(assigned, fr.offered_requests, "{}", policy.name());
+            assert!(fr.completed_requests() > 0, "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let fleet = mixed_fleet(3, 1);
+        let o = opts(RoutingPolicy::PowerOfTwo, 0.5, 300);
+        let a = fleet.run(&o).unwrap().to_string();
+        let b = fleet.run(&o).unwrap().to_string();
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heterogeneous_clocks_compose() {
+        let devices = vec![
+            test_device("slow", 1e9, false),
+            test_device("fast", 2e9, true),
+        ];
+        let fleet = Fleet::new(devices).unwrap();
+        let fr = fleet.run(&opts(RoutingPolicy::LeastOutstanding, 0.7, 400)).unwrap();
+        let assigned: usize = fr.devices.iter().map(|d| d.assigned_requests).sum();
+        assert_eq!(assigned, fr.offered_requests);
+        // The 2 GHz device serves each request in half the time, so
+        // least-outstanding work sends it clearly more traffic.
+        assert!(
+            fr.devices[1].assigned_requests > fr.devices[0].assigned_requests,
+            "fast {} vs slow {}",
+            fr.devices[1].assigned_requests,
+            fr.devices[0].assigned_requests
+        );
+        assert!(fr.completed_requests() > 0);
+    }
+
+    #[test]
+    fn training_aware_routing_shields_harvesting_devices() {
+        let fleet = mixed_fleet(4, 2);
+        let rr = fleet.run(&opts(RoutingPolicy::RoundRobin, 0.6, 400)).unwrap();
+        let ta = fleet
+            .run(&opts(RoutingPolicy::training_aware_default(), 0.6, 400))
+            .unwrap();
+        let harvesting_share = |fr: &FleetReport| -> usize {
+            fr.devices[2].assigned_requests + fr.devices[3].assigned_requests
+        };
+        assert!(
+            harvesting_share(&ta) < harvesting_share(&rr) / 2,
+            "training-aware must steer load off the harvesting devices: \
+             {} vs {}",
+            harvesting_share(&ta),
+            harvesting_share(&rr)
+        );
+        assert!(
+            ta.free_epochs() > rr.free_epochs(),
+            "shielded devices must harvest more: {} vs {}",
+            ta.free_epochs(),
+            rr.free_epochs()
+        );
+        assert!(ta.slo_clean(), "steering must not violate the SLO: {ta}");
+    }
+
+    #[test]
+    fn diurnal_traffic_follows_the_day() {
+        let fleet = mixed_fleet(2, 1);
+        let o = FleetRunOptions {
+            source: ArrivalSource::Diurnal {
+                profile: DiurnalProfile::thirty_percent_average(),
+            },
+            policy: RoutingPolicy::LeastOutstanding,
+            horizon_cycles: 2_000 * 16_000,
+            seed: 7,
+            slo: None,
+        };
+        let fr = fleet.run(&o).unwrap();
+        assert!(fr.offered_requests > 0);
+        let assigned: usize = fr.devices.iter().map(|d| d.assigned_requests).sum();
+        assert_eq!(assigned, fr.offered_requests);
+    }
+}
+

@@ -1,0 +1,111 @@
+//! Per-device specification of a fleet member.
+
+use equinox_isa::lower::InferenceTiming;
+use equinox_isa::training::TrainingProfile;
+use equinox_isa::EquinoxError;
+use equinox_sim::{AcceleratorConfig, FaultScenario, Simulation};
+
+/// One accelerator in the fleet: its simulator configuration, the
+/// compiled timing of the inference workload it serves, an optional
+/// co-hosted training service (the device "harvests" free epochs), and
+/// an optional device-local fault scenario.
+///
+/// Fleets may be heterogeneous: members can differ in geometry, clock,
+/// scheduler/batching/degradation policies, training co-hosting, and
+/// injected faults. The router compares devices in *seconds* of
+/// estimated outstanding work, so heterogeneous members are weighed
+/// fairly.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    /// Simulator configuration (name, geometry, clock, policies).
+    pub config: AcceleratorConfig,
+    /// Compiled timing of the served inference workload.
+    pub timing: InferenceTiming,
+    /// Co-hosted training service; `None` for an inference-only device.
+    pub training: Option<TrainingProfile>,
+    /// Device-local fault scenario (baseline = fault-free).
+    pub scenario: FaultScenario,
+}
+
+impl DeviceSpec {
+    /// An inference-only, fault-free device.
+    pub fn new(config: AcceleratorConfig, timing: InferenceTiming) -> Self {
+        DeviceSpec { config, timing, training: None, scenario: FaultScenario::baseline() }
+    }
+
+    /// Co-hosts a training service on this device.
+    #[must_use]
+    pub fn with_training(mut self, profile: TrainingProfile) -> Self {
+        self.training = Some(profile);
+        self
+    }
+
+    /// Injects a device-local fault scenario.
+    #[must_use]
+    pub fn with_scenario(mut self, scenario: FaultScenario) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// True if this device co-hosts training (a harvest candidate the
+    /// training-aware policy shields).
+    pub fn harvests(&self) -> bool {
+        self.training.is_some()
+    }
+
+    /// Saturation request rate in requests per second: a full batch
+    /// every batch-service interval.
+    pub fn max_request_rate_per_s(&self) -> f64 {
+        self.timing.batch as f64 / self.timing.total_cycles as f64 * self.config.freq_hz
+    }
+
+    /// Seconds of service capacity one request consumes at saturation
+    /// (the router's unit of outstanding work).
+    pub fn work_per_request_s(&self) -> f64 {
+        1.0 / self.max_request_rate_per_s()
+    }
+
+    /// Batch service time in seconds.
+    pub fn service_time_s(&self) -> f64 {
+        self.timing.total_cycles as f64 / self.config.freq_hz
+    }
+
+    /// Builds the per-device simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Simulation::new`] validation
+    /// ([`EquinoxError::InvalidArgument`] on a degenerate timing).
+    pub(crate) fn simulation(&self) -> Result<Simulation, EquinoxError> {
+        Simulation::new(self.config.clone(), self.timing, self.training)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::tests::test_device;
+
+    #[test]
+    fn rates_are_consistent() {
+        let d = test_device("d0", 1e9, false);
+        let rate = d.max_request_rate_per_s();
+        assert!(rate > 0.0);
+        assert!((d.work_per_request_s() * rate - 1.0).abs() < 1e-12);
+        // batch requests per service interval.
+        assert!(
+            (d.service_time_s() * rate - d.timing.batch as f64).abs() < 1e-9,
+            "{} vs {}",
+            d.service_time_s() * rate,
+            d.timing.batch
+        );
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let d = test_device("d0", 1e9, true)
+            .with_scenario(FaultScenario::named("stall").with_stall(10, 20));
+        assert!(d.harvests());
+        assert_eq!(d.scenario.name, "stall");
+    }
+}

@@ -1,0 +1,177 @@
+//! Fleet-level aggregation: merged latency distribution, throughput,
+//! the shed/dropped ledger, and free-training epoch accounting.
+
+use equinox_isa::training::TrainingProfile;
+use equinox_sim::{LatencyStats, SimReport};
+
+/// Reference training-corpus size defining one "free epoch": the
+/// number of samples a device must push through its co-hosted training
+/// service for the fleet ledger to credit it with one epoch. 65 536
+/// samples is a small-corpus stand-in (≈ the paper's CIFAR-sized
+/// convergence studies); harvest comparisons only ever use epoch
+/// *ratios*, so the constant cancels there.
+pub const EPOCH_SAMPLES: u64 = 65_536;
+
+/// Free-training epochs a device harvested, given its simulation
+/// report and training profile: MMU cycles actually granted to
+/// training, divided by the cycles one epoch of [`EPOCH_SAMPLES`]
+/// samples costs at the profile's mini-batch size.
+pub fn free_epochs(report: &SimReport, training: Option<&TrainingProfile>) -> f64 {
+    let Some(p) = training else { return 0.0 };
+    let iterations = EPOCH_SAMPLES.div_ceil(p.batch as u64) as f64;
+    let epoch_cycles = iterations * p.iteration_mmu_cycles as f64;
+    if epoch_cycles <= 0.0 {
+        return 0.0;
+    }
+    report.training_mmu_cycles / epoch_cycles
+}
+
+/// One device's share of a fleet run.
+#[derive(Debug, Clone)]
+pub struct DeviceOutcome {
+    /// Device name (from its `AcceleratorConfig`).
+    pub name: String,
+    /// Requests the router dispatched to this device.
+    pub assigned_requests: usize,
+    /// Free-training epochs harvested ([`free_epochs`]).
+    pub free_epochs: f64,
+    /// The full per-device simulation report.
+    pub report: SimReport,
+}
+
+/// The merged result of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Routing policy name ([`crate::RoutingPolicy::name`]).
+    pub policy: &'static str,
+    /// Simulated horizon in reference-clock cycles (device 0's clock).
+    pub horizon_cycles: u64,
+    /// The reference clock, Hz.
+    pub freq_hz: f64,
+    /// Requests the front end admitted (= arrivals offered).
+    pub offered_requests: usize,
+    /// Per-device outcomes, in device-index order.
+    pub devices: Vec<DeviceOutcome>,
+    /// Fleet-wide latency distribution: every device's measured
+    /// samples merged into one tail.
+    pub latency: LatencyStats,
+}
+
+impl FleetReport {
+    /// Requests completed across the fleet.
+    pub fn completed_requests(&self) -> u64 {
+        self.devices.iter().map(|d| d.report.completed_requests).sum()
+    }
+
+    /// Aggregate inference throughput, Ops/s.
+    pub fn inference_throughput_ops(&self) -> f64 {
+        self.devices.iter().map(|d| d.report.inference_throughput_ops).sum()
+    }
+
+    /// Aggregate inference throughput, TOp/s.
+    pub fn inference_tops(&self) -> f64 {
+        self.inference_throughput_ops() / 1e12
+    }
+
+    /// Aggregate harvested training throughput, TOp/s.
+    pub fn training_tops(&self) -> f64 {
+        self.devices.iter().map(|d| d.report.training_tops()).sum()
+    }
+
+    /// Fleet-wide free-training epochs harvested.
+    pub fn free_epochs(&self) -> f64 {
+        self.devices.iter().map(|d| d.free_epochs).sum()
+    }
+
+    /// Requests shed at admission across the fleet.
+    pub fn shed_requests(&self) -> u64 {
+        self.devices.iter().map(|d| d.report.shed_requests).sum()
+    }
+
+    /// Requests dropped with corrupted batches across the fleet.
+    pub fn dropped_requests(&self) -> usize {
+        self.slo_ledger(|s| s.dropped_requests)
+    }
+
+    /// Deadline misses across the fleet.
+    pub fn deadline_misses(&self) -> usize {
+        self.slo_ledger(|s| s.deadline_misses)
+    }
+
+    /// SLO-measured requests across the fleet.
+    pub fn measured_requests(&self) -> usize {
+        self.slo_ledger(|s| s.measured_requests)
+    }
+
+    /// Total SLO violations (misses + shed + dropped) across the fleet.
+    pub fn total_violations(&self) -> usize {
+        self.slo_ledger(equinox_sim::SloReport::total_violations)
+    }
+
+    /// Violations over measured requests, fleet-wide.
+    pub fn violation_rate(&self) -> f64 {
+        let measured = self.measured_requests();
+        if measured == 0 {
+            0.0
+        } else {
+            self.total_violations() as f64 / measured as f64
+        }
+    }
+
+    /// True if no device recorded any SLO violation.
+    pub fn slo_clean(&self) -> bool {
+        self.total_violations() == 0
+    }
+
+    /// Fleet-wide 99th-percentile latency, ms.
+    pub fn p99_ms(&self) -> f64 {
+        self.latency.p99() * 1e3
+    }
+
+    /// Fleet-wide 99.9th-percentile latency, ms.
+    pub fn p999_ms(&self) -> f64 {
+        self.latency.p999() * 1e3
+    }
+
+    fn slo_ledger(&self, field: impl Fn(&equinox_sim::SloReport) -> usize) -> usize {
+        self.devices
+            .iter()
+            .filter_map(|d| d.report.slo.as_ref())
+            .map(field)
+            .sum()
+    }
+}
+
+impl std::fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Fleet[{} devices, {}]: {} offered, {} completed, {:.1} TOp/s inf, \
+             {:.1} TOp/s train, {:.2} free epochs, p99 {:.3} ms, p999 {:.3} ms, \
+             {} violation(s)",
+            self.devices.len(),
+            self.policy,
+            self.offered_requests,
+            self.completed_requests(),
+            self.inference_tops(),
+            self.training_tops(),
+            self.free_epochs(),
+            self.p99_ms(),
+            self.p999_ms(),
+            self.total_violations(),
+        )?;
+        for (i, d) in self.devices.iter().enumerate() {
+            writeln!(
+                f,
+                "  [{i}] {:<14} {:>7} req  {:>6.1} TOp/s inf  {:>6.1} TOp/s train  \
+                 {:>6.2} epochs",
+                d.name,
+                d.assigned_requests,
+                d.report.inference_tops(),
+                d.report.training_tops(),
+                d.free_epochs,
+            )?;
+        }
+        Ok(())
+    }
+}

@@ -15,6 +15,22 @@ impl LatencyStats {
         LatencyStats { samples }
     }
 
+    /// Merges several summaries into one distribution — e.g. per-device
+    /// latencies into a fleet-wide tail. Equivalent to
+    /// [`LatencyStats::from_samples`] on the concatenated sample sets.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a LatencyStats>) -> LatencyStats {
+        LatencyStats::from_samples(
+            parts.into_iter().flat_map(|p| p.samples.iter().copied()).collect(),
+        )
+    }
+
+    /// The sorted samples (seconds) backing this summary, exposed so
+    /// higher layers can re-aggregate distributions (see
+    /// [`LatencyStats::merged`]) without losing tail resolution.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
     /// Number of samples.
     pub fn count(&self) -> usize {
         self.samples.len()
@@ -192,6 +208,22 @@ mod tests {
     fn display_percentages() {
         let b = CycleBreakdown { working: 1.0, dummy: 1.0, idle: 1.0, other: 1.0 };
         assert!(b.to_string().contains("25.0%"));
+    }
+
+    #[test]
+    fn merged_equals_from_concatenated_samples() {
+        check::check(0x4D47, |g| {
+            let parts: Vec<LatencyStats> = (0..g.usize_in(1, 5))
+                .map(|_| {
+                    let len = g.usize_in(0, 20);
+                    LatencyStats::from_samples((0..len).map(|_| g.f64_in(0.0, 1.0)).collect())
+                })
+                .collect();
+            let all: Vec<f64> =
+                parts.iter().flat_map(|p| p.samples().iter().copied()).collect();
+            let merged = LatencyStats::merged(parts.iter());
+            assert_eq!(merged, LatencyStats::from_samples(all));
+        });
     }
 
     #[test]

@@ -31,16 +31,25 @@ echo "    violations in the no-fault baseline, rejected policies, or"
 echo "    blowing a per-figure --quick wall-clock budget)"
 cargo run --release -p equinox-bench --bin regen-results -- --quick fault
 
+echo "==> fleet smoke (reduced grid; fails if training-aware routing"
+echo "    stops beating round-robin harvest at moderate load with a"
+echo "    clean SLO, or blows its --quick budget"
+echo "    EQUINOX_QUICK_BUDGET_FLEET_S)"
+cargo run --release -p equinox-bench --bin regen-results -- --quick fleet
+
 echo "==> determinism smoke: the --quick regen of the sweep-backed"
-echo "    figures must be byte-identical serial vs parallel"
-EQUINOX_THREADS=1 cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks
+echo "    figures and the fleet sweep must be byte-identical serial vs"
+echo "    parallel"
+EQUINOX_THREADS=1 cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks fleet
 cp results/fig6a_hbfp8.csv /tmp/equinox_fig6a_serial.csv
 cp results/table1_pareto.txt /tmp/equinox_table1_serial.txt
 cp results/driver_checks.json /tmp/equinox_checks_serial.json
-cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks
+cp results/fleet_sweep.json /tmp/equinox_fleet_serial.json
+cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks fleet
 cmp results/fig6a_hbfp8.csv /tmp/equinox_fig6a_serial.csv
 cmp results/table1_pareto.txt /tmp/equinox_table1_serial.txt
 cmp results/driver_checks.json /tmp/equinox_checks_serial.json
+cmp results/fleet_sweep.json /tmp/equinox_fleet_serial.json
 echo "    byte-identical at EQUINOX_THREADS=1 and the default pool"
 
 echo "==> wall-clock + compile-cache profile of this run"

@@ -12,6 +12,8 @@
 //! * [`isa`] — the accelerator ISA, DNN model descriptors, and the
 //!   tiling compiler.
 //! * [`sim`] — the cycle-accurate simulator of the Figure 3/5 blocks.
+//! * [`fleet`] — multi-accelerator cluster simulation: a request
+//!   router over N devices with fleet-level SLO/harvest accounting.
 //! * [`trainer`] — software HBFP training for the Figure 2 convergence
 //!   study.
 //! * [`synth`] — area/power roll-up (Table 3 substitute for synthesis).
@@ -22,6 +24,7 @@
 
 pub use equinox_arith as arith;
 pub use equinox_core as core;
+pub use equinox_fleet as fleet;
 pub use equinox_isa as isa;
 pub use equinox_model as model;
 pub use equinox_sim as sim;

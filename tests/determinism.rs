@@ -10,7 +10,7 @@
 //! contract must be immune to.
 
 use equinox_arith::Encoding;
-use equinox_core::experiments::{fig6, fig7, table1};
+use equinox_core::experiments::{fig10, fig11, fig6, fig7, fig8, fig9, fleet, table1};
 use equinox_core::{Equinox, ExperimentScale};
 use equinox_isa::models::ModelSpec;
 use equinox_model::LatencyConstraint;
@@ -63,6 +63,34 @@ fn fig7_quick_series_is_thread_count_invariant() {
     assert_identical_across_thread_counts(|| {
         fig7::run(Encoding::Hbfp8, ExperimentScale::Quick).to_string()
     });
+}
+
+#[test]
+fn fig8_quick_breakdown_is_thread_count_invariant() {
+    assert_identical_across_thread_counts(|| fig8::run(ExperimentScale::Quick).to_string());
+}
+
+#[test]
+fn fig9_quick_series_is_thread_count_invariant() {
+    assert_identical_across_thread_counts(|| fig9::run(ExperimentScale::Quick).to_string());
+}
+
+#[test]
+fn fig10_quick_series_is_thread_count_invariant() {
+    assert_identical_across_thread_counts(|| fig10::run(ExperimentScale::Quick).to_string());
+}
+
+#[test]
+fn fig11_quick_panels_are_thread_count_invariant() {
+    assert_identical_across_thread_counts(|| fig11::run(ExperimentScale::Quick).to_string());
+}
+
+#[test]
+fn fleet_sweep_json_is_thread_count_invariant() {
+    // The golden for `results/fleet_sweep.json`: the serialized sweep —
+    // routing decisions, per-device simulations, merged fleet tails —
+    // must not depend on how the per-device runs were scheduled.
+    assert_identical_across_thread_counts(|| fleet::run(ExperimentScale::Quick).to_json());
 }
 
 #[test]
