@@ -28,8 +28,8 @@
 //! run, so a CI blowup names the experiment that regained full scale.
 
 use equinox_core::experiments::{
-    ablation, diurnal, fault_sweep, fig10, fig11, fig2, fig6, fig7, fig8, fig9, fleet,
-    software_sched, table1, table2, table3,
+    ablation, bounds_calibration, diurnal, fault_sweep, fig10, fig11, fig2, fig6, fig7, fig8,
+    fig9, fleet, software_sched, table1, table2, table3,
 };
 use equinox_core::ExperimentScale;
 use std::fmt::Write as _;
@@ -80,6 +80,7 @@ fn default_quick_budget_s(id: &str) -> f64 {
         "fig6" | "table1" | "fig8" | "software" | "diurnal" => 60.0,
         "fig7" | "fig9" | "table2" | "fig10" => 90.0,
         "table3" => 15.0,
+        "bounds" => 30.0,
         "fig11" | "ablation" | "fault" | "fleet" => 120.0,
         "checks" => 180.0,
         _ => 120.0,
@@ -454,6 +455,33 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
             JobBody {
                 log,
                 files: vec![("fleet_sweep.json".into(), sweep.to_json())],
+                failure,
+            }
+        }));
+    }
+
+    if selected("bounds") {
+        push("bounds", "static bound calibration against the cycle-accurate sim (extension)", Box::new(move || {
+            let mut log = String::new();
+            let cal = bounds_calibration::run(scale);
+            let _ = writeln!(log, "{cal}");
+            // The CI smoke gate: on every (paper model × lowering) cell
+            // the dispatcher-accounted cycles must land inside the
+            // static `[lower, upper]`, the bounds must stay tight
+            // (upper/lower ≤ 4×), and the discrete-event engine probes
+            // at the fig10/fig11 operating points must agree with the
+            // static accounting.
+            let failure = (!cal.all_calibrated()).then(|| {
+                let names: Vec<String> = cal
+                    .failures()
+                    .iter()
+                    .map(|c| format!("{}/{}", c.model, c.mode))
+                    .collect();
+                format!("bounds: calibration gate failed on {}", names.join(", "))
+            });
+            JobBody {
+                log,
+                files: vec![("bounds_calibration.json".into(), cal.to_json())],
                 failure,
             }
         }));

@@ -3,29 +3,36 @@
 //! With no arguments, sweeps every built-in workload across the paper's
 //! accelerator family (both encodings), runs all pass families over both
 //! the inference and training lowerings, prints a human summary, and
-//! writes a machine-readable report to `results/equinox_check.json`.
+//! writes a machine-readable report to `results/equinox_check.json`
+//! plus per-pass wall-clock timings to `results/check_timings.json`
+//! (the timings file is a measurement, exempt from the determinism
+//! contract, like `results/bench_timings.json`).
 //!
 //! With file arguments, each file is treated as an installable
 //! instruction stream (the 16-byte-word wire format), decoded, and
 //! analyzed against the paper's `Equinox_500us` geometry.
 //!
+//! `--pass <list>` restricts the run to a comma-separated subset of
+//! pass families; `--list-passes` prints the families and exits.
+//!
 //! The exit code is non-zero iff any error-severity diagnostic was
 //! produced — or, under `--deny-warnings`, any warning.
 
 use equinox_arith::Encoding;
+use equinox_check::bounds::paper_energy_params;
 use equinox_check::{
-    analyze_config, analyze_installation, analyze_program, analyze_training,
-    analyze_training_program,
+    analyze_config, analyze_program_with, analyze_training, analyze_training_program_with,
 };
-use equinox_check::{encoding as wire, BufferBudget, Report};
+use equinox_check::{encoding as wire, BoundsOptions, BufferBudget, Pass, PassSelection, Report};
 use equinox_isa::cache::compile_inference_cached;
 use equinox_isa::lower::estimate_inference_instructions;
 use equinox_isa::models::ModelSpec;
 use equinox_isa::training::{TrainingProfile, TrainingSetup};
 use equinox_isa::{ArrayDims, Program};
 use equinox_model::{DesignSpace, LatencyConstraint, TechnologyParams};
-use equinox_sim::AcceleratorConfig;
+use equinox_sim::{AcceleratorConfig, CostModel};
 use std::sync::Arc;
+use std::time::Instant;
 
 fn builtin_models() -> Vec<ModelSpec> {
     vec![
@@ -94,25 +101,48 @@ struct SweepUnit {
 }
 
 /// Analyzes one sweep cell. Returns the cell's reports in emission
-/// order plus whether any of them fails the sweep.
-fn run_unit(unit: SweepUnit, budget: &BufferBudget) -> (Vec<Report>, bool) {
+/// order, whether any of them fails the sweep, and the per-pass
+/// wall-clock spent.
+fn run_unit(
+    unit: SweepUnit,
+    budget: &BufferBudget,
+    passes: &PassSelection,
+) -> (Vec<Report>, bool, Vec<(Pass, f64)>) {
     let SweepUnit { encoding, space, config, model } = unit;
+    let bounds_options = BoundsOptions::default();
     let mut reports = Vec::new();
+    let mut timings: Vec<(Pass, f64)> = Vec::new();
     let mut failed = false;
     let Some(model) = model else {
-        let config_report = analyze_config(&config, Some(&space));
-        failed |= config_report.has_errors();
-        return (vec![config_report], failed);
+        if passes.contains(Pass::Config) {
+            let start = Instant::now();
+            let config_report = analyze_config(&config, Some(&space));
+            timings.push((Pass::Config, start.elapsed().as_secs_f64()));
+            failed |= config_report.has_errors();
+            reports.push(config_report);
+        }
+        return (reports, failed, timings);
     };
     let batch = serving_batch(&model, &config.dims);
-    let install = analyze_installation(&model, encoding, batch, budget);
+    // The installation fit always computes (it gates program analysis),
+    // but is only reported — and billed — when its family is selected.
+    let install_start = Instant::now();
+    let install =
+        equinox_check::analyze_installation(&model, encoding, batch, budget);
     let installs = !install.has_errors();
-    // Whether a workload fits the buffers is a property of
-    // the workload (Transformer and large-batch ResNet-50
-    // legitimately exceed them, cf. Table 2), so install
-    // findings are reported without failing the sweep; only
-    // defects in compiled programs or configurations do.
-    reports.push(install);
+    if passes.contains(Pass::Resources) {
+        timings.push((Pass::Resources, install_start.elapsed().as_secs_f64()));
+        // Whether a workload fits the buffers is a property of
+        // the workload (Transformer and large-batch ResNet-50
+        // legitimately exceed them, cf. Table 2), so install
+        // findings are reported without failing the sweep; only
+        // defects in compiled programs or configurations do.
+        reports.push(install);
+    }
+    // The bounds pass prices cycles and energy through the simulator's
+    // own cost model at this configuration's operating point.
+    let cost = CostModel::from_config(&config)
+        .with_energy(paper_energy_params(encoding, config.freq_hz));
     // Only analyze programs for models that install, and only
     // when the lowered program stays a tractable size.
     if installs {
@@ -131,7 +161,16 @@ fn run_unit(unit: SweepUnit, budget: &BufferBudget) -> (Vec<Report>, bool) {
         } else {
             let program =
                 compile_inference_cached(&model, &config.dims, batch, encoding, budget);
-            let mut report = analyze_program(&program, &config.dims, budget, encoding);
+            let (mut report, pass_times) = analyze_program_with(
+                &program,
+                &config.dims,
+                budget,
+                encoding,
+                passes,
+                Some(&cost),
+                &bounds_options,
+            );
+            timings.extend(pass_times);
             rename(&mut report, subject);
             failed |= report.has_errors();
             reports.push(report);
@@ -142,22 +181,35 @@ fn run_unit(unit: SweepUnit, budget: &BufferBudget) -> (Vec<Report>, bool) {
     // from DRAM, so it is analyzed even when the serving
     // installation does not fit.
     let setup = training_setup(&model, encoding);
-    let mut training_prog =
-        analyze_training_program(&model, &config.dims, &setup, budget, MAX_SWEEP_INSTRUCTIONS);
+    let (mut training_prog, pass_times) = analyze_training_program_with(
+        &model,
+        &config.dims,
+        &setup,
+        budget,
+        MAX_SWEEP_INSTRUCTIONS,
+        passes,
+        Some(&cost),
+        &bounds_options,
+    );
+    timings.extend(pass_times);
     rename(
         &mut training_prog,
         format!("{}/{}:training", config.name, model.name()),
     );
     failed |= training_prog.has_errors();
     reports.push(training_prog);
-    let profile = TrainingProfile::profile(&model, &config.dims, &setup);
-    let training = analyze_training(&profile, &config);
-    failed |= training.has_errors();
-    reports.push(training);
-    (reports, failed)
+    if passes.contains(Pass::Resources) {
+        let start = Instant::now();
+        let profile = TrainingProfile::profile(&model, &config.dims, &setup);
+        let training = analyze_training(&profile, &config);
+        timings.push((Pass::Resources, start.elapsed().as_secs_f64()));
+        failed |= training.has_errors();
+        reports.push(training);
+    }
+    (reports, failed, timings)
 }
 
-fn run_sweep() -> (Vec<Report>, bool) {
+fn run_sweep(passes: &PassSelection) -> (Vec<Report>, bool, [f64; 5]) {
     let tech = TechnologyParams::tsmc28();
     let budget = BufferBudget::paper_default();
     // Enumerate the grid serially (cheap), analyze cells in parallel,
@@ -182,14 +234,18 @@ fn run_sweep() -> (Vec<Report>, bool) {
             }
         }
     }
-    let cells = equinox_par::parallel_map(units, |u| run_unit(u, &budget));
+    let cells = equinox_par::parallel_map(units, |u| run_unit(u, &budget, passes));
     let mut reports = Vec::new();
     let mut failed = false;
-    for (cell_reports, cell_failed) in cells {
+    let mut pass_seconds = [0.0f64; 5];
+    for (cell_reports, cell_failed, cell_timings) in cells {
         reports.extend(cell_reports);
         failed |= cell_failed;
+        for (pass, seconds) in cell_timings {
+            pass_seconds[pass as usize] += seconds;
+        }
     }
-    (reports, failed)
+    (reports, failed, pass_seconds)
 }
 
 /// Rebuilds a report under a new subject (reports are subject-named at
@@ -200,7 +256,7 @@ fn rename(report: &mut Report, subject: String) {
     *report = renamed;
 }
 
-fn check_file(path: &str) -> Report {
+fn check_file(path: &str, passes: &PassSelection) -> Report {
     let dims = ArrayDims { n: 186, w: 3, m: 3 };
     let budget = BufferBudget::paper_default();
     let mut report = Report::new(path.to_string());
@@ -218,7 +274,20 @@ fn check_file(path: &str) -> Report {
         Ok(instructions) => {
             let mut program = Program::new(path.to_string());
             program.extend(instructions);
-            analyze_program(&program, &dims, &budget, Encoding::Hbfp8)
+            let config =
+                AcceleratorConfig::new("Equinox_500us", dims, 610e6, Encoding::Hbfp8);
+            let cost = CostModel::from_config(&config)
+                .with_energy(paper_energy_params(Encoding::Hbfp8, config.freq_hz));
+            analyze_program_with(
+                &program,
+                &dims,
+                &budget,
+                Encoding::Hbfp8,
+                passes,
+                Some(&cost),
+                &BoundsOptions::default(),
+            )
+            .0
         }
         Err(diag) => {
             report.push(diag);
@@ -240,21 +309,80 @@ fn write_json(reports: &[Report]) -> std::io::Result<()> {
     std::fs::write("results/equinox_check.json", json)
 }
 
+/// Writes per-pass wall-clock to `results/check_timings.json` — the
+/// same shape as `results/bench_timings.json` and, like it, exempt from
+/// the byte-identical determinism contract (it is a measurement).
+fn write_timings(pass_seconds: &[f64; 5], total_s: f64) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut json = format!(
+        "{{\"tool\":\"equinox-check\",\"threads\":{threads},\"total_s\":{total_s:.3},\"passes\":["
+    );
+    let mut first = true;
+    for pass in Pass::ALL {
+        let seconds = pass_seconds[pass as usize];
+        if seconds == 0.0 {
+            continue;
+        }
+        if !first {
+            json.push(',');
+        }
+        first = false;
+        json.push_str(&format!("{{\"pass\":\"{pass}\",\"wall_s\":{seconds:.3}}}"));
+    }
+    json.push_str("]}\n");
+    std::fs::write("results/check_timings.json", json)
+}
+
 fn main() {
     let mut deny_warnings = false;
+    let mut passes = PassSelection::all();
     let mut files: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
-        match arg.as_str() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
             "--deny-warnings" => deny_warnings = true,
-            other => files.push(other.to_string()),
+            "--list-passes" => {
+                for pass in Pass::ALL {
+                    println!("{:<10} {}", pass.name(), pass.description());
+                }
+                return;
+            }
+            "--pass" => {
+                i += 1;
+                let Some(list) = args.get(i) else {
+                    eprintln!("equinox-check: --pass requires a comma-separated list");
+                    std::process::exit(2);
+                };
+                match PassSelection::parse_list(list) {
+                    Ok(selection) => passes = selection,
+                    Err(e) => {
+                        eprintln!("equinox-check: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => match other.strip_prefix("--pass=") {
+                Some(list) => match PassSelection::parse_list(list) {
+                    Ok(selection) => passes = selection,
+                    Err(e) => {
+                        eprintln!("equinox-check: {e}");
+                        std::process::exit(2);
+                    }
+                },
+                None => files.push(other.to_string()),
+            },
         }
+        i += 1;
     }
-    let (mut reports, mut failed) = if files.is_empty() {
-        run_sweep()
+    let started = Instant::now();
+    let (mut reports, mut failed, pass_seconds) = if files.is_empty() {
+        run_sweep(&passes)
     } else {
-        let reports: Vec<Report> = files.iter().map(|p| check_file(p)).collect();
+        let reports: Vec<Report> = files.iter().map(|p| check_file(p, &passes)).collect();
         let failed = reports.iter().any(Report::has_errors);
-        (reports, failed)
+        (reports, failed, [0.0; 5])
     };
 
     let mut errors = 0;
@@ -277,6 +405,13 @@ fn main() {
             Ok(()) => println!("report written to results/equinox_check.json"),
             Err(e) => {
                 eprintln!("equinox-check: cannot write results/equinox_check.json: {e}");
+                std::process::exit(2);
+            }
+        }
+        match write_timings(&pass_seconds, started.elapsed().as_secs_f64()) {
+            Ok(()) => println!("pass timings written to results/check_timings.json"),
+            Err(e) => {
+                eprintln!("equinox-check: cannot write results/check_timings.json: {e}");
                 std::process::exit(2);
             }
         }

@@ -1,7 +1,7 @@
 //! Pass family 5: operand-level dataflow analysis over byte regions.
 //!
 //! Every data-touching instruction names the byte
-//! [`Region`](equinox_isa::instruction::Region) of the on-chip buffer
+//! [`Region`] of the on-chip buffer
 //! it reads or writes, so the analyzer reasons about *which bytes* move
 //! where instead of whole-buffer occupancy totals. Per buffer it
 //! tracks:

@@ -12,6 +12,7 @@
 //! | `03xx`  | binary encoding round-trips                |
 //! | `04xx`  | scheduler / configuration lints            |
 //! | `05xx`  | dataflow (operand-level def-use over byte regions) |
+//! | `06xx`  | static cycle/energy bounds (schedule envelopes)    |
 //!
 //! (The retired `01xx` range held the pre-region occupancy-timeline
 //! pass; its codes are not reused.)
@@ -61,6 +62,20 @@ impl Code {
     pub const ROUND_TRIP_MISMATCH: Code = Code(301);
     /// A byte stream fails to decode.
     pub const DECODE_ERROR: Code = Code(302);
+
+    /// A computed `[lower, upper]` bound came out inverted
+    /// (`lower > upper`) — an internal soundness failure of the bound
+    /// analysis itself, never a property of the analyzed program.
+    pub const BOUND_INVERSION: Code = Code(601);
+    /// The program's DRAM traffic provably cannot be hidden behind its
+    /// compute: even with perfect overlap, transfers dominate.
+    pub const UNOVERLAPPABLE_DMA: Code = Code(602);
+    /// Even the best-case schedule cannot reach the configured MMU
+    /// utilization floor.
+    pub const UTILIZATION_BELOW_FLOOR: Code = Code(603);
+    /// The worst-case energy bound exceeds the configuration's power
+    /// envelope over the worst-case duration.
+    pub const ENERGY_OVER_ENVELOPE: Code = Code(604);
 
     /// The priority scheduler starves the training context.
     pub const PRIORITY_STARVATION: Code = Code(401);
@@ -354,6 +369,10 @@ mod tests {
         assert_eq!(Code::ROUND_TRIP_MISMATCH.to_string(), "EQX0301");
         assert_eq!(Code::NON_PARETO_DESIGN.as_string(), "EQX0404");
         assert_eq!(Code::TILE_TOO_LARGE.value(), 202);
+        assert_eq!(Code::BOUND_INVERSION.to_string(), "EQX0601");
+        assert_eq!(Code::UNOVERLAPPABLE_DMA.to_string(), "EQX0602");
+        assert_eq!(Code::UTILIZATION_BELOW_FLOOR.to_string(), "EQX0603");
+        assert_eq!(Code::ENERGY_OVER_ENVELOPE.value(), 604);
     }
 
     #[test]

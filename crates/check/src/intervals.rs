@@ -46,6 +46,11 @@ impl IntervalSet {
         self.spans.splice(lo..hi, [merged]);
     }
 
+    /// Total number of bytes in the set (sum of span lengths).
+    pub fn covered_bytes(&self) -> u64 {
+        self.spans.iter().map(|&(s, e)| e - s).sum()
+    }
+
     /// True when every byte of `[start, end)` is in the set. The empty
     /// range is covered trivially.
     pub fn covers(&self, start: u64, end: u64) -> bool {
@@ -89,6 +94,7 @@ mod tests {
         assert_eq!(s.span_count(), 1);
         assert!(s.covers(0, 30));
         assert!(!s.covers(0, 31));
+        assert_eq!(s.covered_bytes(), 30);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! assembler) produces; this crate catches malformed inputs *before*
 //! cycles are spent simulating them, with structured diagnostics
 //! ([`Diagnostic`]) carrying stable `EQXnnnn` codes, severities, and
-//! instruction spans. Four pass families run:
+//! instruction spans. Five pass families run:
 //!
 //! 1. **Dataflow** ([`dataflow`]) — precise operand-level def-use
 //!    analysis over the byte regions instructions name
@@ -20,7 +20,15 @@
 //! 3. **Encoding** ([`encoding`]) — encode→decode round-trip
 //!    verification of the 16-byte wire format;
 //! 4. **Configuration** ([`config`]) — scheduler starvation, degenerate
-//!    batching thresholds, and Pareto-optimality lints.
+//!    batching thresholds, and Pareto-optimality lints;
+//! 5. **Bounds** ([`bounds`]) — static `[lower, upper]` cycle and
+//!    energy envelopes from the simulator's own cost model
+//!    (un-overlappable DMA, utilization floors, power-envelope
+//!    violations), calibrated against the cycle-accurate simulator.
+//!
+//! Pass families can be selected individually ([`PassSelection`]), and
+//! the timed entry points report per-family wall-clock so drivers can
+//! record where analysis time goes.
 //!
 //! ## Example
 //!
@@ -42,6 +50,7 @@
 //! assert_eq!(report.diagnostics()[0].code.to_string(), "EQX0501");
 //! ```
 
+pub mod bounds;
 pub mod config;
 pub mod dataflow;
 pub mod diag;
@@ -49,6 +58,7 @@ pub mod encoding;
 pub mod intervals;
 pub mod resources;
 
+pub use bounds::{BoundsOptions, CycleBounds, EnergyBounds, ProgramBounds};
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
 pub use equinox_isa::validate::BufferBudget;
 
@@ -60,7 +70,126 @@ use equinox_isa::training::{
 };
 use equinox_isa::{ArrayDims, Program};
 use equinox_model::DesignSpace;
-use equinox_sim::AcceleratorConfig;
+use equinox_sim::{AcceleratorConfig, CostModel};
+use std::time::Instant;
+
+/// One analyzer pass family, for selection (`--pass`) and per-family
+/// timing attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Pass {
+    /// Operand-level def-use dataflow (`05xx`).
+    Dataflow,
+    /// Resource envelopes: geometry, buffers, installation (`02xx`).
+    Resources,
+    /// Binary encoding round-trips (`03xx`).
+    Encoding,
+    /// Scheduler / configuration lints (`04xx`).
+    Config,
+    /// Static cycle/energy bound analysis (`06xx`).
+    Bounds,
+}
+
+impl Pass {
+    /// Every pass family, in canonical (code-range) order.
+    pub const ALL: [Pass; 5] =
+        [Pass::Dataflow, Pass::Resources, Pass::Encoding, Pass::Config, Pass::Bounds];
+
+    /// The stable lower-case name used by `--pass` and in artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Dataflow => "dataflow",
+            Pass::Resources => "resources",
+            Pass::Encoding => "encoding",
+            Pass::Config => "config",
+            Pass::Bounds => "bounds",
+        }
+    }
+
+    /// One-line description for `--list-passes`.
+    pub fn description(self) -> &'static str {
+        match self {
+            Pass::Dataflow => "operand-level def-use analysis over byte regions (EQX05xx)",
+            Pass::Resources => "buffer/geometry resource envelopes (EQX02xx)",
+            Pass::Encoding => "binary encoding round-trip verification (EQX03xx)",
+            Pass::Config => "scheduler and configuration lints (EQX04xx)",
+            Pass::Bounds => "static cycle/energy bound analysis (EQX06xx)",
+        }
+    }
+
+    /// Parses a pass name as accepted by `--pass`.
+    pub fn parse(name: &str) -> Option<Pass> {
+        Pass::ALL.iter().copied().find(|p| p.name() == name)
+    }
+}
+
+impl std::fmt::Display for Pass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of selected pass families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassSelection {
+    selected: [bool; 5],
+}
+
+impl Default for PassSelection {
+    fn default() -> Self {
+        PassSelection::all()
+    }
+}
+
+impl PassSelection {
+    /// Every pass family selected (the default).
+    pub fn all() -> Self {
+        PassSelection { selected: [true; 5] }
+    }
+
+    /// No pass family selected.
+    pub fn none() -> Self {
+        PassSelection { selected: [false; 5] }
+    }
+
+    /// Selects one family (builder style).
+    #[must_use]
+    pub fn with(mut self, pass: Pass) -> Self {
+        self.selected[pass as usize] = true;
+        self
+    }
+
+    /// True when `pass` is selected.
+    pub fn contains(&self, pass: Pass) -> bool {
+        self.selected[pass as usize]
+    }
+
+    /// The selected families, in canonical order.
+    pub fn passes(&self) -> impl Iterator<Item = Pass> + '_ {
+        Pass::ALL.into_iter().filter(|p| self.contains(*p))
+    }
+
+    /// Parses a comma-separated `--pass` list (e.g. `dataflow,bounds`).
+    /// Rejects unknown names with the valid choices in the message.
+    pub fn parse_list(list: &str) -> Result<Self, String> {
+        let mut selection = PassSelection::none();
+        for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match Pass::parse(name) {
+                Some(pass) => selection = selection.with(pass),
+                None => {
+                    let valid: Vec<&str> = Pass::ALL.iter().map(|p| p.name()).collect();
+                    return Err(format!(
+                        "unknown pass '{name}' (valid: {})",
+                        valid.join(", ")
+                    ));
+                }
+            }
+        }
+        if selection == PassSelection::none() {
+            return Err("no passes selected".to_string());
+        }
+        Ok(selection)
+    }
+}
 
 /// Runs all program-level passes (dataflow, resources, encoding) over
 /// one lowered program.
@@ -70,11 +199,63 @@ pub fn analyze_program(
     budget: &BufferBudget,
     encoding: ValueEncoding,
 ) -> Report {
+    analyze_program_with(
+        program,
+        dims,
+        budget,
+        encoding,
+        &PassSelection::all(),
+        None,
+        &BoundsOptions::default(),
+    )
+    .0
+}
+
+/// Runs the selected program-level passes over one lowered program,
+/// returning the report plus per-family wall-clock seconds.
+///
+/// The bounds family runs only when selected *and* a [`CostModel`] is
+/// supplied (it needs a concrete operating point to price cycles); the
+/// other families need none.
+pub fn analyze_program_with(
+    program: &Program,
+    dims: &ArrayDims,
+    budget: &BufferBudget,
+    encoding: ValueEncoding,
+    passes: &PassSelection,
+    bounds_cost: Option<&CostModel>,
+    bounds_options: &BoundsOptions,
+) -> (Report, Vec<(Pass, f64)>) {
     let mut report = Report::new(program.name().to_string());
-    report.extend(dataflow::analyze(program, budget, encoding));
-    report.extend(resources::analyze_program(program, dims, budget));
-    report.extend(encoding::analyze(program));
-    report
+    let mut timings = Vec::new();
+    let mut timed = |pass: Pass, report: &mut Report, run: &mut dyn FnMut(&mut Report)| {
+        let start = Instant::now();
+        run(report);
+        timings.push((pass, start.elapsed().as_secs_f64()));
+    };
+    if passes.contains(Pass::Dataflow) {
+        timed(Pass::Dataflow, &mut report, &mut |r| {
+            r.extend(dataflow::analyze(program, budget, encoding));
+        });
+    }
+    if passes.contains(Pass::Resources) {
+        timed(Pass::Resources, &mut report, &mut |r| {
+            r.extend(resources::analyze_program(program, dims, budget));
+        });
+    }
+    if passes.contains(Pass::Encoding) {
+        timed(Pass::Encoding, &mut report, &mut |r| {
+            r.extend(encoding::analyze(program));
+        });
+    }
+    if passes.contains(Pass::Bounds) {
+        if let Some(cost) = bounds_cost {
+            timed(Pass::Bounds, &mut report, &mut |r| {
+                bounds::analyze(r, program, cost, bounds_options);
+            });
+        }
+    }
+    (report, timings)
 }
 
 /// Runs the installation-fit pass for `model` served at `batch`.
@@ -114,6 +295,32 @@ pub fn analyze_training_program(
     budget: &BufferBudget,
     max_instructions: u64,
 ) -> Report {
+    analyze_training_program_with(
+        model,
+        dims,
+        setup,
+        budget,
+        max_instructions,
+        &PassSelection::all(),
+        None,
+        &BoundsOptions::default(),
+    )
+    .0
+}
+
+/// [`analyze_training_program`] with pass selection and per-family
+/// timing, mirroring [`analyze_program_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn analyze_training_program_with(
+    model: &ModelSpec,
+    dims: &ArrayDims,
+    setup: &TrainingSetup,
+    budget: &BufferBudget,
+    max_instructions: u64,
+    passes: &PassSelection,
+    bounds_cost: Option<&CostModel>,
+    bounds_options: &BoundsOptions,
+) -> (Report, Vec<(Pass, f64)>) {
     let estimate = estimate_training_instructions(model, dims, setup);
     if estimate > max_instructions {
         let mut report = Report::new(format!("{}-training-b{}", model.name(), setup.batch));
@@ -124,10 +331,18 @@ pub fn analyze_training_program(
                  {max_instructions} analysis cap; skipped"
             ),
         ));
-        return report;
+        return (report, Vec::new());
     }
     let program = lower_training_cached(model, dims, setup);
-    analyze_program(&program, dims, budget, setup.encoding)
+    analyze_program_with(
+        &program,
+        dims,
+        budget,
+        setup.encoding,
+        passes,
+        bounds_cost,
+        bounds_options,
+    )
 }
 
 /// Runs the training-profile sanity pass under `config`'s clock and
@@ -191,6 +406,58 @@ mod tests {
         );
         assert!(r.has_code(Code::ANALYSIS_SKIPPED));
         assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn pass_selection_parses_and_gates_passes() {
+        let sel = PassSelection::parse_list("dataflow,bounds").unwrap();
+        assert!(sel.contains(Pass::Dataflow));
+        assert!(sel.contains(Pass::Bounds));
+        assert!(!sel.contains(Pass::Encoding));
+        assert_eq!(sel.passes().collect::<Vec<_>>(), vec![Pass::Dataflow, Pass::Bounds]);
+        assert!(PassSelection::parse_list("dataflow,nope").unwrap_err().contains("nope"));
+        assert!(PassSelection::parse_list("").is_err());
+        assert_eq!(PassSelection::default(), PassSelection::all());
+        for pass in Pass::ALL {
+            assert_eq!(Pass::parse(pass.name()), Some(pass));
+            assert!(!pass.description().is_empty());
+            assert_eq!(pass.to_string(), pass.name());
+        }
+    }
+
+    #[test]
+    fn timed_analysis_reports_only_selected_families() {
+        use equinox_sim::CostModel;
+        let dims = ArrayDims { n: 186, w: 3, m: 3 };
+        let budget = BufferBudget::paper_default();
+        let program = compile_inference(&ModelSpec::mlp_2048x5(), &dims, 8);
+        let config = AcceleratorConfig::new("t", dims, 610e6, ValueEncoding::Hbfp8);
+        let cost = CostModel::from_config(&config);
+        let sel = PassSelection::parse_list("encoding,bounds").unwrap();
+        let (report, timings) = analyze_program_with(
+            &program,
+            &dims,
+            &budget,
+            ValueEncoding::Hbfp8,
+            &sel,
+            Some(&cost),
+            &BoundsOptions::default(),
+        );
+        assert!(!report.has_errors(), "{}", report.render_human());
+        let families: Vec<Pass> = timings.iter().map(|(p, _)| *p).collect();
+        assert_eq!(families, vec![Pass::Encoding, Pass::Bounds]);
+        assert!(timings.iter().all(|(_, s)| *s >= 0.0));
+        // Without a cost model, bounds cannot run even when selected.
+        let (_, no_cost) = analyze_program_with(
+            &program,
+            &dims,
+            &budget,
+            ValueEncoding::Hbfp8,
+            &sel,
+            None,
+            &BoundsOptions::default(),
+        );
+        assert_eq!(no_cost.iter().map(|(p, _)| *p).collect::<Vec<_>>(), vec![Pass::Encoding]);
     }
 
     #[test]

@@ -97,3 +97,65 @@ fn missing_file_is_an_error() {
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stdout).contains("EQX0302"));
 }
+
+#[test]
+fn list_passes_names_every_family() {
+    let out = bin().arg("--list-passes").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["dataflow", "resources", "encoding", "config", "bounds"] {
+        assert!(stdout.contains(name), "missing {name} in: {stdout}");
+    }
+}
+
+#[test]
+fn unknown_pass_is_a_usage_error() {
+    let out = bin().arg("--pass").arg("bogus").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown pass"), "{stderr}");
+    let out = bin().arg("--pass").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "a trailing --pass needs a value");
+}
+
+#[test]
+fn pass_selection_gates_the_bounds_lint() {
+    // A 50 MB weight stream feeding one tiny tile multiply: DMA
+    // dominates compute, so the bounds pass flags EQX0602 — but only
+    // when it is selected.
+    let program = vec![
+        Instruction::LoadDram { target: BufferKind::Weight, region: Region::new(0, 50 << 20) },
+        Instruction::LoadDram { target: BufferKind::Activation, region: Region::new(0, 32) },
+        Instruction::Sync,
+        Instruction::MatMulTile {
+            rows: 4,
+            k_span: 8,
+            out_span: 8,
+            mode: GemmMode::VectorMatrix,
+            weights: Region::new(0, 64),
+            input: Region::new(0, 32),
+            output: Region::new(4096, 32),
+        },
+        Instruction::Sync,
+        Instruction::StoreDram { source: BufferKind::Activation, region: Region::new(4096, 32) },
+    ];
+    let path = scratch("dma-bound.bin", &equinox_isa::encode::encode(&program));
+    let all = bin().arg(&path).output().expect("binary runs");
+    assert_eq!(all.status.code(), Some(0), "{}", String::from_utf8_lossy(&all.stdout));
+    assert!(String::from_utf8_lossy(&all.stdout).contains("EQX0602"));
+    let denied =
+        bin().arg("--deny-warnings").arg(&path).output().expect("binary runs");
+    assert_eq!(denied.status.code(), Some(1));
+    let dataflow_only = bin()
+        .arg("--pass")
+        .arg("dataflow")
+        .arg("--deny-warnings")
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&dataflow_only.stdout);
+    assert!(!stdout.contains("EQX0602"), "bounds must be gated off: {stdout}");
+    let bounds_only = bin().arg("--pass=bounds").arg(&path).output().expect("binary runs");
+    assert_eq!(bounds_only.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&bounds_only.stdout).contains("EQX0602"));
+}

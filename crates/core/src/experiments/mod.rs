@@ -5,6 +5,7 @@
 //! behind `cargo run -p equinox-bench --bin regen-results`.
 
 pub mod ablation;
+pub mod bounds_calibration;
 pub mod diurnal;
 pub mod fault_sweep;
 pub mod fig10;

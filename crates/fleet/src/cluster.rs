@@ -11,12 +11,13 @@
 //! index order into a [`FleetReport`] — byte-identical at any thread
 //! count.
 
-use crate::device::DeviceSpec;
+use crate::device::{DeviceSpec, Fidelity};
 use crate::report::{free_epochs, DeviceOutcome, FleetReport};
 use crate::routing::{Router, RoutingPolicy};
+use crate::surrogate;
 use equinox_isa::EquinoxError;
 use equinox_sim::loadgen::{diurnal_arrivals, poisson_arrivals, split_seed, DiurnalProfile};
-use equinox_sim::{LatencyStats, SimReport, SloSpec};
+use equinox_sim::{LatencyStats, SchedulerPolicy, SimReport, SloSpec};
 
 /// Where the fleet's request traffic comes from.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,6 +85,39 @@ impl Fleet {
                  diurnal source instead)",
             ));
         }
+        // Static-bounds surrogate devices: the bounds must be a valid
+        // interval, and the surrogate models neither faults, software
+        // scheduling, nor degradation — reject combinations whose
+        // answer it could not stand behind.
+        for d in &devices {
+            let Fidelity::StaticBounds { lower_cycles, upper_cycles } = d.fidelity else {
+                continue;
+            };
+            if lower_cycles == 0 || lower_cycles > upper_cycles {
+                return Err(EquinoxError::invalid_argument(
+                    "Fleet::new",
+                    "static-bounds fidelity needs 0 < lower_cycles ≤ upper_cycles",
+                ));
+            }
+            if !d.scenario.is_fault_free() {
+                return Err(EquinoxError::fault_model(
+                    d.scenario.name.clone(),
+                    "the static-bounds surrogate cannot model injected \
+                     faults; use cycle-accurate fidelity for faulted \
+                     devices",
+                ));
+            }
+            if matches!(d.config.scheduler, SchedulerPolicy::Software { .. })
+                || !d.config.degradation.is_none()
+            {
+                return Err(EquinoxError::invalid_argument(
+                    "Fleet::new",
+                    "the static-bounds surrogate models only the \
+                     hardware schedulers without degradation; use \
+                     cycle-accurate fidelity",
+                ));
+            }
+        }
         Ok(Fleet { devices })
     }
 
@@ -148,12 +182,23 @@ impl Fleet {
                 } else {
                     (opts.horizon_cycles as f64 * scale).ceil() as u64
                 };
-                spec.simulation()?.run_faulted(
-                    &device_arrivals,
-                    horizon,
-                    &spec.scenario,
-                    opts.slo,
-                )
+                match spec.fidelity {
+                    Fidelity::CycleAccurate => spec.simulation()?.run_faulted(
+                        &device_arrivals,
+                        horizon,
+                        &spec.scenario,
+                        opts.slo,
+                    ),
+                    Fidelity::StaticBounds { upper_cycles, .. } => Ok(
+                        surrogate::run_static_bounds(
+                            spec,
+                            upper_cycles,
+                            &device_arrivals,
+                            horizon,
+                            opts.slo,
+                        ),
+                    ),
+                }
             });
 
         // Stage 3: merge in device-index order.
@@ -277,6 +322,54 @@ pub(crate) mod tests {
             assert_eq!(assigned, fr.offered_requests, "{}", policy.name());
             assert!(fr.completed_requests() > 0, "{}", policy.name());
         }
+    }
+
+    #[test]
+    fn static_bounds_devices_compose_with_cycle_accurate_ones() {
+        // Device 1 runs at surrogate fidelity with exact bounds
+        // (lower = upper = the nominal service time): the fleet must
+        // run, conserve requests, and give the surrogate device
+        // latencies in the same range as its cycle-accurate twin.
+        let exact = test_device("d1", 1e9, false).timing.total_cycles;
+        let devices = vec![
+            test_device("d0", 1e9, false),
+            test_device("d1", 1e9, false).with_static_bounds(exact, exact),
+        ];
+        let fleet = Fleet::new(devices).unwrap();
+        let fr = fleet.run(&opts(RoutingPolicy::RoundRobin, 0.5, 400)).unwrap();
+        let assigned: usize = fr.devices.iter().map(|d| d.assigned_requests).sum();
+        assert_eq!(assigned, fr.offered_requests);
+        assert!(fr.devices[1].report.completed_requests > 0);
+        let p99_accurate = fr.devices[0].report.p99_ms();
+        let p99_surrogate = fr.devices[1].report.p99_ms();
+        assert!(
+            (p99_surrogate - p99_accurate).abs() < 0.5 * p99_accurate,
+            "surrogate p99 {p99_surrogate} ms vs engine {p99_accurate} ms"
+        );
+        assert!(fr.slo_clean(), "{fr}");
+    }
+
+    #[test]
+    fn surrogate_devices_reject_unmodellable_configurations() {
+        let base = || test_device("d0", 1e9, false);
+        // Inverted or zero bounds.
+        let bad = base().with_static_bounds(0, 100);
+        assert_eq!(Fleet::new(vec![bad]).unwrap_err().kind(), "invalid-argument");
+        let bad = base().with_static_bounds(200, 100);
+        assert_eq!(Fleet::new(vec![bad]).unwrap_err().kind(), "invalid-argument");
+        // Faulted surrogate devices.
+        let bad = base()
+            .with_static_bounds(100, 200)
+            .with_scenario(FaultScenario::named("stall").with_stall(10, 20));
+        assert_eq!(Fleet::new(vec![bad]).unwrap_err().kind(), "fault-model");
+        // Software scheduling under the surrogate.
+        let mut bad = base().with_static_bounds(100, 200);
+        bad.config.scheduler =
+            equinox_sim::SchedulerPolicy::Software { block_cycles: 1_000 };
+        assert_eq!(Fleet::new(vec![bad]).unwrap_err().kind(), "invalid-argument");
+        // The same configurations are fine at cycle-accurate fidelity.
+        let ok = base().with_scenario(FaultScenario::named("stall").with_stall(10, 20));
+        assert!(Fleet::new(vec![ok]).is_ok());
     }
 
     #[test]

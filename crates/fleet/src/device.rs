@@ -5,6 +5,34 @@ use equinox_isa::training::TrainingProfile;
 use equinox_isa::EquinoxError;
 use equinox_sim::{AcceleratorConfig, FaultScenario, Simulation};
 
+/// How a fleet member evaluates its share of the traffic.
+///
+/// Large fleet sweeps pay one full discrete-event simulation per
+/// device per cell; when only coarse capacity questions are asked
+/// (sizing, routing-policy screening), a device can instead be
+/// evaluated by a fast analytic surrogate driven by the static cycle
+/// bounds of the served program (`equinox_check::bounds`). The
+/// surrogate mirrors the dispatcher's batch-formation rules but
+/// charges every batch the *upper* service bound, so its latencies are
+/// conservative; harvest is credited only for fully idle cycles, so
+/// free-training numbers are conservative too (see
+/// [`crate::surrogate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Full discrete-event simulation (the default).
+    CycleAccurate,
+    /// Analytic surrogate bounded by the static bounds analysis.
+    StaticBounds {
+        /// Static lower bound on batch service cycles (kept for the
+        /// validity contract `lower ≤ upper`; the surrogate serves at
+        /// the upper bound).
+        lower_cycles: u64,
+        /// Static upper bound on batch service cycles — the service
+        /// time the surrogate charges per batch.
+        upper_cycles: u64,
+    },
+}
+
 /// One accelerator in the fleet: its simulator configuration, the
 /// compiled timing of the inference workload it serves, an optional
 /// co-hosted training service (the device "harvests" free epochs), and
@@ -25,12 +53,20 @@ pub struct DeviceSpec {
     pub training: Option<TrainingProfile>,
     /// Device-local fault scenario (baseline = fault-free).
     pub scenario: FaultScenario,
+    /// How this device's traffic share is evaluated.
+    pub fidelity: Fidelity,
 }
 
 impl DeviceSpec {
-    /// An inference-only, fault-free device.
+    /// An inference-only, fault-free, cycle-accurate device.
     pub fn new(config: AcceleratorConfig, timing: InferenceTiming) -> Self {
-        DeviceSpec { config, timing, training: None, scenario: FaultScenario::baseline() }
+        DeviceSpec {
+            config,
+            timing,
+            training: None,
+            scenario: FaultScenario::baseline(),
+            fidelity: Fidelity::CycleAccurate,
+        }
     }
 
     /// Co-hosts a training service on this device.
@@ -44,6 +80,17 @@ impl DeviceSpec {
     #[must_use]
     pub fn with_scenario(mut self, scenario: FaultScenario) -> Self {
         self.scenario = scenario;
+        self
+    }
+
+    /// Evaluates this device with the static-bounds surrogate instead
+    /// of the discrete-event engine. `lower_cycles`/`upper_cycles` are
+    /// the static cycle bounds of the served program (from
+    /// `equinox_check::bounds::compute_bounds`); [`crate::Fleet::new`]
+    /// validates `0 < lower ≤ upper`.
+    #[must_use]
+    pub fn with_static_bounds(mut self, lower_cycles: u64, upper_cycles: u64) -> Self {
+        self.fidelity = Fidelity::StaticBounds { lower_cycles, upper_cycles };
         self
     }
 

@@ -50,8 +50,9 @@ pub mod cluster;
 pub mod device;
 pub mod report;
 pub mod routing;
+pub mod surrogate;
 
 pub use cluster::{ArrivalSource, Fleet, FleetRunOptions};
-pub use device::DeviceSpec;
+pub use device::{DeviceSpec, Fidelity};
 pub use report::{DeviceOutcome, FleetReport, EPOCH_SAMPLES};
 pub use routing::RoutingPolicy;

@@ -5,8 +5,8 @@
 //! the `regen-results -- checks` grid all lower identical
 //! `(model, dims, batch, encoding, budget)` points — and with the
 //! parallel runtime several of them do so *concurrently*. This module
-//! memoizes [`lower::compile_inference_with`] and
-//! [`training::lower_training`] behind `Arc`-shared programs so each
+//! memoizes [`crate::lower::compile_inference_with`] and
+//! [`crate::training::lower_training`] behind `Arc`-shared programs so each
 //! distinct lowering is compiled once per process.
 //!
 //! Lowering is a pure function of the key, so cache hits are

@@ -75,7 +75,7 @@ impl std::fmt::Display for Region {
 }
 
 /// Which on-chip buffer a data-movement instruction targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BufferKind {
     /// The activation buffer (20 MB, broadcast-connected to all arrays).
     Activation,

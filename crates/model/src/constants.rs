@@ -3,7 +3,7 @@
 //! The paper derives its per-ALU area/energy from Synopsys Design
 //! Compiler synthesis in TSMC 28 nm (TCBN28HPMBWP35, 0.9 V), its SRAM
 //! area/energy from CACTI 6.5 (32 nm scaled to 28 nm per Esmaeilzadeh et
-//! al.), and its HBM interface numbers from Tran [33]. None of those
+//! al.), and its HBM interface numbers from Tran \[33\]. None of those
 //! tools/libraries are redistributable, so this module substitutes
 //! constants **back-derived from the paper's own published numbers** such
 //! that the analytical model reproduces Table 1 and Table 3:
@@ -84,7 +84,7 @@ pub struct TechnologyParams {
     pub sram_static_w_per_mb: f64,
     /// SRAM dynamic energy per byte accessed, pJ at nominal voltage.
     pub sram_energy_pj_per_byte: f64,
-    /// HBM interface area, mm² (Tran [33]; Table 3).
+    /// HBM interface area, mm² (Tran \[33\]; Table 3).
     pub dram_area_mm2: f64,
     /// HBM interface + device power, W (Table 3).
     pub dram_power_w: f64,

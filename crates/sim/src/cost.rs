@@ -1,0 +1,261 @@
+//! The shared per-instruction cost model.
+//!
+//! Every cycle- or byte-level rate the engine schedules with — DRAM
+//! bytes per cycle, DRAM access latency, the staging-buffer capacity,
+//! MMU/SIMD issue costs, pipeline-fill latency — is derived here from
+//! one [`AcceleratorConfig`]. The static bound analysis in
+//! `equinox-check` consumes the *same* [`CostModel`], so the analyzer's
+//! `[lower, upper]` cycle bounds and the simulator's timing can never
+//! drift apart: a change to any timing parameter flows to both through
+//! this one type.
+//!
+//! Energy is optional ([`EnergyParams`]): the simulator itself never
+//! prices energy (it lives below the design-space layer and must not
+//! depend on `equinox-model`), so the parameters are plain numbers that
+//! callers with access to the paper's technology constants — the
+//! analyzer CLI, the experiment drivers — attach via
+//! [`CostModel::with_energy`].
+
+use crate::config::AcceleratorConfig;
+use equinox_isa::{ArrayDims, Instruction};
+
+/// Per-instruction cycle (and optionally energy) costs for one
+/// accelerator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// MMU geometry the costs are computed for.
+    pub dims: ArrayDims,
+    /// Operating frequency, Hz.
+    pub freq_hz: f64,
+    /// Sustained DRAM bandwidth at this clock, bytes per cycle.
+    pub dram_bytes_per_cycle: f64,
+    /// DRAM access latency charged once per transfer burst, cycles.
+    pub dram_latency_cycles: u64,
+    /// Training staging-buffer capacity, bytes.
+    pub staging_buffer_bytes: f64,
+    /// Energy pricing, when the caller attached one.
+    pub energy: Option<EnergyParams>,
+}
+
+impl CostModel {
+    /// Derives the cost model from a configuration. Energy is absent;
+    /// attach it with [`CostModel::with_energy`].
+    pub fn from_config(config: &AcceleratorConfig) -> Self {
+        CostModel {
+            dims: config.dims,
+            freq_hz: config.freq_hz,
+            dram_bytes_per_cycle: config.dram_bytes_per_cycle(),
+            dram_latency_cycles: config.dram.latency_cycles,
+            staging_buffer_bytes: config.staging_buffer_bytes,
+            energy: None,
+        }
+    }
+
+    /// Attaches energy pricing.
+    #[must_use]
+    pub fn with_energy(mut self, energy: EnergyParams) -> Self {
+        self.energy = Some(energy);
+        self
+    }
+
+    /// Pipeline-fill latency charged at every `Sync` barrier, cycles.
+    pub fn fill_cycles(&self) -> u64 {
+        self.dims.fill_cycles()
+    }
+
+    /// SIMD lane count (`m·n`, matching the MMU output rate).
+    pub fn simd_lanes(&self) -> u64 {
+        (self.dims.m * self.dims.n).max(1) as u64
+    }
+
+    /// Peak MAC throughput of the MMU, MACs per cycle.
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        self.dims.alu_count()
+    }
+
+    /// Peak MMU throughput, Ops/s (2 ops per MAC).
+    pub fn peak_throughput_ops(&self) -> f64 {
+        2.0 * self.dims.alu_count() as f64 * self.freq_hz
+    }
+
+    /// MMU occupancy of one instruction, cycles (0 for non-MMU
+    /// instructions).
+    pub fn mmu_cycles(&self, instr: &Instruction) -> u64 {
+        instr.mmu_occupancy_cycles(self.dims.m)
+    }
+
+    /// SIMD occupancy of one instruction, cycles (0 for non-SIMD
+    /// instructions).
+    pub fn simd_cycles(&self, instr: &Instruction) -> u64 {
+        match *instr {
+            Instruction::Simd { elems, .. } => (elems as u64).div_ceil(self.simd_lanes()),
+            _ => 0,
+        }
+    }
+
+    /// Bandwidth-limited transfer time for `bytes` over the DRAM
+    /// interface, cycles (fractional; callers round as appropriate).
+    pub fn dma_transfer_cycles(&self, bytes: u64) -> f64 {
+        if self.dram_bytes_per_cycle <= 0.0 {
+            return 0.0;
+        }
+        bytes as f64 / self.dram_bytes_per_cycle
+    }
+
+    /// Worst-case (cold, unpipelined) cost of one DRAM burst: access
+    /// latency plus the bandwidth-limited transfer.
+    pub fn dma_burst_cycles(&self, bytes: u64) -> f64 {
+        self.dram_latency_cycles as f64 + self.dma_transfer_cycles(bytes)
+    }
+}
+
+/// Energy pricing constants, all plain numbers so the simulator stays
+/// independent of the design-space layer that owns the paper's
+/// technology tables (`equinox-model`'s `TechnologyParams` /
+/// `EncodingParams`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Dynamic energy of one multiply-accumulate ALU operation at
+    /// nominal voltage, picojoules.
+    pub alu_energy_pj: f64,
+    /// Dynamic SRAM access energy, picojoules per byte.
+    pub sram_energy_pj_per_byte: f64,
+    /// Bytes per datapath value in the active encoding.
+    pub bytes_per_value: f64,
+    /// DRAM interface power, watts (charged for the program's wall
+    /// time).
+    pub dram_power_w: f64,
+    /// SRAM static (leakage) power, watts.
+    pub sram_static_w: f64,
+    /// The chip's total power envelope, watts.
+    pub power_budget_w: f64,
+    /// Voltage-derived dynamic-energy scale at the operating frequency
+    /// (`(vdd/vdd_nom)²`, 1.0 at nominal).
+    pub energy_scale: f64,
+}
+
+impl EnergyParams {
+    /// Constant (clock-independent) power drawn for a program's entire
+    /// duration, watts.
+    pub fn static_power_w(&self) -> f64 {
+        self.dram_power_w + self.sram_static_w
+    }
+
+    /// Voltage-scaled dynamic energy of one instruction's datapath
+    /// work, picojoules: MACs at ALU energy plus the SRAM traffic its
+    /// operands imply (tile reads/writes for the MMU, read-modify-write
+    /// for SIMD, the on-chip side of DMA transfers). `Sync` and
+    /// `HostIo` price at zero (the host interface sits outside the
+    /// chip's envelope).
+    pub fn instruction_energy_pj(&self, instr: &Instruction) -> f64 {
+        let sram = self.sram_energy_pj_per_byte * self.bytes_per_value;
+        let raw = match *instr {
+            Instruction::MatMulTile { rows, k_span, out_span, .. } => {
+                let macs = rows as f64 * k_span as f64 * out_span as f64;
+                let traffic = rows as f64 * k_span as f64      // activation reads
+                    + k_span as f64 * out_span as f64          // weight reads
+                    + rows as f64 * out_span as f64; // output writes
+                macs * self.alu_energy_pj + traffic * sram
+            }
+            Instruction::Simd { elems, .. } => {
+                elems as f64 * self.alu_energy_pj + 2.0 * elems as f64 * sram
+            }
+            Instruction::LoadDram { region, .. } | Instruction::StoreDram { region, .. } => {
+                region.bytes as f64 * self.sram_energy_pj_per_byte
+            }
+            Instruction::HostIo { .. } | Instruction::Sync => 0.0,
+        };
+        raw * self.energy_scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equinox_arith::Encoding;
+    use equinox_isa::instruction::{BufferKind, Region};
+    use equinox_isa::layers::GemmMode;
+
+    fn config() -> AcceleratorConfig {
+        AcceleratorConfig::new("cost", ArrayDims { n: 16, w: 4, m: 8 }, 1e9, Encoding::Hbfp8)
+    }
+
+    fn energy() -> EnergyParams {
+        EnergyParams {
+            alu_energy_pj: 0.475,
+            sram_energy_pj_per_byte: 2.8,
+            bytes_per_value: 1.0,
+            dram_power_w: 28.6,
+            sram_static_w: 2.4,
+            power_budget_w: 75.0,
+            energy_scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn cost_model_mirrors_config_rates() {
+        let c = config();
+        let cost = CostModel::from_config(&c);
+        assert_eq!(cost.dram_bytes_per_cycle, c.dram_bytes_per_cycle());
+        assert_eq!(cost.dram_latency_cycles, c.dram.latency_cycles);
+        assert_eq!(cost.staging_buffer_bytes, c.staging_buffer_bytes);
+        assert_eq!(cost.peak_throughput_ops(), c.peak_throughput_ops());
+        assert_eq!(cost.fill_cycles(), c.dims.fill_cycles());
+        assert_eq!(cost.simd_lanes(), 128);
+        assert!(cost.energy.is_none());
+    }
+
+    #[test]
+    fn instruction_cycle_costs() {
+        let cost = CostModel::from_config(&config());
+        let vm = Instruction::matmul(100, 8, 16, GemmMode::VectorMatrix);
+        let wb = Instruction::matmul(100, 8, 16, GemmMode::WeightBroadcast);
+        assert_eq!(cost.mmu_cycles(&vm), 100);
+        assert_eq!(cost.mmu_cycles(&wb), 13);
+        let s = Instruction::simd(equinox_isa::instruction::SimdOpKind::Activation, 300);
+        assert_eq!(cost.simd_cycles(&s), 3);
+        assert_eq!(cost.simd_cycles(&vm), 0);
+        assert_eq!(cost.mmu_cycles(&s), 0);
+    }
+
+    #[test]
+    fn dma_costs_scale_with_bytes() {
+        let cost = CostModel::from_config(&config());
+        // 1 TB/s at 1 GHz = 1000 bytes/cycle.
+        assert_eq!(cost.dma_transfer_cycles(2000), 2.0);
+        assert_eq!(cost.dma_burst_cycles(2000), 64.0 + 2.0);
+        assert_eq!(cost.dma_transfer_cycles(0), 0.0);
+    }
+
+    #[test]
+    fn energy_prices_instructions() {
+        let e = energy();
+        let mm = Instruction::matmul(2, 3, 5, GemmMode::VectorMatrix);
+        let macs = 2.0 * 3.0 * 5.0;
+        let traffic = 2.0 * 3.0 + 3.0 * 5.0 + 2.0 * 5.0;
+        let expect = macs * 0.475 + traffic * 2.8;
+        assert!((e.instruction_energy_pj(&mm) - expect).abs() < 1e-9);
+        let load =
+            Instruction::LoadDram { target: BufferKind::Weight, region: Region::new(0, 100) };
+        assert_eq!(e.instruction_energy_pj(&load), 280.0);
+        assert_eq!(e.instruction_energy_pj(&Instruction::Sync), 0.0);
+        assert_eq!(e.instruction_energy_pj(&Instruction::HostIo { bytes: 10 }), 0.0);
+        assert_eq!(e.static_power_w(), 31.0);
+    }
+
+    #[test]
+    fn energy_scale_applies_to_dynamic_only() {
+        let mut e = energy();
+        let s = Instruction::simd(equinox_isa::instruction::SimdOpKind::Elementwise, 10);
+        let nominal = e.instruction_energy_pj(&s);
+        e.energy_scale = 0.25;
+        assert!((e.instruction_energy_pj(&s) - 0.25 * nominal).abs() < 1e-12);
+        assert_eq!(e.static_power_w(), 31.0, "static power is scale-independent");
+    }
+
+    #[test]
+    fn with_energy_attaches() {
+        let cost = CostModel::from_config(&config()).with_energy(energy());
+        assert!(cost.energy.is_some());
+    }
+}

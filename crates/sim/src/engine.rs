@@ -19,6 +19,7 @@
 //! training is paused entirely.
 
 use crate::config::{AcceleratorConfig, BatchingPolicy, SchedulerPolicy};
+use crate::cost::CostModel;
 use crate::fault::FaultScenario;
 use crate::report::SimReport;
 use crate::slo::{SloReport, SloSpec};
@@ -30,8 +31,9 @@ use equinox_isa::EquinoxError;
 use std::collections::VecDeque;
 
 /// Fraction of the horizon treated as warm-up (excluded from latency
-/// statistics but fully simulated).
-const WARMUP_FRACTION: f64 = 0.05;
+/// statistics but fully simulated). Public so alternative evaluators
+/// (the fleet surrogate, calibration probes) measure the same window.
+pub const WARMUP_FRACTION: f64 = 0.05;
 
 /// Numerical slack on cycle comparisons.
 const EPS: f64 = 1e-6;
@@ -57,6 +59,10 @@ struct Batch {
 #[derive(Debug, Clone)]
 pub struct Simulation {
     config: AcceleratorConfig,
+    /// Cycle/byte rates the engine schedules with, derived from
+    /// `config` — the same [`CostModel`] the static bound analysis in
+    /// `equinox-check` prices programs against.
+    cost: CostModel,
     inference: InferenceTiming,
     training: Option<TrainingProfile>,
 }
@@ -89,12 +95,18 @@ impl Simulation {
                 "inference timing has a zero service time",
             ));
         }
-        Ok(Simulation { config, inference, training })
+        let cost = CostModel::from_config(&config);
+        Ok(Simulation { config, cost, inference, training })
     }
 
     /// The configuration.
     pub fn config(&self) -> &AcceleratorConfig {
         &self.config
+    }
+
+    /// The cost model the engine schedules with.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
     }
 
     /// Saturation request rate, requests per cycle: a full batch every
@@ -328,7 +340,7 @@ impl<'a> Engine<'a> {
     fn regime(&self) -> Regime {
         // Fault injection: DRAM throttling windows scale the supply.
         let supply_bpc =
-            self.sim.config.dram_bytes_per_cycle() * self.scenario.bandwidth_factor_at(self.now);
+            self.sim.cost.dram_bytes_per_cycle * self.scenario.bandwidth_factor_at(self.now);
         let Some((_, bytes_per_exec)) = self.training_rates() else {
             return Regime {
                 r_inf: if self.in_flight.is_some() { 1.0 } else { 0.0 },
@@ -364,7 +376,7 @@ impl<'a> Engine<'a> {
         // Staging refills whenever the buffer has room; DRAM throttles
         // at the cap.
         let consume = r_train * bytes_per_exec;
-        let refill = if self.staged_bytes < self.sim.config.staging_buffer_bytes {
+        let refill = if self.staged_bytes < self.sim.cost.staging_buffer_bytes {
             supply_bpc
         } else {
             supply_bpc.min(consume)
@@ -513,7 +525,7 @@ impl<'a> Engine<'a> {
         self.training_cycles += regime.r_train * dt;
         self.idle_cycles += (1.0 - regime.r_inf - regime.r_train).max(0.0) * dt;
         self.staged_bytes = (self.staged_bytes + regime.staging_net * dt)
-            .clamp(0.0, self.sim.config.staging_buffer_bytes);
+            .clamp(0.0, self.sim.cost.staging_buffer_bytes);
         if self.staged_bytes < STAGED_EPS && regime.staging_net < 0.0 {
             self.staged_bytes = 0.0;
         }

@@ -40,6 +40,7 @@
 
 pub mod buffers;
 pub mod config;
+pub mod cost;
 pub mod dram;
 pub mod engine;
 pub mod fault;
@@ -53,7 +54,8 @@ pub mod validate;
 pub use config::{
     AcceleratorConfig, BatchingPolicy, DegradationPolicy, DramParams, RetryPolicy, SchedulerPolicy,
 };
-pub use engine::Simulation;
+pub use cost::{CostModel, EnergyParams};
+pub use engine::{Simulation, WARMUP_FRACTION};
 pub use equinox_isa::EquinoxError;
 pub use fault::FaultScenario;
 pub use report::SimReport;

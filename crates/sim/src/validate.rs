@@ -5,6 +5,7 @@
 //! latency-limited models against DRAMSim").
 
 use crate::config::AcceleratorConfig;
+use crate::cost::CostModel;
 use crate::dram::DramChannel;
 use equinox_isa::lower::InferenceTiming;
 use equinox_isa::training::TrainingProfile;
@@ -42,13 +43,13 @@ pub fn discrete_staging_rate(
     horizon: u64,
 ) -> f64 {
     let bytes_per_exec = profile.iteration_dram_bytes as f64 / profile.iteration_mmu_cycles as f64;
-    let mut channel =
-        DramChannel::new(config.dram_bytes_per_cycle(), config.dram.latency_cycles);
+    let cost = CostModel::from_config(config);
+    let mut channel = DramChannel::new(cost.dram_bytes_per_cycle, cost.dram_latency_cycles);
     // Stream staging requests in 64 KB bursts, back-to-back: keep the
     // queue primed ahead of what the channel can deliver per step.
     let burst: u64 = 65_536;
     let step: u64 = 1024;
-    let depth = (2.0 * config.dram_bytes_per_cycle() * step as f64) as u64;
+    let depth = (2.0 * cost.dram_bytes_per_cycle * step as f64) as u64;
     let mut issued = 0u64;
     let mut now = 0u64;
     let mut delivered = 0u64;

@@ -37,20 +37,31 @@ echo "    clean SLO, or blows its --quick budget"
 echo "    EQUINOX_QUICK_BUDGET_FLEET_S)"
 cargo run --release -p equinox-bench --bin regen-results -- --quick fleet
 
+echo "==> bound-calibration smoke (fails if the cycle-accurate sim"
+echo "    measures outside any static [lower, upper] envelope, any"
+echo "    upper/lower ratio exceeds 4x, or the --quick budget"
+echo "    EQUINOX_QUICK_BUDGET_BOUNDS_S is blown)"
+cargo run --release -p equinox-bench --bin regen-results -- --quick bounds
+
 echo "==> determinism smoke: the --quick regen of the sweep-backed"
-echo "    figures and the fleet sweep must be byte-identical serial vs"
-echo "    parallel"
-EQUINOX_THREADS=1 cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks fleet
+echo "    figures, the fleet sweep, and the bound calibration must be"
+echo "    byte-identical serial vs parallel"
+EQUINOX_THREADS=1 cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks fleet bounds
 cp results/fig6a_hbfp8.csv /tmp/equinox_fig6a_serial.csv
 cp results/table1_pareto.txt /tmp/equinox_table1_serial.txt
 cp results/driver_checks.json /tmp/equinox_checks_serial.json
 cp results/fleet_sweep.json /tmp/equinox_fleet_serial.json
-cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks fleet
+cp results/bounds_calibration.json /tmp/equinox_bounds_serial.json
+cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks fleet bounds
 cmp results/fig6a_hbfp8.csv /tmp/equinox_fig6a_serial.csv
 cmp results/table1_pareto.txt /tmp/equinox_table1_serial.txt
 cmp results/driver_checks.json /tmp/equinox_checks_serial.json
 cmp results/fleet_sweep.json /tmp/equinox_fleet_serial.json
+cmp results/bounds_calibration.json /tmp/equinox_bounds_serial.json
 echo "    byte-identical at EQUINOX_THREADS=1 and the default pool"
+
+echo "==> rustdoc (warnings are errors; no external deps to document)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> wall-clock + compile-cache profile of this run"
 cat results/bench_timings.json

@@ -17,12 +17,15 @@
 //! * [`trainer`] — software HBFP training for the Figure 2 convergence
 //!   study.
 //! * [`synth`] — area/power roll-up (Table 3 substitute for synthesis).
+//! * [`check`] — static analysis: program/config diagnostics and the
+//!   cycle/energy bounds pass.
 //! * [`core`] — the `Equinox` facade plus one experiment driver per
 //!   paper table and figure.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use equinox_arith as arith;
+pub use equinox_check as check;
 pub use equinox_core as core;
 pub use equinox_fleet as fleet;
 pub use equinox_isa as isa;

@@ -113,3 +113,120 @@ fn simulation_deterministic() {
     };
     assert_eq!(run(), run());
 }
+
+/// The static bounds bracket the dispatcher's timing accounting for
+/// any geometry and batch, and widening the workload (larger batch or
+/// wider layers) never shrinks either bound.
+#[test]
+fn static_bounds_bracket_timing_and_grow_with_the_workload() {
+    use equinox::check::bounds::compute_bounds;
+    use equinox::isa::layers::{GemmMode, GemmStep};
+    use equinox::sim::{AcceleratorConfig, CostModel};
+
+    for_each_case(12, 0x707205, |g| {
+        let dims = ArrayDims {
+            n: g.usize_in(8, 64),
+            w: g.usize_in(2, 8),
+            m: g.usize_in(2, 8),
+        };
+        let config = AcceleratorConfig::new("prop", dims, 1e9, Encoding::Hbfp8);
+        let cost = CostModel::from_config(&config);
+        let batch = g.usize_in(1, 16);
+        let width = g.usize_in(64, 512);
+        let model_of = |k: usize| {
+            ModelSpec::new(
+                "prop-mlp",
+                vec![GemmStep {
+                    k,
+                    out: k,
+                    rows_per_sample: 1,
+                    simd_elems_per_sample: k,
+                    mode: GemmMode::VectorMatrix,
+                    repeats: 2,
+                    weights_shared_across_repeats: false,
+                }],
+            )
+        };
+        let bounds_of = |k: usize, b: usize| {
+            let model = model_of(k);
+            let program = compile_inference(&model, &dims, b);
+            let timing = InferenceTiming::from_program(&program, &dims, b);
+            let bounds = compute_bounds(&program, &cost);
+            assert!(
+                bounds.cycles.contains(timing.total_cycles),
+                "measured {} outside [{}, {}] at k={k} b={b} dims={dims:?}",
+                timing.total_cycles,
+                bounds.cycles.lower,
+                bounds.cycles.upper,
+            );
+            bounds
+        };
+        let base = bounds_of(width, batch);
+        let bigger_batch = bounds_of(width, batch * 2);
+        assert!(bigger_batch.cycles.lower >= base.cycles.lower);
+        assert!(bigger_batch.cycles.upper >= base.cycles.upper);
+        let wider = bounds_of(width * 2, batch);
+        assert!(wider.cycles.lower >= base.cycles.lower);
+        assert!(wider.cycles.upper >= base.cycles.upper);
+    });
+}
+
+/// Adjacent-but-non-overlapping byte regions are legal dataflow: a
+/// consumer reading exactly the union of two back-to-back definitions
+/// must never trip the use-before-define or clobber lints.
+#[test]
+fn adjacent_regions_are_not_dataflow_hazards() {
+    use equinox::check::diag::Code;
+    use equinox::check::{analyze_program, BufferBudget};
+    use equinox::isa::instruction::{BufferKind, Region};
+    use equinox::isa::layers::GemmMode;
+    use equinox::isa::{Instruction, Program};
+
+    for_each_case(24, 0x707206, |g| {
+        let dims = ArrayDims { n: 16, w: 4, m: 4 };
+        // Two loads defining [off, off+a) and [off+a, off+a+b): they
+        // touch but share no byte.
+        let off = g.usize_in(0, 4096) as u64 * 16;
+        let a = g.usize_in(1, 256) as u64 * 16;
+        let b = g.usize_in(1, 256) as u64 * 16;
+        let mut p = Program::new("adjacent");
+        p.push(Instruction::LoadDram {
+            target: BufferKind::Activation,
+            region: Region::new(off, a),
+        });
+        p.push(Instruction::LoadDram {
+            target: BufferKind::Activation,
+            region: Region::new(off + a, b),
+        });
+        p.push(Instruction::LoadDram {
+            target: BufferKind::Weight,
+            region: Region::new(0, 64),
+        });
+        p.push(Instruction::Sync);
+        // The consumer reads the union; its output lands immediately
+        // after the inputs — adjacent again, still no overlap.
+        p.push(Instruction::MatMulTile {
+            rows: 4,
+            k_span: 8,
+            out_span: 8,
+            mode: GemmMode::VectorMatrix,
+            weights: Region::new(0, 64),
+            input: Region::new(off, a + b),
+            output: Region::new(off + a + b, 64),
+        });
+        p.push(Instruction::Sync);
+        p.push(Instruction::StoreDram {
+            source: BufferKind::Activation,
+            region: Region::new(off + a + b, 64),
+        });
+        let report =
+            analyze_program(&p, &dims, &BufferBudget::paper_default(), Encoding::Hbfp8);
+        for code in [Code::PARTIAL_CLOBBER, Code::DMA_RACE] {
+            assert!(
+                !report.has_code(code),
+                "false positive {code:?} at off={off} a={a} b={b}: {}",
+                report.render_human(),
+            );
+        }
+    });
+}
