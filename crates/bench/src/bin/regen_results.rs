@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures at full scale.
 //!
 //! Usage: `cargo run --release -p equinox-bench --bin regen-results
-//! [--quick] [fig2|fig6|table1|fig7|…|fault|fleet|checks]...`
+//! [--quick] [fig2|fig6|table1|fig7|…|fault|fleet|serve|checks]...`
 //!
 //! With no ids, everything is regenerated. `--quick` switches to the
 //! reduced [`ExperimentScale::Quick`] grids (the CI fault-injection
@@ -29,7 +29,7 @@
 
 use equinox_core::experiments::{
     ablation, bounds_calibration, diurnal, fault_sweep, fig10, fig11, fig2, fig6, fig7, fig8,
-    fig9, fleet, software_sched, table1, table2, table3,
+    fig9, fleet, serve, software_sched, table1, table2, table3,
 };
 use equinox_core::ExperimentScale;
 use std::fmt::Write as _;
@@ -81,7 +81,7 @@ fn default_quick_budget_s(id: &str) -> f64 {
         "fig7" | "fig9" | "table2" | "fig10" => 90.0,
         "table3" => 15.0,
         "bounds" => 30.0,
-        "fig11" | "ablation" | "fault" | "fleet" => 120.0,
+        "fig11" | "ablation" | "fault" | "fleet" | "serve" => 120.0,
         "checks" => 180.0,
         _ => 120.0,
     }
@@ -455,6 +455,44 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
             JobBody {
                 log,
                 files: vec![("fleet_sweep.json".into(), sweep.to_json())],
+                failure,
+            }
+        }));
+    }
+
+    if selected("serve") {
+        push("serve", "admission control × overload × autoscaling (extension)", Box::new(move || {
+            let mut log = String::new();
+            let sweep = serve::run(scale);
+            let _ = writeln!(log, "{sweep}");
+            // The CI smoke gate: under 120 % offered load (clean and
+            // faulted) the priority policy must hold the paid tier's
+            // p999 inside the deadline while admit-all violates it,
+            // shed free traffic first, autoscale without losing
+            // in-flight requests, reach trace scale, and keep the
+            // EQX07xx serving lints clean.
+            let failure = (!sweep.passes()).then(|| {
+                let mut failed = Vec::new();
+                if !sweep.priority_protects_paid() {
+                    failed.push("priority_protects_paid");
+                }
+                if !sweep.free_is_shed_first() {
+                    failed.push("free_is_shed_first");
+                }
+                if !sweep.autoscale_drains_cleanly() {
+                    failed.push("autoscale_drains_cleanly");
+                }
+                if !sweep.trace_scale_reached() {
+                    failed.push("trace_scale_reached");
+                }
+                if !sweep.lints_clean() {
+                    failed.push("lints_clean");
+                }
+                format!("serve: serving-layer gate failed ({})", failed.join(", "))
+            });
+            JobBody {
+                log,
+                files: vec![("serve_sweep.json".into(), sweep.to_json())],
                 failure,
             }
         }));

@@ -13,6 +13,7 @@
 //! | `04xx`  | scheduler / configuration lints            |
 //! | `05xx`  | dataflow (operand-level def-use over byte regions) |
 //! | `06xx`  | static cycle/energy bounds (schedule envelopes)    |
+//! | `07xx`  | serving / admission-control lints          |
 //!
 //! (The retired `01xx` range held the pre-region occupancy-timeline
 //! pass; its codes are not reused.)
@@ -94,6 +95,31 @@ impl Code {
     /// Degradation thresholds contradict each other or the scheduler
     /// (e.g. shedding before shrinking ever engages).
     pub const DEGRADATION_CONFLICT: Code = Code(407);
+
+    /// The admission token rate refills below the paid tier's
+    /// guaranteed demand floor — steady paid traffic is shed even with
+    /// no overload.
+    pub const TOKEN_RATE_BELOW_ARRIVAL_FLOOR: Code = Code(701);
+    /// The autoscaler's drain grace is shorter than one batch service
+    /// time, so a drained device cannot finish its in-flight batch
+    /// before the next scaling decision.
+    pub const DRAIN_GRACE_SHORTER_THAN_SERVICE: Code = Code(702);
+    /// Deadline-aware admission's slack budget is below one batch
+    /// service time — every request is doomed at admission and the
+    /// policy sheds all traffic.
+    pub const ADMISSION_DEADLINE_UNREACHABLE: Code = Code(703);
+    /// The free-tier token reserve meets or exceeds the bucket's burst
+    /// capacity, so paid requests can never draw a full burst.
+    pub const FREE_RESERVE_EXCEEDS_BURST: Code = Code(704);
+    /// The autoscaler's scale-down backlog threshold is at or above the
+    /// scale-up threshold — the fleet joins and drains in a loop.
+    pub const AUTOSCALE_THRESHOLD_INVERSION: Code = Code(705);
+    /// The autoscaler's sustain window is shorter than one batch
+    /// service time, reacting to single-batch noise.
+    pub const AUTOSCALE_SUSTAIN_TOO_SHORT: Code = Code(706);
+    /// The token bucket's burst capacity is below one batch, so the
+    /// bucket throttles traffic the device serves in a single dispatch.
+    pub const TOKEN_BURST_BELOW_BATCH: Code = Code(707);
 
     /// The numeric value (e.g. `101` for `EQX0101`).
     pub fn value(self) -> u16 {
@@ -373,6 +399,13 @@ mod tests {
         assert_eq!(Code::UNOVERLAPPABLE_DMA.to_string(), "EQX0602");
         assert_eq!(Code::UTILIZATION_BELOW_FLOOR.to_string(), "EQX0603");
         assert_eq!(Code::ENERGY_OVER_ENVELOPE.value(), 604);
+        assert_eq!(Code::TOKEN_RATE_BELOW_ARRIVAL_FLOOR.to_string(), "EQX0701");
+        assert_eq!(Code::DRAIN_GRACE_SHORTER_THAN_SERVICE.to_string(), "EQX0702");
+        assert_eq!(Code::ADMISSION_DEADLINE_UNREACHABLE.to_string(), "EQX0703");
+        assert_eq!(Code::FREE_RESERVE_EXCEEDS_BURST.to_string(), "EQX0704");
+        assert_eq!(Code::AUTOSCALE_THRESHOLD_INVERSION.to_string(), "EQX0705");
+        assert_eq!(Code::AUTOSCALE_SUSTAIN_TOO_SHORT.to_string(), "EQX0706");
+        assert_eq!(Code::TOKEN_BURST_BELOW_BATCH.value(), 707);
     }
 
     #[test]

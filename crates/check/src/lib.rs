@@ -30,6 +30,11 @@
 //! the timed entry points report per-family wall-clock so drivers can
 //! record where analysis time goes.
 //!
+//! A sixth, standalone pass — [`serving`] (`07xx`) — lints fleet-level
+//! admission-control and autoscaling parameters; it analyzes scalar
+//! [`ServingParams`] rather than programs, so it sits outside the
+//! [`PassSelection`] machinery.
+//!
 //! ## Example
 //!
 //! ```
@@ -57,9 +62,11 @@ pub mod diag;
 pub mod encoding;
 pub mod intervals;
 pub mod resources;
+pub mod serving;
 
 pub use bounds::{BoundsOptions, CycleBounds, EnergyBounds, ProgramBounds};
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
+pub use serving::{analyze_serving, ServingParams};
 pub use equinox_isa::validate::BufferBudget;
 
 use equinox_arith::Encoding as ValueEncoding;

@@ -1,0 +1,219 @@
+//! Serving-layer lints (`07xx`): admission-control and autoscaling
+//! parameters checked against the fleet's service-time scales.
+//!
+//! The fleet layer (`equinox-fleet`) validates that its parameters are
+//! *well-formed* (finite, positive, ordered); this pass checks that
+//! they are *sensible* — an admission policy that sheds traffic the
+//! devices could trivially serve, or an autoscaler that reacts to
+//! single-batch noise, is valid but useless. Drivers run
+//! [`analyze_serving`] over the plain-number [`ServingParams`] summary
+//! of a serving configuration before spending cycles sweeping it, the
+//! same way configuration lints (`04xx`) gate the scheduler sweeps.
+//!
+//! Unlike the five [`crate::Pass`] families, this pass analyzes no
+//! program or `AcceleratorConfig` — only scalar serving parameters —
+//! so it stands alone rather than joining [`crate::PassSelection`].
+
+use crate::diag::{Code, Diagnostic};
+
+/// The plain-number summary of one serving configuration: admission
+/// policy parameters, autoscale thresholds, and the fleet's two time
+/// scales they must respect.
+///
+/// Fields describing a policy the configuration does not use can be
+/// left at their defaults; every lint below fires only on the
+/// parameters it names.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingParams {
+    /// The inference SLO deadline, seconds (0 when no SLO is attached).
+    pub deadline_s: f64,
+    /// Time one full batch occupies a device, seconds — the fleet's
+    /// natural service-time unit.
+    pub batch_service_s: f64,
+    /// Paid-tier demand floor as a fraction of fleet capacity: the
+    /// offered paid load the admission policy must never shed
+    /// (`paid_fraction × offered_load_x` at the trough, typically).
+    pub paid_offered_floor_x: f64,
+    /// Deadline-aware admission's slack budget as a fraction of the
+    /// deadline.
+    pub slack_x: f64,
+    /// Token-bucket refill rate as a fraction of fleet capacity.
+    pub token_rate_x: f64,
+    /// Token-bucket burst capacity, in batches.
+    pub burst_batches: f64,
+    /// Tokens (in batches) the priority policy reserves from free-tier
+    /// traffic.
+    pub free_reserve_batches: f64,
+    /// Autoscale scale-up backlog threshold, in batches per device.
+    pub up_backlog_batches: f64,
+    /// Autoscale scale-down backlog threshold, in batches per device.
+    pub down_backlog_batches: f64,
+    /// How long a backlog excursion must sustain before the autoscaler
+    /// acts, seconds.
+    pub sustain_s: f64,
+    /// Grace period after a drain before the next transition, seconds.
+    pub drain_grace_s: f64,
+}
+
+impl Default for ServingParams {
+    /// Neutral parameters that pass every lint: used as the base for
+    /// describing one policy at a time.
+    fn default() -> Self {
+        ServingParams {
+            deadline_s: 1e-3,
+            batch_service_s: 16e-6,
+            paid_offered_floor_x: 0.5,
+            slack_x: 0.8,
+            token_rate_x: 0.95,
+            burst_batches: 4.0,
+            free_reserve_batches: 1.0,
+            up_backlog_batches: 1.0,
+            down_backlog_batches: 0.125,
+            sustain_s: 1e-3,
+            drain_grace_s: 1e-3,
+        }
+    }
+}
+
+/// Lints one serving configuration. Errors mark parameter combinations
+/// that defeat the policy outright (all traffic shed, scaling
+/// flip-flop); warnings mark combinations that merely waste capacity.
+pub fn analyze_serving(params: &ServingParams) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let p = params;
+    if p.token_rate_x < p.paid_offered_floor_x {
+        diags.push(Diagnostic::error(
+            Code::TOKEN_RATE_BELOW_ARRIVAL_FLOOR,
+            format!(
+                "token bucket refills at {:.2}× fleet capacity, below the \
+                 {:.2}× paid-tier demand floor; steady paid traffic is shed \
+                 even with no overload",
+                p.token_rate_x, p.paid_offered_floor_x
+            ),
+        ));
+    }
+    if p.drain_grace_s < p.batch_service_s {
+        diags.push(Diagnostic::error(
+            Code::DRAIN_GRACE_SHORTER_THAN_SERVICE,
+            format!(
+                "drain grace {:.3e} s is shorter than one batch service time \
+                 ({:.3e} s); a drained device cannot finish its in-flight \
+                 batch before the next scaling decision",
+                p.drain_grace_s, p.batch_service_s
+            ),
+        ));
+    }
+    if p.deadline_s > 0.0 && p.slack_x * p.deadline_s < p.batch_service_s {
+        diags.push(Diagnostic::error(
+            Code::ADMISSION_DEADLINE_UNREACHABLE,
+            format!(
+                "deadline-aware slack budget {:.2}× of the {:.3e} s deadline \
+                 is below one batch service time ({:.3e} s); every arrival is \
+                 doomed at admission and the policy sheds all traffic",
+                p.slack_x, p.deadline_s, p.batch_service_s
+            ),
+        ));
+    }
+    if p.free_reserve_batches >= p.burst_batches {
+        diags.push(Diagnostic::warning(
+            Code::FREE_RESERVE_EXCEEDS_BURST,
+            format!(
+                "free-tier reserve of {:.1} batches meets the bucket's burst \
+                 capacity ({:.1} batches); free traffic is shed outright and \
+                 the tier is dead policy",
+                p.free_reserve_batches, p.burst_batches
+            ),
+        ));
+    }
+    if p.down_backlog_batches >= p.up_backlog_batches {
+        diags.push(Diagnostic::error(
+            Code::AUTOSCALE_THRESHOLD_INVERSION,
+            format!(
+                "scale-down backlog threshold ({:.2} batches) at or above the \
+                 scale-up threshold ({:.2}); the fleet joins and drains in a \
+                 loop",
+                p.down_backlog_batches, p.up_backlog_batches
+            ),
+        ));
+    }
+    if p.sustain_s < p.batch_service_s {
+        diags.push(Diagnostic::warning(
+            Code::AUTOSCALE_SUSTAIN_TOO_SHORT,
+            format!(
+                "autoscale sustain window {:.3e} s is shorter than one batch \
+                 service time ({:.3e} s); the scaler reacts to single-batch \
+                 queue noise",
+                p.sustain_s, p.batch_service_s
+            ),
+        ));
+    }
+    if p.burst_batches < 1.0 {
+        diags.push(Diagnostic::warning(
+            Code::TOKEN_BURST_BELOW_BATCH,
+            format!(
+                "token burst capacity of {:.2} batches is below one batch; \
+                 the bucket throttles traffic a device serves in a single \
+                 dispatch",
+                p.burst_batches
+            ),
+        ));
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_are_clean() {
+        assert!(analyze_serving(&ServingParams::default()).is_empty());
+    }
+
+    #[test]
+    fn each_lint_fires_alone() {
+        let base = ServingParams::default();
+        let cases: Vec<(ServingParams, Code)> = vec![
+            (
+                ServingParams { token_rate_x: 0.3, ..base },
+                Code::TOKEN_RATE_BELOW_ARRIVAL_FLOOR,
+            ),
+            (
+                ServingParams { drain_grace_s: 1e-6, ..base },
+                Code::DRAIN_GRACE_SHORTER_THAN_SERVICE,
+            ),
+            (
+                ServingParams { slack_x: 0.01, ..base },
+                Code::ADMISSION_DEADLINE_UNREACHABLE,
+            ),
+            (
+                ServingParams { free_reserve_batches: 4.0, ..base },
+                Code::FREE_RESERVE_EXCEEDS_BURST,
+            ),
+            (
+                ServingParams { down_backlog_batches: 1.0, ..base },
+                Code::AUTOSCALE_THRESHOLD_INVERSION,
+            ),
+            (
+                ServingParams { sustain_s: 1e-6, ..base },
+                Code::AUTOSCALE_SUSTAIN_TOO_SHORT,
+            ),
+            (
+                // Shrink the reserve too, else EQX0704 also fires.
+                ServingParams { burst_batches: 0.5, free_reserve_batches: 0.0, ..base },
+                Code::TOKEN_BURST_BELOW_BATCH,
+            ),
+        ];
+        for (params, code) in &cases {
+            let diags = analyze_serving(params);
+            assert_eq!(diags.len(), 1, "{code}: {diags:?}");
+            assert_eq!(diags[0].code, *code);
+        }
+    }
+
+    #[test]
+    fn zero_deadline_disables_the_deadline_lint() {
+        let params = ServingParams { deadline_s: 0.0, slack_x: 0.01, ..Default::default() };
+        assert!(analyze_serving(&params).is_empty());
+    }
+}

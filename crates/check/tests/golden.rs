@@ -342,3 +342,82 @@ fn clean_program_has_no_findings() {
     let r = analyze(p);
     assert!(r.is_clean(), "{}", r.render_human());
 }
+
+fn serving(params: equinox_check::ServingParams) -> equinox_check::Report {
+    let mut r = equinox_check::Report::new("serving");
+    r.extend(equinox_check::analyze_serving(&params));
+    r
+}
+
+#[test]
+fn eqx0701_token_rate_below_arrival_floor() {
+    let p = equinox_check::ServingParams {
+        token_rate_x: 0.4,
+        paid_offered_floor_x: 0.6,
+        ..Default::default()
+    };
+    let r = serving(p);
+    assert!(r.has_code(Code::TOKEN_RATE_BELOW_ARRIVAL_FLOOR), "{}", r.render_human());
+    assert!(r.has_errors());
+}
+
+#[test]
+fn eqx0702_drain_grace_shorter_than_service() {
+    let p = equinox_check::ServingParams { drain_grace_s: 1e-9, ..Default::default() };
+    let r = serving(p);
+    assert!(r.has_code(Code::DRAIN_GRACE_SHORTER_THAN_SERVICE), "{}", r.render_human());
+    assert!(r.has_errors());
+}
+
+#[test]
+fn eqx0703_admission_deadline_unreachable() {
+    let p = equinox_check::ServingParams { slack_x: 0.001, ..Default::default() };
+    let r = serving(p);
+    assert!(r.has_code(Code::ADMISSION_DEADLINE_UNREACHABLE), "{}", r.render_human());
+    assert!(r.has_errors());
+}
+
+#[test]
+fn eqx0704_free_reserve_exceeds_burst() {
+    let p = equinox_check::ServingParams {
+        free_reserve_batches: 8.0,
+        burst_batches: 4.0,
+        ..Default::default()
+    };
+    let r = serving(p);
+    assert!(r.has_code(Code::FREE_RESERVE_EXCEEDS_BURST), "{}", r.render_human());
+    // A dead free tier wastes the policy but sheds no paid traffic.
+    assert!(!r.has_errors());
+}
+
+#[test]
+fn eqx0705_autoscale_threshold_inversion() {
+    let p = equinox_check::ServingParams {
+        up_backlog_batches: 0.5,
+        down_backlog_batches: 0.5,
+        ..Default::default()
+    };
+    let r = serving(p);
+    assert!(r.has_code(Code::AUTOSCALE_THRESHOLD_INVERSION), "{}", r.render_human());
+    assert!(r.has_errors());
+}
+
+#[test]
+fn eqx0706_autoscale_sustain_too_short() {
+    let p = equinox_check::ServingParams { sustain_s: 1e-9, ..Default::default() };
+    let r = serving(p);
+    assert!(r.has_code(Code::AUTOSCALE_SUSTAIN_TOO_SHORT), "{}", r.render_human());
+    assert!(!r.has_errors());
+}
+
+#[test]
+fn eqx0707_token_burst_below_batch() {
+    let p = equinox_check::ServingParams {
+        burst_batches: 0.25,
+        free_reserve_batches: 0.0,
+        ..Default::default()
+    };
+    let r = serving(p);
+    assert!(r.has_code(Code::TOKEN_BURST_BELOW_BATCH), "{}", r.render_human());
+    assert!(!r.has_errors());
+}

@@ -20,7 +20,9 @@ use crate::accelerator::Equinox;
 use crate::experiments::ExperimentScale;
 use equinox_arith::Encoding;
 use equinox_check::diag::json_string;
-use equinox_fleet::{ArrivalSource, DeviceSpec, Fleet, FleetRunOptions, RoutingPolicy};
+use equinox_fleet::{
+    AdmissionSpec, ArrivalSource, DeviceSpec, Fleet, FleetRunOptions, RoutingPolicy,
+};
 use equinox_isa::models::ModelSpec;
 use equinox_model::LatencyConstraint;
 use equinox_sim::SloSpec;
@@ -167,6 +169,9 @@ pub fn run(scale: ExperimentScale) -> FleetSweep {
             .run(&FleetRunOptions {
                 source: ArrivalSource::Poisson { load },
                 policy,
+                admission: AdmissionSpec::AdmitAll,
+                autoscale: None,
+                paid_fraction: 1.0,
                 horizon_cycles: horizon,
                 seed: SWEEP_SEED,
                 slo: Some(slo),

@@ -1,0 +1,331 @@
+//! Reactive fleet autoscaling with drain-on-departure.
+//!
+//! The autoscaler watches the router's fluid backlog estimates during
+//! the serial routing pass and adjusts the *active set* — the devices
+//! the router may pick from. Devices join on sustained backlog and
+//! leave on sustained idleness, with two production disciplines:
+//!
+//! - **Drain, never drop.** A departing device is only removed from
+//!   the active set; every request already dispatched to it still
+//!   simulates to the horizon. Scale-down therefore loses zero
+//!   in-flight requests by construction — the gated `serve` sweep
+//!   asserts the conservation identity rather than trusting it.
+//! - **Grace between transitions.** After a departure the autoscaler
+//!   holds all transitions for `drain_grace_s`, giving the drained
+//!   queue time to clear before capacity is judged again (and giving
+//!   check lint EQX0702 something concrete to hold the grace against).
+//!
+//! An inactive device serves no inference, so a harvesting device that
+//! scales out of the serving set hands its whole horizon to training:
+//! scale-down is how a fleet converts a quiet diurnal trough into free
+//! epochs. Every transition is recorded as a [`ScalingSpan`] in the
+//! [`FleetReport`](crate::FleetReport).
+
+use crate::device::DeviceSpec;
+use equinox_isa::EquinoxError;
+
+/// Reactive autoscaling parameters for one fleet run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscalePolicy {
+    /// The active set never shrinks below this many devices.
+    pub min_devices: usize,
+    /// Devices active at t = 0 (clamped to the fleet size; the rest
+    /// start drained and may join on demand).
+    pub initial_devices: usize,
+    /// Scale up when the mean active backlog sustains at or above this
+    /// many batch service times.
+    pub up_backlog_batches: f64,
+    /// Scale down when the mean active backlog sustains at or below
+    /// this many batch service times.
+    pub down_backlog_batches: f64,
+    /// How long a threshold crossing must sustain before acting,
+    /// seconds.
+    pub sustain_s: f64,
+    /// Hold-down after a departure, seconds: no further transitions
+    /// while the drained queue clears.
+    pub drain_grace_s: f64,
+}
+
+impl AutoscalePolicy {
+    /// Validates the parameters against a fleet of `n_devices`.
+    ///
+    /// # Errors
+    ///
+    /// [`EquinoxError::InvalidArgument`] if the thresholds are
+    /// inverted (`down ≥ up`), non-finite or negative, the sustain or
+    /// grace windows are non-finite or non-positive/negative, or the
+    /// device counts are zero or exceed the fleet.
+    pub fn validate(&self, n_devices: usize) -> Result<(), EquinoxError> {
+        let fail = |msg: String| Err(EquinoxError::invalid_argument("AutoscalePolicy", msg));
+        if self.min_devices == 0 || self.min_devices > n_devices {
+            return fail(format!(
+                "min_devices must be in 1..={n_devices}, got {}",
+                self.min_devices
+            ));
+        }
+        if self.initial_devices < self.min_devices {
+            return fail(format!(
+                "initial_devices {} below min_devices {}",
+                self.initial_devices, self.min_devices
+            ));
+        }
+        for (what, v) in
+            [("up_backlog_batches", self.up_backlog_batches), ("down_backlog_batches", self.down_backlog_batches)]
+        {
+            if !v.is_finite() || v < 0.0 {
+                return fail(format!("{what} must be finite and non-negative, got {v}"));
+            }
+        }
+        if self.down_backlog_batches >= self.up_backlog_batches {
+            return fail(format!(
+                "thresholds inverted: down {} must be below up {}",
+                self.down_backlog_batches, self.up_backlog_batches
+            ));
+        }
+        if !self.sustain_s.is_finite() || self.sustain_s <= 0.0 {
+            return fail(format!("sustain_s must be finite and positive, got {}", self.sustain_s));
+        }
+        if !self.drain_grace_s.is_finite() || self.drain_grace_s < 0.0 {
+            return fail(format!(
+                "drain_grace_s must be finite and non-negative, got {}",
+                self.drain_grace_s
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The direction of one scaling transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingKind {
+    /// The device joined the active serving set.
+    Join,
+    /// The device left the active set and began draining its queue.
+    Drain,
+}
+
+impl ScalingKind {
+    /// Stable identifier used in sweep artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalingKind::Join => "join",
+            ScalingKind::Drain => "drain",
+        }
+    }
+}
+
+/// One autoscaling transition, recorded in the fleet report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingSpan {
+    /// The device that joined or drained.
+    pub device: usize,
+    /// Join or drain.
+    pub kind: ScalingKind,
+    /// When the transition happened, reference-clock seconds.
+    pub t_s: f64,
+}
+
+/// The autoscaler's mutable state across the serial routing pass.
+pub(crate) struct Autoscaler {
+    policy: AutoscalePolicy,
+    active: Vec<bool>,
+    /// Ascending indices of the active devices (the routing pick set).
+    active_list: Vec<usize>,
+    /// When the backlog first crossed the scale-up threshold.
+    over_since: Option<f64>,
+    /// When the backlog first crossed the scale-down threshold.
+    under_since: Option<f64>,
+    /// No transitions before this instant (drain grace).
+    hold_until: f64,
+    spans: Vec<ScalingSpan>,
+}
+
+impl Autoscaler {
+    pub(crate) fn new(policy: AutoscalePolicy, n_devices: usize) -> Self {
+        let initial = policy.initial_devices.min(n_devices);
+        Autoscaler {
+            policy,
+            active: (0..n_devices).map(|d| d < initial).collect(),
+            active_list: (0..initial).collect(),
+            over_since: None,
+            under_since: None,
+            hold_until: 0.0,
+            spans: Vec::new(),
+        }
+    }
+
+    /// The current active set, ascending.
+    pub(crate) fn active_list(&self) -> &[usize] {
+        &self.active_list
+    }
+
+    /// The transitions taken so far, in time order.
+    pub(crate) fn into_spans(self) -> Vec<ScalingSpan> {
+        self.spans
+    }
+
+    /// Observes the router state at one arrival and applies at most one
+    /// transition. `backlog_s` is the router's fluid estimate per
+    /// device (already decayed to `t_s`).
+    pub(crate) fn step(&mut self, t_s: f64, backlog_s: &[f64], devices: &[DeviceSpec]) {
+        // Mean active backlog in batch service times, so heterogeneous
+        // devices vote in comparable units.
+        let mean_batches = self
+            .active_list
+            .iter()
+            .map(|&d| backlog_s[d] / devices[d].service_time_s())
+            .sum::<f64>()
+            / self.active_list.len() as f64;
+
+        if mean_batches >= self.policy.up_backlog_batches {
+            self.under_since = None;
+            let since = *self.over_since.get_or_insert(t_s);
+            if t_s >= self.hold_until
+                && t_s - since >= self.policy.sustain_s
+                && self.active_list.len() < self.active.len()
+            {
+                let joiner = (0..self.active.len())
+                    .find(|&d| !self.active[d])
+                    .expect("an inactive device exists");
+                self.active[joiner] = true;
+                let pos = self.active_list.partition_point(|&d| d < joiner);
+                self.active_list.insert(pos, joiner);
+                self.spans.push(ScalingSpan { device: joiner, kind: ScalingKind::Join, t_s });
+                self.over_since = None;
+            }
+        } else if mean_batches <= self.policy.down_backlog_batches {
+            self.over_since = None;
+            let since = *self.under_since.get_or_insert(t_s);
+            if t_s >= self.hold_until
+                && t_s - since >= self.policy.sustain_s
+                && self.active_list.len() > self.policy.min_devices
+            {
+                // Drain the highest-indexed active device: joins fill
+                // from the bottom, so the set stays a stable prefix
+                // plus recent joiners.
+                let leaver = *self.active_list.last().expect("active set is non-empty");
+                self.active[leaver] = false;
+                self.active_list.pop();
+                self.spans.push(ScalingSpan { device: leaver, kind: ScalingKind::Drain, t_s });
+                self.under_since = None;
+                self.hold_until = t_s + self.policy.drain_grace_s;
+            }
+        } else {
+            self.over_since = None;
+            self.under_since = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::tests::test_device;
+
+    fn policy() -> AutoscalePolicy {
+        AutoscalePolicy {
+            min_devices: 1,
+            initial_devices: 2,
+            up_backlog_batches: 2.0,
+            down_backlog_batches: 0.25,
+            sustain_s: 1e-4,
+            drain_grace_s: 2e-4,
+        }
+    }
+
+    fn fleet(n: usize) -> Vec<DeviceSpec> {
+        (0..n).map(|i| test_device(&format!("d{i}"), 1e9, false)).collect()
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_policies() {
+        let devices = 4;
+        assert!(policy().validate(devices).is_ok());
+        for (bad, what) in [
+            (AutoscalePolicy { min_devices: 0, ..policy() }, "zero min"),
+            (AutoscalePolicy { min_devices: 5, ..policy() }, "min past fleet"),
+            (AutoscalePolicy { initial_devices: 0, ..policy() }, "initial below min"),
+            (
+                AutoscalePolicy { down_backlog_batches: 2.5, ..policy() },
+                "inverted thresholds",
+            ),
+            (AutoscalePolicy { sustain_s: 0.0, ..policy() }, "zero sustain"),
+            (AutoscalePolicy { drain_grace_s: -1.0, ..policy() }, "negative grace"),
+            (AutoscalePolicy { up_backlog_batches: f64::NAN, ..policy() }, "NaN up"),
+        ] {
+            assert_eq!(bad.validate(devices).unwrap_err().kind(), "invalid-argument", "{what}");
+        }
+    }
+
+    #[test]
+    fn sustained_backlog_joins_and_sustained_idle_drains() {
+        let devices = fleet(3);
+        let service = devices[0].service_time_s();
+        let mut a = Autoscaler::new(policy(), 3);
+        assert_eq!(a.active_list(), [0, 1]);
+        // Heavy backlog (4 service times each) sustained past the
+        // window: device 2 joins.
+        let heavy = [4.0 * service; 3];
+        a.step(0.0, &heavy, &devices);
+        assert_eq!(a.active_list(), [0, 1], "not sustained yet");
+        a.step(2e-4, &heavy, &devices);
+        assert_eq!(a.active_list(), [0, 1, 2], "sustained backlog joins");
+        // Idle sustained past the window: device 2 drains again.
+        let idle = [0.0; 3];
+        a.step(4e-4, &idle, &devices);
+        a.step(6e-4, &idle, &devices);
+        assert_eq!(a.active_list(), [0, 1], "sustained idle drains");
+        // And further down to the floor, after the drain grace.
+        a.step(1e-3, &idle, &devices);
+        a.step(2e-3, &idle, &devices);
+        assert_eq!(a.active_list(), [0], "drains to min_devices");
+        a.step(4e-3, &idle, &devices);
+        a.step(8e-3, &idle, &devices);
+        assert_eq!(a.active_list(), [0], "never below min_devices");
+        let spans = a.into_spans();
+        let kinds: Vec<&str> = spans.iter().map(|s| s.kind.name()).collect();
+        assert_eq!(kinds, ["join", "drain", "drain"]);
+        assert_eq!(spans[0].device, 2);
+        assert!(spans.windows(2).all(|w| w[0].t_s <= w[1].t_s), "spans in time order");
+    }
+
+    #[test]
+    fn drain_grace_holds_transitions() {
+        let devices = fleet(3);
+        let mut a = Autoscaler::new(policy(), 3);
+        let idle = [0.0; 3];
+        // First drain at t = 2e-4 (sustained from 1e-4)…
+        a.step(1e-4, &idle, &devices);
+        a.step(2e-4, &idle, &devices);
+        assert_eq!(a.active_list(), [0]);
+        // …then the grace (2e-4) blocks the next transition even
+        // though idleness persists, only min_devices also blocks here;
+        // use a join attempt instead: heavy backlog inside the grace.
+        let service = devices[0].service_time_s();
+        let heavy = [4.0 * service; 3];
+        a.step(2.5e-4, &heavy, &devices);
+        a.step(3.9e-4, &heavy, &devices);
+        assert_eq!(a.active_list(), [0], "grace holds the join");
+        // Past the grace, the sustained backlog finally admits one.
+        a.step(6e-4, &heavy, &devices);
+        assert_eq!(a.active_list(), [0, 1], "join lands after the grace");
+    }
+
+    #[test]
+    fn drained_devices_can_rejoin() {
+        let devices = fleet(2);
+        let p = AutoscalePolicy { initial_devices: 2, drain_grace_s: 0.0, ..policy() };
+        let mut a = Autoscaler::new(p, 2);
+        let idle = [0.0; 2];
+        let service = devices[0].service_time_s();
+        let heavy = [4.0 * service; 2];
+        a.step(0.0, &idle, &devices);
+        a.step(1e-3, &idle, &devices);
+        assert_eq!(a.active_list(), [0]);
+        a.step(2e-3, &heavy, &devices);
+        a.step(3e-3, &heavy, &devices);
+        assert_eq!(a.active_list(), [0, 1], "the drained device rejoins");
+        let kinds: Vec<&str> = a.into_spans().iter().map(|s| s.kind.name()).collect();
+        assert_eq!(kinds, ["drain", "join"]);
+    }
+}

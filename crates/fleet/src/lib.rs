@@ -30,10 +30,23 @@
 //! All randomness derives from the one `seed` in [`FleetRunOptions`]
 //! via [`equinox_sim::loadgen::split_seed`]: stream 0 seeds the
 //! fleet-wide arrival process, stream 1 the router's
-//! power-of-two-choices draws, and stream `2 + i` is reserved for
-//! device `i` (per-device fault burst traffic). Adding a device or
-//! switching the routing policy therefore never perturbs the offered
-//! traffic itself.
+//! power-of-two-choices draws, stream `2 + i` is reserved for device
+//! `i` (per-device fault burst traffic), and stream `1 << 32` draws
+//! each request's paid/free class. Adding a device, switching the
+//! routing or admission policy, or changing the paid fraction
+//! therefore never perturbs the offered traffic itself.
+//!
+//! ## The serving layer
+//!
+//! Overload is handled at the fleet edge, not in device queues: an
+//! [`AdmissionSpec`] policy (admit-all, deadline-aware drop, token
+//! buckets, paid/free priority — see [`admission`]) decides each
+//! arrival's fate right after routing picks a candidate, and an
+//! optional [`AutoscalePolicy`] ([`autoscale`]) grows and shrinks the
+//! active device set reactively, draining (never dropping) the queues
+//! of departing devices. Both run inside the serial routing pass, so
+//! the determinism contract is unchanged. Per-tier accounting lands in
+//! the report's [`equinox_sim::ClassLedger`]s.
 //!
 //! ## Why a training-aware policy
 //!
@@ -46,12 +59,16 @@
 //! inference-only devices until they saturate, holding the harvesting
 //! devices in the flat region of the harvest curve.
 
+pub mod admission;
+pub mod autoscale;
 pub mod cluster;
 pub mod device;
 pub mod report;
 pub mod routing;
 pub mod surrogate;
 
+pub use admission::{AdmissionContext, AdmissionDecision, AdmissionPolicy, AdmissionSpec};
+pub use autoscale::{AutoscalePolicy, ScalingKind, ScalingSpan};
 pub use cluster::{ArrivalSource, Fleet, FleetRunOptions};
 pub use device::{DeviceSpec, Fidelity};
 pub use report::{DeviceOutcome, FleetReport, EPOCH_SAMPLES};

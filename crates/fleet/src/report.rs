@@ -1,8 +1,9 @@
 //! Fleet-level aggregation: merged latency distribution, throughput,
 //! the shed/dropped ledger, and free-training epoch accounting.
 
+use crate::autoscale::ScalingSpan;
 use equinox_isa::training::TrainingProfile;
-use equinox_sim::{LatencyStats, SimReport};
+use equinox_sim::{ClassLedger, LatencyStats, RequestClass, SimReport};
 
 /// Reference training-corpus size defining one "free epoch": the
 /// number of samples a device must push through its co-hosted training
@@ -44,12 +45,26 @@ pub struct DeviceOutcome {
 pub struct FleetReport {
     /// Routing policy name ([`crate::RoutingPolicy::name`]).
     pub policy: &'static str,
+    /// Admission policy name ([`crate::AdmissionSpec::name`]).
+    pub admission: &'static str,
     /// Simulated horizon in reference-clock cycles (device 0's clock).
     pub horizon_cycles: u64,
     /// The reference clock, Hz.
     pub freq_hz: f64,
-    /// Requests the front end admitted (= arrivals offered).
+    /// Arrivals offered to the front end (before admission control).
     pub offered_requests: usize,
+    /// Requests the admission policy rejected at the fleet edge (not
+    /// counted in [`FleetReport::total_violations`], which stays the
+    /// device-side SLO ledger; the per-class ledgers account for them).
+    pub admission_shed_requests: usize,
+    /// Per-class QoS ledgers in [`RequestClass::ALL`] order (paid,
+    /// free): offered/shed counts are exact at the fleet edge;
+    /// completions are attributed where devices report per-request
+    /// outcomes (see [`ClassLedger`]).
+    pub class_ledgers: Vec<ClassLedger>,
+    /// Autoscaling transitions, in time order (empty without an
+    /// autoscale policy).
+    pub scaling_spans: Vec<ScalingSpan>,
     /// Per-device outcomes, in device-index order.
     pub devices: Vec<DeviceOutcome>,
     /// Fleet-wide latency distribution: every device's measured
@@ -58,6 +73,16 @@ pub struct FleetReport {
 }
 
 impl FleetReport {
+    /// Requests that passed admission control.
+    pub fn admitted_requests(&self) -> usize {
+        self.offered_requests - self.admission_shed_requests
+    }
+
+    /// The QoS ledger of one priority tier.
+    pub fn class_ledger(&self, class: RequestClass) -> &ClassLedger {
+        &self.class_ledgers[class.index()]
+    }
+
     /// Requests completed across the fleet.
     pub fn completed_requests(&self) -> u64 {
         self.devices.iter().map(|d| d.report.completed_requests).sum()
@@ -83,7 +108,9 @@ impl FleetReport {
         self.devices.iter().map(|d| d.free_epochs).sum()
     }
 
-    /// Requests shed at admission across the fleet.
+    /// Requests shed by device-local load shedding across the fleet
+    /// (fleet-edge admission sheds are in
+    /// [`FleetReport::admission_shed_requests`]).
     pub fn shed_requests(&self) -> u64 {
         self.devices.iter().map(|d| d.report.shed_requests).sum()
     }
@@ -170,6 +197,47 @@ impl std::fmt::Display for FleetReport {
                 d.report.inference_tops(),
                 d.report.training_tops(),
                 d.free_epochs,
+            )?;
+        }
+        if self.admission != "admit_all" || self.admission_shed_requests > 0 {
+            writeln!(
+                f,
+                "  admission {}: {} shed at the edge",
+                self.admission, self.admission_shed_requests
+            )?;
+        }
+        for l in &self.class_ledgers {
+            if l.class == RequestClass::Free && l.offered_requests == 0 {
+                continue;
+            }
+            if self.admission == "admit_all" && self.class_ledgers[1].offered_requests == 0 {
+                // Single-tier admit-all runs: the ledger restates the
+                // headline numbers, skip it.
+                continue;
+            }
+            writeln!(
+                f,
+                "  {:<4} tier: {} offered, {} shed, {} completed, {} missed, \
+                 p999 {:.3} ms",
+                l.class.name(),
+                l.offered_requests,
+                l.shed_requests,
+                l.completed_requests,
+                l.deadline_misses,
+                l.p999_s() * 1e3,
+            )?;
+        }
+        if !self.scaling_spans.is_empty() {
+            let joins = self
+                .scaling_spans
+                .iter()
+                .filter(|s| s.kind == crate::autoscale::ScalingKind::Join)
+                .count();
+            writeln!(
+                f,
+                "  autoscale: {} join(s), {} drain(s)",
+                joins,
+                self.scaling_spans.len() - joins
             )?;
         }
         Ok(())

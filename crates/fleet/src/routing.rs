@@ -108,12 +108,18 @@ impl<'a> Router<'a> {
 
     /// Drains every backlog estimate at the device's saturation rate
     /// for the wall time elapsed since the previous arrival.
-    fn decay_to(&mut self, t_s: f64) {
+    pub(crate) fn decay_to(&mut self, t_s: f64) {
         let dt = (t_s - self.last_s).max(0.0);
         self.last_s = t_s;
         for b in &mut self.backlog_s {
             *b = (*b - dt).max(0.0);
         }
+    }
+
+    /// The current fluid backlog estimates, seconds, per device (what
+    /// the autoscaler and admission policies consult).
+    pub(crate) fn backlogs(&self) -> &[f64] {
+        &self.backlog_s
     }
 
     /// The least-loaded device among `candidates` (ties break to the
@@ -129,39 +135,62 @@ impl<'a> Router<'a> {
         best.map(|(d, _)| d)
     }
 
-    /// Routes one request arriving at `t_s` seconds, returning the
-    /// chosen device index and charging its backlog estimate.
-    pub(crate) fn route(&mut self, t_s: f64) -> usize {
-        self.decay_to(t_s);
-        let n = self.devices.len();
-        let d = match self.policy {
+    /// Picks a candidate device from `active` (ascending indices,
+    /// non-empty) without charging it — the admission layer decides
+    /// whether (and where) the request is actually dispatched. With
+    /// the full device list this reproduces the pre-admission routing
+    /// decisions bit for bit.
+    pub(crate) fn pick(&mut self, active: &[usize]) -> usize {
+        debug_assert!(!active.is_empty(), "the active set is never empty");
+        match self.policy {
             RoutingPolicy::RoundRobin => {
-                let d = self.cursor;
-                self.cursor = (self.cursor + 1) % n;
+                // The smallest active index at or past the cursor,
+                // wrapping to the smallest overall.
+                let pos = active.partition_point(|&d| d < self.cursor);
+                let d = if pos < active.len() { active[pos] } else { active[0] };
+                self.cursor = (d + 1) % self.devices.len();
                 d
             }
             RoutingPolicy::LeastOutstanding => {
-                self.least_of(0..n).expect("fleet is non-empty")
+                self.least_of(active.iter().copied()).expect("fleet is non-empty")
             }
             RoutingPolicy::PowerOfTwo => {
-                let i = self.rng.usize_in(0, n);
-                let j = self.rng.usize_in(0, n);
+                let i = self.rng.usize_in(0, active.len());
+                let j = self.rng.usize_in(0, active.len());
                 let (lo, hi) = (i.min(j), i.max(j));
                 // least_of needs ascending candidates for the tie-break.
-                self.least_of([lo, hi].into_iter()).expect("two candidates")
+                self.least_of([active[lo], active[hi]].into_iter()).expect("two candidates")
             }
             RoutingPolicy::TrainingAware { busy_cap_batches } => {
-                let preferred = (0..n).filter(|&d| {
+                let preferred = active.iter().copied().filter(|&d| {
                     !self.devices[d].harvests()
                         && self.backlog_s[d]
                             < busy_cap_batches * self.devices[d].service_time_s()
                 });
                 self.least_of(preferred)
-                    .or_else(|| self.least_of(0..n))
+                    .or_else(|| self.least_of(active.iter().copied()))
                     .expect("fleet is non-empty")
             }
-        };
+        }
+    }
+
+    /// Charges one request's worth of service seconds to `d`'s backlog
+    /// estimate (called once the request is actually dispatched).
+    pub(crate) fn charge(&mut self, d: usize) {
         self.backlog_s[d] += self.devices[d].work_per_request_s();
+    }
+
+    /// Routes one request arriving at `t_s` seconds with every device
+    /// eligible, returning the chosen device index and charging its
+    /// backlog estimate. (The production pass drives
+    /// `decay_to`/`pick`/`charge` separately so admission can veto the
+    /// dispatch; this composed form is the routing tests' harness.)
+    #[cfg(test)]
+    pub(crate) fn route(&mut self, t_s: f64) -> usize {
+        self.decay_to(t_s);
+        let all: Vec<usize> = (0..self.devices.len()).collect();
+        let d = self.pick(&all);
+        self.charge(d);
         d
     }
 }
@@ -258,6 +287,34 @@ mod tests {
         for i in 0..64 {
             let t = i as f64 * 3e-7;
             assert_eq!(ta.route(t), lo.route(t));
+        }
+    }
+
+    #[test]
+    fn picks_respect_the_active_set() {
+        let devices = fleet(4, &[3]);
+        // Round-robin skips drained devices but keeps cycling.
+        let mut r = Router::new(&devices, RoutingPolicy::RoundRobin, 1);
+        r.decay_to(0.0);
+        let active = [1, 3];
+        let picks: Vec<usize> = (0..4)
+            .map(|_| {
+                let d = r.pick(&active);
+                r.charge(d);
+                d
+            })
+            .collect();
+        assert_eq!(picks, vec![1, 3, 1, 3]);
+        // Every policy stays inside the active set, even when its
+        // preferred devices are drained.
+        for policy in RoutingPolicy::all_default() {
+            let mut r = Router::new(&devices, policy, 1);
+            r.decay_to(0.0);
+            for _ in 0..32 {
+                let d = r.pick(&active);
+                assert!(active.contains(&d), "{} picked drained {d}", policy.name());
+                r.charge(d);
+            }
         }
     }
 

@@ -20,72 +20,164 @@
 //!   never the co-run share the engine's priority/fair schedulers
 //!   award while inference is in flight.
 //!
-//! Faults, software scheduling, and degradation knobs are *not*
-//! modelled; [`crate::Fleet::new`] rejects surrogate devices that
-//! request them.
+//! Admission-control load shedding (`DegradationPolicy::shed_above`)
+//! *is* modelled, with the engine's exact rule: an arrival is shed when
+//! the queue of forming plus formed-but-not-yet-in-service requests is
+//! at or beyond the threshold, and shed counts land in the same
+//! `SimReport`/`SloReport` fields the engine fills — never a hardcoded
+//! zero. The walk also records a `RequestOutcome` per arrival
+//! (completed with its latency, shed, or stranded at the horizon),
+//! which is what lets the fleet layer attribute per-class SLO ledgers
+//! without re-deriving request fates from sorted aggregates.
+//!
+//! Faults, software scheduling, and the remaining degradation knobs
+//! (training preemption, batch shrinking, retries) are *not* modelled;
+//! [`crate::Fleet::new`] rejects surrogate devices that request them.
 
 use crate::device::DeviceSpec;
 use equinox_sim::{
     BatchingPolicy, CostModel, CycleBreakdown, LatencyStats, SchedulerPolicy, SimReport,
     SloReport, SloSpec, WARMUP_FRACTION,
 };
+use std::collections::VecDeque;
 
-/// One formed batch: member arrivals (device-clock cycles) and the
-/// cycle it became ready to serve.
-struct FormedBatch {
-    arrivals: Vec<u64>,
-    ready: f64,
+/// The fate of one request under the surrogate walk, in arrival order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum RequestOutcome {
+    /// Served to completion inside the horizon. `measured` is the
+    /// engine's warmup rule: the arrival fell past the warmup window,
+    /// so the latency sample counts toward the report.
+    Completed { latency_s: f64, measured: bool },
+    /// Turned away by the device's `shed_above` admission control.
+    Shed { measured: bool },
+    /// Still forming, queued, or in flight at the horizon. `missed` is
+    /// the engine's stranded rule: past warmup with the deadline
+    /// already expired, so it counts as a deadline miss.
+    Stranded { missed: bool },
 }
 
-/// Mirrors the engine's batch-formation rules over a sorted arrival
-/// stream: full batches of `n` issue at their last arrival; under an
-/// adaptive deadline the partially-formed batch issues when the oldest
-/// member has waited `threshold` cycles. Returns the formed batches in
-/// issue order plus any requests still forming at the horizon.
-fn form_batches(
-    arrivals: &[u64],
+/// A surrogate evaluation: the engine-shaped report plus the
+/// per-request outcome trace backing it.
+pub(crate) struct SurrogateRun {
+    pub report: SimReport,
+    /// One outcome per input arrival, in input order.
+    pub outcomes: Vec<RequestOutcome>,
+}
+
+/// The incremental walk state: a serial server at the upper service
+/// bound behind the dispatcher's batch-formation front end.
+struct Walk<'a> {
+    arrivals: &'a [u64],
     n: usize,
-    threshold: Option<f64>,
-    horizon: u64,
-) -> (Vec<FormedBatch>, Vec<u64>) {
-    let mut formed = Vec::new();
-    let mut forming: Vec<u64> = Vec::new();
-    for &t in arrivals {
-        if let (Some(thr), Some(&first)) = (threshold, forming.first()) {
-            let deadline = first as f64 + thr;
-            if deadline <= t as f64 {
-                formed.push(FormedBatch { arrivals: std::mem::take(&mut forming), ready: deadline });
+    service: f64,
+    horizon: f64,
+    warmup: f64,
+    freq: f64,
+    deadline_s: Option<f64>,
+    useful: f64,
+    mmu_busy: f64,
+    stall: f64,
+    nominal: f64,
+    /// Indices of requests still forming a batch.
+    forming: Vec<usize>,
+    /// Formed batches not yet in service by the walk's clock:
+    /// `(member count, service start)`. Starts are monotone, so a
+    /// deque pointer mirrors the engine's formed queue.
+    pending: VecDeque<(usize, f64)>,
+    /// Forming + pending members — the queue `shed_above` measures.
+    queued: usize,
+    /// End of the serial server's schedule tail.
+    tail_busy: f64,
+    outcomes: Vec<RequestOutcome>,
+    breakdown: CycleBreakdown,
+    latencies: Vec<f64>,
+    inference_busy: f64,
+    completed: u64,
+    completed_measured: usize,
+    deadline_misses: usize,
+    batches_issued: u64,
+    incomplete_batches: u64,
+    peak_queue: usize,
+    shed_total: u64,
+    shed_measured: usize,
+    stranded_count: usize,
+    stranded_misses: usize,
+}
+
+impl Walk<'_> {
+    /// The engine's stranded-miss rule for an arrival still queued at
+    /// the horizon.
+    fn stranded_missed(&self, a: u64) -> bool {
+        let Some(deadline_s) = self.deadline_s else { return false };
+        (a as f64) >= self.warmup && (self.horizon - a as f64) / self.freq > deadline_s
+    }
+
+    /// Forms one batch at `ready`, schedules it on the serial server,
+    /// and resolves its members' fates (the schedule is deterministic,
+    /// so fate is known at formation). Members stay in `queued` via
+    /// `pending` until their service start passes the walk's clock.
+    fn form_batch(&mut self, members: Vec<usize>, ready: f64) {
+        self.batches_issued += 1;
+        let start = self.tail_busy.max(ready);
+        let end = start + self.service;
+        self.tail_busy = end;
+        self.pending.push_back((members.len(), start));
+        if end > self.horizon {
+            // The server is serial and starts are monotone: this batch
+            // and every later one miss the horizon.
+            for &i in &members {
+                let missed = self.stranded_missed(self.arrivals[i]);
+                self.outcomes[i] = RequestOutcome::Stranded { missed };
+                self.stranded_count += 1;
+                if missed {
+                    self.stranded_misses += 1;
+                }
+            }
+            return;
+        }
+        self.inference_busy += self.service;
+        let real = members.len();
+        if real < self.n {
+            self.incomplete_batches += 1;
+        }
+        for &i in &members {
+            self.completed += 1;
+            let a = self.arrivals[i] as f64;
+            let latency_s = (end - a) / self.freq;
+            let measured = a >= self.warmup;
+            self.outcomes[i] = RequestOutcome::Completed { latency_s, measured };
+            if measured {
+                self.latencies.push(latency_s);
+                self.completed_measured += 1;
+                if self.deadline_s.is_some_and(|d| latency_s > d) {
+                    self.deadline_misses += 1;
+                }
             }
         }
-        forming.push(t);
-        if forming.len() >= n {
-            formed.push(FormedBatch { arrivals: std::mem::take(&mut forming), ready: t as f64 });
-        }
+        // The engine's per-batch Figure 8 accounting, plus the bound's
+        // pessimism cycles (upper − nominal) as wasted time.
+        self.breakdown.working += self.useful * real as f64 / self.n as f64;
+        self.breakdown.dummy += self.useful * (self.n - real) as f64 / self.n as f64;
+        self.breakdown.other +=
+            (self.mmu_busy - self.useful) + self.stall + (self.service - self.nominal);
     }
-    if let (Some(thr), Some(&first)) = (threshold, forming.first()) {
-        let deadline = first as f64 + thr;
-        if deadline < horizon as f64 {
-            formed.push(FormedBatch { arrivals: std::mem::take(&mut forming), ready: deadline });
-        }
-    }
-    (formed, forming)
 }
 
-/// Evaluates `spec`'s share of the traffic analytically (see the
-/// module docs for the model and its conservatisms). `arrivals` are
-/// sorted device-clock cycles; the returned report has the same shape
-/// the engine produces, so fleet merging is fidelity-agnostic.
-pub(crate) fn run_static_bounds(
+/// Evaluates `spec`'s share of the traffic analytically, keeping the
+/// per-request outcome trace (see the module docs for the model and
+/// its conservatisms). `arrivals` are sorted device-clock cycles; the
+/// embedded report has the same shape the engine produces, so fleet
+/// merging is fidelity-agnostic.
+pub(crate) fn run_static_bounds_traced(
     spec: &DeviceSpec,
     upper_cycles: u64,
     arrivals: &[u64],
     horizon: u64,
     slo: Option<SloSpec>,
-) -> SimReport {
+) -> SurrogateRun {
     let freq = spec.config.freq_hz;
     let timing = &spec.timing;
     let n = timing.batch.max(1);
-    let service = upper_cycles as f64;
     // The dispatcher's formation deadline is keyed to the *nominal*
     // service time (it is a policy of the real hardware, not of the
     // bound), exactly as in the engine.
@@ -95,70 +187,106 @@ pub(crate) fn run_static_bounds(
             Some(threshold_x * timing.total_cycles as f64)
         }
     };
-    let (formed, leftover) = form_batches(arrivals, n, threshold, horizon);
+    let shed_above = spec.config.degradation.shed_above;
+    let mut walk = Walk {
+        arrivals,
+        n,
+        service: upper_cycles as f64,
+        horizon: horizon as f64,
+        warmup: horizon as f64 * WARMUP_FRACTION,
+        freq,
+        deadline_s: slo.map(|s| s.deadline_s),
+        useful: timing.mmu_busy_cycles as f64 * timing.mmu_utilization,
+        mmu_busy: timing.mmu_busy_cycles as f64,
+        stall: timing.stall_cycles as f64,
+        nominal: timing.total_cycles as f64,
+        forming: Vec::new(),
+        pending: VecDeque::new(),
+        queued: 0,
+        tail_busy: 0.0,
+        outcomes: vec![RequestOutcome::Stranded { missed: false }; arrivals.len()],
+        breakdown: CycleBreakdown::default(),
+        latencies: Vec::new(),
+        inference_busy: 0.0,
+        completed: 0,
+        completed_measured: 0,
+        deadline_misses: 0,
+        batches_issued: 0,
+        incomplete_batches: 0,
+        peak_queue: 0,
+        shed_total: 0,
+        shed_measured: 0,
+        stranded_count: 0,
+        stranded_misses: 0,
+    };
 
-    let warmup = horizon as f64 * WARMUP_FRACTION;
-    let useful = timing.mmu_busy_cycles as f64 * timing.mmu_utilization;
-    let mut breakdown = CycleBreakdown::default();
-    let mut latencies = Vec::new();
-    let mut busy_until = 0.0_f64;
-    let mut inference_busy = 0.0_f64;
-    let mut completed: u64 = 0;
-    let mut completed_measured: usize = 0;
-    let mut deadline_misses = 0usize;
-    let mut incomplete_batches: u64 = 0;
-    let mut peak_queue = 0usize;
-    let mut served_requests = 0usize;
-    let mut stranded: Vec<u64> = Vec::new();
-    for batch in &formed {
-        let start = busy_until.max(batch.ready);
-        let end = start + service;
-        if end > horizon as f64 {
-            // This batch (and, the server being serial, every later
-            // one) cannot complete inside the horizon.
-            stranded.extend(batch.arrivals.iter().copied());
-            continue;
-        }
-        // Queue depth the instant this batch enters service: everything
-        // arrived by then that is neither served nor in this batch.
-        let arrived = arrivals.partition_point(|&a| (a as f64) <= start);
-        peak_queue = peak_queue.max(arrived - served_requests - batch.arrivals.len());
-        busy_until = end;
-        inference_busy += service;
-        served_requests += batch.arrivals.len();
-        let real = batch.arrivals.len();
-        if real < n {
-            incomplete_batches += 1;
-        }
-        for &a in &batch.arrivals {
-            completed += 1;
-            if a as f64 >= warmup {
-                let latency_s = (end - a as f64) / freq;
-                latencies.push(latency_s);
-                completed_measured += 1;
-                if let Some(spec) = &slo {
-                    if latency_s > spec.deadline_s {
-                        deadline_misses += 1;
-                    }
-                }
+    for (i, &t) in arrivals.iter().enumerate() {
+        let ta = t as f64;
+        // Adaptive formation deadline that expired before this arrival
+        // (the engine fires it as its own timer event).
+        if let (Some(thr), Some(&first)) = (threshold, walk.forming.first()) {
+            let deadline = arrivals[first] as f64 + thr;
+            if deadline <= ta {
+                let members = std::mem::take(&mut walk.forming);
+                walk.form_batch(members, deadline);
             }
         }
-        // The engine's per-batch Figure 8 accounting, plus the bound's
-        // pessimism cycles (upper − nominal) as wasted time.
-        breakdown.working += useful * real as f64 / n as f64;
-        breakdown.dummy += useful * (n - real) as f64 / n as f64;
-        breakdown.other += (timing.mmu_busy_cycles as f64 - useful)
-            + timing.stall_cycles as f64
-            + (service - timing.total_cycles as f64);
+        // Batches whose service started strictly before this arrival
+        // have left the dispatcher's queue (the engine dispatches in
+        // `settle` after processing same-instant arrivals, so a batch
+        // starting exactly now still counts as queued).
+        while let Some(&(m, start)) = walk.pending.front() {
+            if start < ta {
+                walk.queued -= m;
+                walk.pending.pop_front();
+            } else {
+                break;
+            }
+        }
+        // Admission control: the engine's shed rule, verbatim.
+        if let Some(k) = shed_above {
+            if walk.queued >= k {
+                let measured = ta >= walk.warmup;
+                walk.outcomes[i] = RequestOutcome::Shed { measured };
+                walk.shed_total += 1;
+                if measured {
+                    walk.shed_measured += 1;
+                }
+                continue;
+            }
+        }
+        walk.forming.push(i);
+        walk.queued += 1;
+        walk.peak_queue = walk.peak_queue.max(walk.queued);
+        if walk.forming.len() >= n {
+            let members = std::mem::take(&mut walk.forming);
+            walk.form_batch(members, ta);
+        }
     }
-    stranded.extend(leftover);
-    let final_queue_depth = stranded.len();
-    peak_queue = peak_queue.max(final_queue_depth);
+    // Trailing adaptive partial whose deadline still fits the horizon.
+    if let (Some(thr), Some(&first)) = (threshold, walk.forming.first()) {
+        let deadline = arrivals[first] as f64 + thr;
+        if deadline < horizon as f64 {
+            let members = std::mem::take(&mut walk.forming);
+            walk.form_batch(members, deadline);
+        }
+    }
+    // Whatever is still forming at the horizon is stranded.
+    for &i in &walk.forming {
+        let missed = walk.stranded_missed(arrivals[i]);
+        walk.outcomes[i] = RequestOutcome::Stranded { missed };
+        walk.stranded_count += 1;
+        if missed {
+            walk.stranded_misses += 1;
+        }
+    }
+    let final_queue_depth = walk.stranded_count;
+    let peak_queue = walk.peak_queue.max(final_queue_depth);
 
     // Idle-cycle harvest, DRAM-capped (conservative: no co-run share).
     let admits_training = spec.training.is_some()
         && !matches!(spec.config.scheduler, SchedulerPolicy::InferenceOnly);
-    let idle = (horizon as f64 - inference_busy).max(0.0);
+    let idle = (horizon as f64 - walk.inference_busy).max(0.0);
     let (training_cycles, training_macs) = if admits_training {
         let profile = spec.training.as_ref().expect("admits_training checked");
         let bytes_per_exec =
@@ -172,57 +300,61 @@ pub(crate) fn run_static_bounds(
     } else {
         (0.0, 0.0)
     };
+    let mut breakdown = walk.breakdown;
     breakdown.working += training_cycles;
     breakdown.idle = (idle - training_cycles).max(0.0);
 
     let elapsed_s = horizon as f64 / freq;
     let measured_s = elapsed_s * (1.0 - WARMUP_FRACTION);
-    let latency = LatencyStats::from_samples(latencies);
-    let slo_report = slo.map(|spec| {
-        // Mirrors the engine's stranded accounting: requests still
-        // queued at the horizon whose deadline already expired count
-        // as misses.
-        let stranded_misses = stranded
-            .iter()
-            .filter(|&&a| {
-                (a as f64) >= warmup && (horizon as f64 - a as f64) / freq > spec.deadline_s
-            })
-            .count();
-        SloReport {
-            deadline_s: spec.deadline_s,
-            measured_requests: completed_measured + stranded_misses,
-            deadline_misses: deadline_misses + stranded_misses,
-            shed_requests: 0,
-            dropped_requests: 0,
-            p999_s: latency.p999(),
-            peak_queue_depth: peak_queue,
-            final_queue_depth,
-            corrupted_batches: 0,
-            retried_batches: 0,
-            dropped_batches: 0,
-            recovery_cycles: None,
-            recovered: true,
-        }
+    let latency = LatencyStats::from_samples(walk.latencies);
+    let slo_report = slo.map(|spec| SloReport {
+        deadline_s: spec.deadline_s,
+        measured_requests: walk.completed_measured + walk.shed_measured + walk.stranded_misses,
+        deadline_misses: walk.deadline_misses + walk.stranded_misses,
+        shed_requests: walk.shed_measured,
+        dropped_requests: 0,
+        p999_s: latency.p999(),
+        peak_queue_depth: peak_queue,
+        final_queue_depth,
+        corrupted_batches: 0,
+        retried_batches: 0,
+        dropped_batches: 0,
+        recovery_cycles: None,
+        recovered: true,
     });
-    SimReport {
+    let report = SimReport {
         name: spec.config.name.clone(),
         horizon_cycles: horizon,
         freq_hz: freq,
         latency,
-        completed_requests: completed,
+        completed_requests: walk.completed,
         inference_throughput_ops: 2.0
-            * completed_measured as f64
+            * walk.completed_measured as f64
             * timing.macs_per_request as f64
             / measured_s,
         training_throughput_ops: 2.0 * training_macs / elapsed_s,
         training_mmu_cycles: training_cycles,
         breakdown,
-        batches_issued: formed.len() as u64,
-        incomplete_batches,
+        batches_issued: walk.batches_issued,
+        incomplete_batches: walk.incomplete_batches,
         training_blocks: 0,
-        shed_requests: 0,
+        shed_requests: walk.shed_total,
         slo: slo_report,
-    }
+    };
+    SurrogateRun { report, outcomes: walk.outcomes }
+}
+
+/// Evaluates `spec`'s share of the traffic analytically, discarding
+/// the per-request trace. See [`run_static_bounds_traced`].
+#[cfg(test)]
+pub(crate) fn run_static_bounds(
+    spec: &DeviceSpec,
+    upper_cycles: u64,
+    arrivals: &[u64],
+    horizon: u64,
+    slo: Option<SloSpec>,
+) -> SimReport {
+    run_static_bounds_traced(spec, upper_cycles, arrivals, horizon, slo).report
 }
 
 #[cfg(test)]
@@ -232,11 +364,16 @@ mod tests {
     use equinox_sim::loadgen::poisson_arrivals;
     use equinox_sim::FaultScenario;
 
+    /// Arrivals at `load ×` the device's saturation rate.
+    fn arrivals_at(load: f64, horizon: u64, seed: u64) -> Vec<u64> {
+        let d = test_device("d0", 1e9, false);
+        let rate = load * d.max_request_rate_per_s() / 1e9;
+        poisson_arrivals(rate, horizon, seed).unwrap()
+    }
+
     /// Arrivals at 30 % of the device's saturation rate.
     fn light_arrivals(horizon: u64) -> Vec<u64> {
-        let d = test_device("d0", 1e9, false);
-        let rate = 0.3 * d.max_request_rate_per_s() / 1e9;
-        poisson_arrivals(rate, horizon, 7).unwrap()
+        arrivals_at(0.3, horizon, 7)
     }
 
     #[test]
@@ -335,5 +472,68 @@ mod tests {
             busy.training_mmu_cycles,
             engine_busy.training_mmu_cycles
         );
+    }
+
+    #[test]
+    fn shed_counts_are_honest_against_the_engine() {
+        // A shedding device under 1.5× overload, exact bounds: the
+        // surrogate implements the engine's shed rule over the same
+        // queue, so the shed ledger must agree — not be hardcoded zero.
+        let mut d = test_device("d0", 1e9, false);
+        d.config.degradation.shed_above = Some(8 * 16);
+        let horizon = 2_000 * 16_000;
+        let arrivals = arrivals_at(1.5, horizon, 11);
+        let slo = Some(SloSpec::new(16.0 * 16_000.0 / 1e9).unwrap());
+        let surrogate =
+            run_static_bounds(&d, d.timing.total_cycles, &arrivals, horizon, slo);
+        let engine = d
+            .simulation()
+            .unwrap()
+            .run_faulted(&arrivals, horizon, &FaultScenario::baseline(), slo)
+            .unwrap();
+        assert!(surrogate.shed_requests > 0, "overload must shed");
+        assert_eq!(surrogate.shed_requests, engine.shed_requests);
+        assert_eq!(
+            surrogate.slo.as_ref().unwrap().shed_requests,
+            engine.slo.as_ref().unwrap().shed_requests
+        );
+        assert_eq!(surrogate.completed_requests, engine.completed_requests);
+        // Shedding bounds the queue at the threshold.
+        assert!(surrogate.slo.as_ref().unwrap().peak_queue_depth <= 8 * 16 + 16);
+    }
+
+    #[test]
+    fn outcome_trace_conserves_requests_and_matches_the_report() {
+        for (load, shed_above) in [(0.3, None), (1.5, Some(64)), (1.5, None)] {
+            let mut d = test_device("d0", 1e9, false);
+            d.config.degradation.shed_above = shed_above;
+            let horizon = 1_000 * 16_000;
+            let arrivals = arrivals_at(load, horizon, 5);
+            let slo = Some(SloSpec::new(16.0 * 16_000.0 / 1e9).unwrap());
+            let run =
+                run_static_bounds_traced(&d, d.timing.total_cycles, &arrivals, horizon, slo);
+            assert_eq!(run.outcomes.len(), arrivals.len());
+            let mut completed = 0u64;
+            let mut shed = 0u64;
+            let mut stranded = 0usize;
+            for o in &run.outcomes {
+                match o {
+                    RequestOutcome::Completed { latency_s, .. } => {
+                        assert!(*latency_s > 0.0);
+                        completed += 1;
+                    }
+                    RequestOutcome::Shed { .. } => shed += 1,
+                    RequestOutcome::Stranded { .. } => stranded += 1,
+                }
+            }
+            assert_eq!(completed, run.report.completed_requests, "load {load}");
+            assert_eq!(shed, run.report.shed_requests, "load {load}");
+            assert_eq!(
+                stranded,
+                run.report.slo.as_ref().unwrap().final_queue_depth,
+                "load {load}"
+            );
+            assert_eq!(completed + shed + stranded as u64, arrivals.len() as u64);
+        }
     }
 }

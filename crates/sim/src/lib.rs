@@ -59,5 +59,5 @@ pub use engine::{Simulation, WARMUP_FRACTION};
 pub use equinox_isa::EquinoxError;
 pub use fault::FaultScenario;
 pub use report::SimReport;
-pub use slo::{SloReport, SloSpec};
+pub use slo::{ClassLedger, RequestClass, SloReport, SloSpec};
 pub use stats::{CycleBreakdown, LatencyStats};

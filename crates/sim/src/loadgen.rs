@@ -146,6 +146,232 @@ pub fn diurnal_arrivals(
         .collect())
 }
 
+/// A flash-crowd burst: a multiplicative surge on the instantaneous
+/// arrival rate over a window of the horizon. Composed with a
+/// [`DiurnalProfile`] by [`trace_arrivals`], this models the
+/// trace-scale overload events a production serving layer must degrade
+/// gracefully under (the admission/autoscale study in `equinox-fleet`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashCrowd {
+    /// Window start as a fraction of the horizon, in `[0, 1)`.
+    pub start_frac: f64,
+    /// Window length as a fraction of the horizon; the window must end
+    /// at or before the horizon (`start_frac + duration_frac ≤ 1`).
+    pub duration_frac: f64,
+    /// Rate multiplier inside the window (≥ 0; values below 1 model a
+    /// brownout, values above 1 a crowd).
+    pub multiplier: f64,
+}
+
+impl FlashCrowd {
+    /// Window end as a fraction of the horizon.
+    pub fn end_frac(&self) -> f64 {
+        self.start_frac + self.duration_frac
+    }
+
+    fn validate(&self) -> Result<(), EquinoxError> {
+        let ok = self.start_frac.is_finite()
+            && self.duration_frac.is_finite()
+            && self.multiplier.is_finite()
+            && self.start_frac >= 0.0
+            && self.duration_frac > 0.0
+            && self.end_frac() <= 1.0
+            && self.multiplier >= 0.0;
+        if ok {
+            Ok(())
+        } else {
+            Err(EquinoxError::invalid_argument(
+                "FlashCrowd",
+                format!(
+                    "need 0 ≤ start < start + duration ≤ 1 and a finite \
+                     multiplier ≥ 0, got start {} duration {} multiplier {}",
+                    self.start_frac, self.duration_frac, self.multiplier
+                ),
+            ))
+        }
+    }
+}
+
+/// ∫₀ˣ `load_at` in closed form: the raised sinusoid integrates to
+/// `m·x + (c/τ)·sin(τx − π)` with `m` the trough/peak midpoint and `c`
+/// the half-swing (the `sin(−π)` constant at `x = 0` is kept so the
+/// antiderivative is exactly zero there in floating point too).
+fn diurnal_integral(profile: &DiurnalProfile, x: f64) -> f64 {
+    use std::f64::consts::{PI, TAU};
+    let m = 0.5 * (profile.trough + profile.peak);
+    let c = 0.5 * (profile.peak - profile.trough);
+    m * x + c / TAU * ((TAU * x - PI).sin() - (-PI).sin())
+}
+
+/// One piece of the piecewise cumulative intensity: a span of the
+/// normalized day over which the flash-crowd multiplier is constant.
+struct TraceSegment {
+    x0: f64,
+    x1: f64,
+    /// Product of the multipliers of every crowd covering this span.
+    mult: f64,
+    /// Cumulative load-units at `x0` / `x1` (load fraction × day).
+    cum0: f64,
+    cum1: f64,
+    /// `diurnal_integral` at `x0`, cached for the inversion.
+    i0: f64,
+}
+
+fn build_segments(profile: &DiurnalProfile, crowds: &[FlashCrowd]) -> Vec<TraceSegment> {
+    let mut cuts = vec![0.0, 1.0];
+    for c in crowds {
+        cuts.push(c.start_frac);
+        cuts.push(c.end_frac());
+    }
+    cuts.sort_by(f64::total_cmp);
+    cuts.dedup();
+    let mut segments = Vec::with_capacity(cuts.len());
+    let mut cum = 0.0;
+    for w in cuts.windows(2) {
+        let (x0, x1) = (w[0], w[1]);
+        if x1 <= x0 {
+            continue;
+        }
+        let mid = 0.5 * (x0 + x1);
+        let mult: f64 = crowds
+            .iter()
+            .filter(|c| c.start_frac <= mid && mid < c.end_frac())
+            .map(|c| c.multiplier)
+            .product();
+        let i0 = diurnal_integral(profile, x0);
+        let cum1 = cum + mult * (diurnal_integral(profile, x1) - i0);
+        segments.push(TraceSegment { x0, x1, mult, cum0: cum, cum1, i0 });
+        cum = cum1;
+    }
+    segments
+}
+
+fn validate_trace(profile: &DiurnalProfile, crowds: &[FlashCrowd]) -> Result<(), EquinoxError> {
+    if !(profile.trough.is_finite() && profile.peak.is_finite())
+        || profile.trough < 0.0
+        || profile.peak < profile.trough
+    {
+        return Err(EquinoxError::invalid_argument(
+            "loadgen::trace",
+            format!(
+                "diurnal profile needs 0 ≤ trough ≤ peak, got trough {} peak {}",
+                profile.trough, profile.peak
+            ),
+        ));
+    }
+    for c in crowds {
+        c.validate()?;
+    }
+    Ok(())
+}
+
+/// Mean load fraction of the composed trace over the day: the diurnal
+/// mean with each flash-crowd window's share scaled by its multiplier.
+/// `trace_arrivals` at `rate_scale = load / trace_mean_load(...)`
+/// offers exactly `load ×` the saturation volume in expectation — how
+/// the fleet drivers pin "120 % offered load" against true capacity.
+///
+/// # Errors
+///
+/// [`EquinoxError::InvalidArgument`] on a malformed profile or crowd
+/// window (see [`trace_arrivals`]).
+pub fn trace_mean_load(
+    profile: &DiurnalProfile,
+    crowds: &[FlashCrowd],
+) -> Result<f64, EquinoxError> {
+    validate_trace(profile, crowds)?;
+    Ok(build_segments(profile, crowds).last().map_or(0.0, |s| s.cum1))
+}
+
+/// Inverts the piecewise cumulative intensity at `target` load-units:
+/// locates the covering segment, then bisects the closed-form
+/// antiderivative inside it. 64 halvings take the bracket to one ulp.
+fn invert_cumulative(profile: &DiurnalProfile, segments: &[TraceSegment], target: f64) -> f64 {
+    let i = segments.partition_point(|s| s.cum1 <= target).min(segments.len() - 1);
+    let s = &segments[i];
+    if s.mult <= 0.0 {
+        return s.x0;
+    }
+    let (mut lo, mut hi) = (s.x0, s.x1);
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if s.cum0 + s.mult * (diurnal_integral(profile, mid) - s.i0) <= target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Generates a trace-scale arrival stream: non-homogeneous Poisson
+/// traffic whose intensity is the diurnal profile composed with any
+/// number of [`FlashCrowd`] windows, all scaled by `rate_scale`. At
+/// fraction `x` of the horizon the instantaneous rate is
+/// `rate_scale × load_at(x) × ∏ crowd multipliers × max_request_rate`.
+///
+/// Unlike the thinning in [`diurnal_arrivals`], this samples by *time
+/// rescaling*: one fixed unit-rate exponential stream is mapped through
+/// the inverse of the closed-form cumulative intensity. Two properties
+/// fall out by construction and are load-bearing for the serving-layer
+/// sweeps: the arrival **count is exactly monotone** in `rate_scale`
+/// for a fixed seed (scaling only moves the cutoff down the same unit
+/// stream), and every arrival is **strictly inside the horizon**
+/// (`Simulation::run` rejects at/past-horizon arrivals).
+///
+/// # Errors
+///
+/// [`EquinoxError::InvalidArgument`] if `rate_scale` or the saturation
+/// rate is negative or not finite, the profile has `trough < 0` or
+/// `peak < trough`, or a crowd window is malformed (empty, outside
+/// `[0, 1]`, or with a negative/non-finite multiplier).
+pub fn trace_arrivals(
+    profile: &DiurnalProfile,
+    crowds: &[FlashCrowd],
+    rate_scale: f64,
+    max_request_rate_per_cycle: f64,
+    horizon_cycles: u64,
+    seed: u64,
+) -> Result<Vec<u64>, EquinoxError> {
+    for (name, v) in [("rate_scale", rate_scale), ("max rate", max_request_rate_per_cycle)] {
+        if !v.is_finite() || v < 0.0 {
+            return Err(EquinoxError::invalid_argument(
+                "loadgen::trace_arrivals",
+                format!("{name} must be finite and non-negative, got {v}"),
+            ));
+        }
+    }
+    validate_trace(profile, crowds)?;
+    let segments = build_segments(profile, crowds);
+    let total_units = segments.last().map_or(0.0, |s| s.cum1);
+    // Expected arrivals per load-unit: the whole-day volume at 100 %.
+    let volume = rate_scale * max_request_rate_per_cycle * horizon_cycles as f64;
+    let mut arrivals = Vec::new();
+    if volume <= 0.0 || total_units <= 0.0 {
+        return Ok(arrivals);
+    }
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut unit_t = 0.0f64;
+    let mut last_cycle = 0u64;
+    loop {
+        let u: f64 = rng.next_f64().max(f64::MIN_POSITIVE);
+        unit_t += -u.ln();
+        let target = unit_t / volume;
+        if target >= total_units {
+            break;
+        }
+        let x = invert_cumulative(profile, &segments, target);
+        // The inversion is monotone up to one ulp of bisection noise;
+        // clamping to the previous arrival keeps the stream sorted, and
+        // the `min` keeps the last cycle strictly inside the horizon.
+        let cycle =
+            ((x * horizon_cycles as f64) as u64).min(horizon_cycles - 1).max(last_cycle);
+        last_cycle = cycle;
+        arrivals.push(cycle);
+    }
+    Ok(arrivals)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,5 +521,147 @@ mod tests {
         let b = diurnal_arrivals(&p, 1e-4, 10_000_000, 3).unwrap();
         assert_eq!(a, b);
         assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// A random-but-valid trace composition for the property tests.
+    fn random_trace(g: &mut equinox_arith::rng::SplitMix64) -> (DiurnalProfile, Vec<FlashCrowd>) {
+        let trough = g.f64_in(0.0, 0.4);
+        let profile = DiurnalProfile { trough, peak: trough + g.f64_in(0.05, 0.6) };
+        let crowds = (0..g.usize_in(0, 3))
+            .map(|_| {
+                let start_frac = g.f64_in(0.0, 0.8);
+                FlashCrowd {
+                    start_frac,
+                    duration_frac: g.f64_in(0.01, 1.0 - start_frac),
+                    multiplier: g.f64_in(0.0, 4.0),
+                }
+            })
+            .collect();
+        (profile, crowds)
+    }
+
+    #[test]
+    fn trace_is_deterministic_under_split_seed_and_in_horizon() {
+        for_each_case(64, 0x7ACE_D5EED, |g| {
+            let (profile, crowds) = random_trace(g);
+            let horizon = g.usize_in(1, 1_000_000) as u64;
+            let seed = split_seed(g.next_u64(), g.next_u64() & 0xFF);
+            let a = trace_arrivals(&profile, &crowds, 1.0, 1e-3, horizon, seed).unwrap();
+            let b = trace_arrivals(&profile, &crowds, 1.0, 1e-3, horizon, seed).unwrap();
+            assert_eq!(a, b, "bitwise-deterministic for derived seed {seed}");
+            assert!(a.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+            assert!(a.iter().all(|&t| t < horizon), "strictly inside horizon {horizon}");
+        });
+    }
+
+    #[test]
+    fn trace_distinct_split_streams_decorrelate() {
+        let p = DiurnalProfile::thirty_percent_average();
+        let crowds = [FlashCrowd { start_frac: 0.5, duration_frac: 0.1, multiplier: 3.0 }];
+        let a = trace_arrivals(&p, &crowds, 1.0, 1e-3, 2_000_000, split_seed(9, 0)).unwrap();
+        let b = trace_arrivals(&p, &crowds, 1.0, 1e-3, 2_000_000, split_seed(9, 1)).unwrap();
+        assert!(a.len() > 100 && b.len() > 100);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn trace_count_is_exactly_monotone_in_rate_scale() {
+        // Not merely statistically monotone: time rescaling maps one
+        // fixed unit-rate stream through the scaled cumulative
+        // intensity, so raising the scale can only extend the accepted
+        // prefix. Every sampled scale pair must order exactly.
+        for_each_case(64, 0x7ACE_5CA1E, |g| {
+            let (profile, crowds) = random_trace(g);
+            let horizon = g.usize_in(10_000, 1_000_000) as u64;
+            let seed = g.next_u64();
+            let s1 = g.f64_in(0.0, 1.5);
+            let s2 = s1 + g.f64_in(0.0, 1.5);
+            let a = trace_arrivals(&profile, &crowds, s1, 1e-3, horizon, seed).unwrap();
+            let b = trace_arrivals(&profile, &crowds, s2, 1e-3, horizon, seed).unwrap();
+            assert!(
+                a.len() <= b.len(),
+                "scale {s1} gave {} arrivals but scale {s2} gave {}",
+                a.len(),
+                b.len()
+            );
+        });
+    }
+
+    #[test]
+    fn trace_crowd_window_concentrates_density() {
+        // A 5× crowd over [0.4, 0.5) of a flat profile: the window's
+        // arrival density must be ≈5× the outside density.
+        let flat = DiurnalProfile { trough: 0.3, peak: 0.3 };
+        let crowds = [FlashCrowd { start_frac: 0.4, duration_frac: 0.1, multiplier: 5.0 }];
+        let horizon = 20_000_000u64;
+        let a = trace_arrivals(&flat, &crowds, 1.0, 1e-3, horizon, 11).unwrap();
+        let density = |lo: f64, hi: f64| {
+            let n = a
+                .iter()
+                .filter(|&&t| {
+                    let x = t as f64 / horizon as f64;
+                    x >= lo && x < hi
+                })
+                .count();
+            n as f64 / (hi - lo)
+        };
+        let inside = density(0.4, 0.5);
+        let outside = (density(0.0, 0.4) + density(0.5, 1.0)) / 2.0;
+        assert!(
+            (inside / outside - 5.0).abs() < 0.5,
+            "crowd density ratio {} (inside {inside}, outside {outside})",
+            inside / outside
+        );
+        // And the mean-load closed form accounts for the crowd mass.
+        let mean = trace_mean_load(&flat, &crowds).unwrap();
+        assert!((mean - 0.3 * 1.4).abs() < 1e-9, "{mean}");
+        let expected = mean * 1e-3 * horizon as f64;
+        let got = a.len() as f64;
+        assert!((got - expected).abs() < 6.0 * expected.sqrt(), "{got} vs {expected}");
+    }
+
+    #[test]
+    fn trace_without_crowds_tracks_the_diurnal_day() {
+        let p = DiurnalProfile::thirty_percent_average();
+        let horizon = 40_000_000u64;
+        let a = trace_arrivals(&p, &[], 1.0, 1e-3, horizon, 9).unwrap();
+        let expected = p.mean_load() * 1e-3 * horizon as f64;
+        let got = a.len() as f64;
+        assert!((got - expected).abs() < 6.0 * expected.sqrt(), "{got} vs {expected}");
+        let in_window = |lo: f64, hi: f64| {
+            a.iter()
+                .filter(|&&t| {
+                    let x = t as f64 / horizon as f64;
+                    x >= lo && x < hi
+                })
+                .count() as f64
+        };
+        let night = in_window(0.0, 0.1) + in_window(0.9, 1.0);
+        let midday = in_window(0.45, 0.65);
+        assert!(midday > 2.0 * night, "midday {midday} vs night {night}");
+    }
+
+    #[test]
+    fn trace_rejects_malformed_inputs() {
+        let p = DiurnalProfile::thirty_percent_average();
+        let crowd = |s, d, m| FlashCrowd { start_frac: s, duration_frac: d, multiplier: m };
+        for bad in [
+            crowd(-0.1, 0.2, 2.0),
+            crowd(0.5, 0.6, 2.0),
+            crowd(0.5, 0.0, 2.0),
+            crowd(0.5, 0.1, -1.0),
+            crowd(0.5, 0.1, f64::NAN),
+        ] {
+            let err = trace_arrivals(&p, &[bad], 1.0, 1e-3, 1_000, 1).unwrap_err();
+            assert_eq!(err.kind(), "invalid-argument", "{bad:?}");
+        }
+        let bad_profile = DiurnalProfile { trough: 0.5, peak: 0.2 };
+        assert!(trace_arrivals(&bad_profile, &[], 1.0, 1e-3, 1_000, 1).is_err());
+        assert!(trace_arrivals(&p, &[], f64::NAN, 1e-3, 1_000, 1).is_err());
+        assert!(trace_arrivals(&p, &[], -1.0, 1e-3, 1_000, 1).is_err());
+        assert!(trace_mean_load(&bad_profile, &[]).is_err());
+        // Degenerate-but-valid inputs produce empty streams, not errors.
+        assert!(trace_arrivals(&p, &[], 0.0, 1e-3, 1_000, 1).unwrap().is_empty());
+        assert!(trace_arrivals(&p, &[], 1.0, 1e-3, 0, 1).unwrap().is_empty());
     }
 }

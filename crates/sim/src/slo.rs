@@ -9,7 +9,144 @@
 //! system took to drain back to steady state after the last
 //! disturbance.
 
+use crate::stats::LatencyStats;
 use equinox_isa::EquinoxError;
+
+/// The priority tier of a request at a serving front end.
+///
+/// Paid requests carry the SLO; free-tier requests ride along on spare
+/// capacity the way harvested training does, and a priority admission
+/// policy sheds them first under overload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RequestClass {
+    /// SLO-bearing traffic: admitted first, shed last.
+    Paid,
+    /// Best-effort traffic: admitted only with headroom to spare.
+    Free,
+}
+
+impl RequestClass {
+    /// Both classes, in ledger order (paid first).
+    pub const ALL: [RequestClass; 2] = [RequestClass::Paid, RequestClass::Free];
+
+    /// Stable identifier used in sweep artifacts and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestClass::Paid => "paid",
+            RequestClass::Free => "free",
+        }
+    }
+
+    /// Dense index of this class (the position in [`RequestClass::ALL`]),
+    /// for per-class accumulator arrays.
+    pub fn index(self) -> usize {
+        match self {
+            RequestClass::Paid => 0,
+            RequestClass::Free => 1,
+        }
+    }
+}
+
+/// The per-class QoS ledger of one serving run: where each tier's
+/// requests went (admitted, shed, completed, missed) and the latency
+/// tail of its completions.
+///
+/// Offered and shed counts are exact for every request — they are
+/// decided at the admission edge. Completion fate is *attributed*
+/// per class only where the evaluator reports per-request outcomes
+/// (the fleet's static-bounds surrogate does; the cycle-accurate
+/// engine reports aggregates): requests whose fate cannot be
+/// attributed are counted in `unattributed_requests` rather than
+/// silently folded into a class they may not belong to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassLedger {
+    /// The tier this ledger accounts for.
+    pub class: RequestClass,
+    /// Requests of this class that arrived at the front end.
+    pub offered_requests: usize,
+    /// Requests rejected before service: at fleet admission, or by a
+    /// device-level load-shedding policy.
+    pub shed_requests: usize,
+    /// Measured completions attributed to this class.
+    pub completed_requests: usize,
+    /// Attributed deadline misses: completions past the deadline, plus
+    /// requests stranded in a queue with the deadline already expired.
+    pub deadline_misses: usize,
+    /// Admitted requests routed to an evaluator that only reports
+    /// aggregates, so their completion fate cannot be attributed here.
+    pub unattributed_requests: usize,
+    /// Latency distribution of the attributed completions, seconds.
+    pub latency: LatencyStats,
+}
+
+impl ClassLedger {
+    /// An empty ledger for `class`.
+    pub fn empty(class: RequestClass) -> Self {
+        ClassLedger {
+            class,
+            offered_requests: 0,
+            shed_requests: 0,
+            completed_requests: 0,
+            deadline_misses: 0,
+            unattributed_requests: 0,
+            latency: LatencyStats::from_samples(Vec::new()),
+        }
+    }
+
+    /// Attributed SLO violations of this class: deadline misses plus
+    /// requests shed before service (a shed request never completes).
+    pub fn total_violations(&self) -> usize {
+        self.deadline_misses + self.shed_requests
+    }
+
+    /// Violations over offered requests (0 for an empty ledger).
+    pub fn violation_rate(&self) -> f64 {
+        if self.offered_requests == 0 {
+            0.0
+        } else {
+            self.total_violations() as f64 / self.offered_requests as f64
+        }
+    }
+
+    /// Shed requests over offered requests (0 for an empty ledger).
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered_requests == 0 {
+            0.0
+        } else {
+            self.shed_requests as f64 / self.offered_requests as f64
+        }
+    }
+
+    /// 99.9th-percentile latency of attributed completions, seconds.
+    pub fn p999_s(&self) -> f64 {
+        self.latency.p999()
+    }
+
+    /// Merges per-device ledgers of the same class into one (counts
+    /// sum; latency tails concatenate as in [`LatencyStats::merged`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts disagree on the class.
+    pub fn merged<'a>(
+        class: RequestClass,
+        parts: impl IntoIterator<Item = &'a ClassLedger>,
+    ) -> ClassLedger {
+        let mut out = ClassLedger::empty(class);
+        let mut tails = Vec::new();
+        for p in parts {
+            assert_eq!(p.class, class, "merging ledgers of different classes");
+            out.offered_requests += p.offered_requests;
+            out.shed_requests += p.shed_requests;
+            out.completed_requests += p.completed_requests;
+            out.deadline_misses += p.deadline_misses;
+            out.unattributed_requests += p.unattributed_requests;
+            tails.push(&p.latency);
+        }
+        out.latency = LatencyStats::merged(tails);
+        out
+    }
+}
 
 /// The service-level objective one run is held against.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -146,6 +283,42 @@ mod tests {
     fn empty_run_has_zero_rate() {
         let r = SloReport { measured_requests: 0, ..report() };
         assert_eq!(r.violation_rate(), 0.0);
+    }
+
+    #[test]
+    fn class_names_and_indices_are_stable() {
+        assert_eq!(RequestClass::ALL.map(RequestClass::name), ["paid", "free"]);
+        for (i, c) in RequestClass::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn class_ledger_rates_and_merge() {
+        let mut paid = ClassLedger::empty(RequestClass::Paid);
+        paid.offered_requests = 100;
+        paid.shed_requests = 5;
+        paid.completed_requests = 90;
+        paid.deadline_misses = 5;
+        paid.latency = LatencyStats::from_samples(vec![1e-3; 90]);
+        assert_eq!(paid.total_violations(), 10);
+        assert!((paid.violation_rate() - 0.1).abs() < 1e-12);
+        assert!((paid.shed_rate() - 0.05).abs() < 1e-12);
+        assert_eq!(paid.p999_s(), 1e-3);
+        let merged = ClassLedger::merged(RequestClass::Paid, [&paid, &paid]);
+        assert_eq!(merged.offered_requests, 200);
+        assert_eq!(merged.deadline_misses, 10);
+        assert_eq!(merged.latency.count(), 180);
+        let empty = ClassLedger::empty(RequestClass::Free);
+        assert_eq!(empty.violation_rate(), 0.0);
+        assert_eq!(empty.shed_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different classes")]
+    fn class_ledger_merge_rejects_mixed_classes() {
+        let free = ClassLedger::empty(RequestClass::Free);
+        ClassLedger::merged(RequestClass::Paid, [&free]);
     }
 
     #[test]

@@ -37,6 +37,13 @@ echo "    clean SLO, or blows its --quick budget"
 echo "    EQUINOX_QUICK_BUDGET_FLEET_S)"
 cargo run --release -p equinox-bench --bin regen-results -- --quick fleet
 
+echo "==> serving smoke (reduced grid; fails if the priority admission"
+echo "    policy stops protecting the paid tier under 120% overload,"
+echo "    free traffic is no longer shed first, the autoscaler loses an"
+echo "    in-flight request, the EQX07xx lints regress, or the --quick"
+echo "    budget EQUINOX_QUICK_BUDGET_SERVE_S is blown)"
+cargo run --release -p equinox-bench --bin regen-results -- --quick serve
+
 echo "==> bound-calibration smoke (fails if the cycle-accurate sim"
 echo "    measures outside any static [lower, upper] envelope, any"
 echo "    upper/lower ratio exceeds 4x, or the --quick budget"
@@ -44,19 +51,21 @@ echo "    EQUINOX_QUICK_BUDGET_BOUNDS_S is blown)"
 cargo run --release -p equinox-bench --bin regen-results -- --quick bounds
 
 echo "==> determinism smoke: the --quick regen of the sweep-backed"
-echo "    figures, the fleet sweep, and the bound calibration must be"
-echo "    byte-identical serial vs parallel"
-EQUINOX_THREADS=1 cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks fleet bounds
+echo "    figures, the fleet and serving sweeps, and the bound"
+echo "    calibration must be byte-identical serial vs parallel"
+EQUINOX_THREADS=1 cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks fleet serve bounds
 cp results/fig6a_hbfp8.csv /tmp/equinox_fig6a_serial.csv
 cp results/table1_pareto.txt /tmp/equinox_table1_serial.txt
 cp results/driver_checks.json /tmp/equinox_checks_serial.json
 cp results/fleet_sweep.json /tmp/equinox_fleet_serial.json
+cp results/serve_sweep.json /tmp/equinox_serve_serial.json
 cp results/bounds_calibration.json /tmp/equinox_bounds_serial.json
-cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks fleet bounds
+cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks fleet serve bounds
 cmp results/fig6a_hbfp8.csv /tmp/equinox_fig6a_serial.csv
 cmp results/table1_pareto.txt /tmp/equinox_table1_serial.txt
 cmp results/driver_checks.json /tmp/equinox_checks_serial.json
 cmp results/fleet_sweep.json /tmp/equinox_fleet_serial.json
+cmp results/serve_sweep.json /tmp/equinox_serve_serial.json
 cmp results/bounds_calibration.json /tmp/equinox_bounds_serial.json
 echo "    byte-identical at EQUINOX_THREADS=1 and the default pool"
 

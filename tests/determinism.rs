@@ -10,7 +10,7 @@
 //! contract must be immune to.
 
 use equinox_arith::Encoding;
-use equinox_core::experiments::{fig10, fig11, fig6, fig7, fig8, fig9, fleet, table1};
+use equinox_core::experiments::{fig10, fig11, fig6, fig7, fig8, fig9, fleet, serve, table1};
 use equinox_core::{Equinox, ExperimentScale};
 use equinox_isa::models::ModelSpec;
 use equinox_model::LatencyConstraint;
@@ -91,6 +91,15 @@ fn fleet_sweep_json_is_thread_count_invariant() {
     // routing decisions, per-device simulations, merged fleet tails —
     // must not depend on how the per-device runs were scheduled.
     assert_identical_across_thread_counts(|| fleet::run(ExperimentScale::Quick).to_json());
+}
+
+#[test]
+fn serve_sweep_json_is_thread_count_invariant() {
+    // The golden for `results/serve_sweep.json`: admission decisions
+    // and autoscale transitions happen in the serial routing pass, and
+    // the per-device evaluations merge by index — so the serialized
+    // sweep must not depend on scheduling.
+    assert_identical_across_thread_counts(|| serve::run(ExperimentScale::Quick).to_json());
 }
 
 #[test]
