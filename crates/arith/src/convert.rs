@@ -6,7 +6,7 @@
 //! model those conversions on dense matrices.
 
 use crate::bf16::Bf16;
-use crate::hbfp::{BlockAxis, HbfpMatrix, HbfpSpec};
+use crate::hbfp::{BlockAxis, HbfpMatrix, HbfpSpec, NumericEvents};
 use crate::matrix::Matrix;
 
 /// Rounds every element of a matrix to bfloat16 precision.
@@ -29,6 +29,19 @@ pub fn matrix_through_hbfp(m: &Matrix, axis: BlockAxis, spec: HbfpSpec) -> Matri
 /// (activation-buffer storage), returning the dense view.
 pub fn simd_writeback_hbfp(m: &Matrix, spec: HbfpSpec) -> Matrix {
     matrix_through_hbfp(&matrix_to_bf16(m), BlockAxis::Row, spec)
+}
+
+/// [`simd_writeback_hbfp`] that also counts the numeric events the
+/// bf16→hbfp8 requantization absorbed (values flushed to a zero
+/// mantissa, block exponents clamped). This is what the numerics
+/// calibration gate executes to check the static EQX0803 verdict.
+pub fn simd_writeback_hbfp_with_events(
+    m: &Matrix,
+    spec: HbfpSpec,
+    events: &mut NumericEvents,
+) -> Matrix {
+    HbfpMatrix::quantize_with_events(&matrix_to_bf16(m), BlockAxis::Row, spec, events)
+        .dequantize()
 }
 
 #[cfg(test)]
@@ -60,6 +73,29 @@ mod tests {
         // A value already on the hbfp8∘bf16 grid stays there.
         let err = crate::metrics::relative_frobenius_error(&once, &twice);
         assert!(err < 1e-2, "writeback drifted: {err}");
+    }
+
+    #[test]
+    fn counted_writeback_matches_uncounted_and_sees_flushes() {
+        // One row mixes a large value with tiny ones: the shared
+        // exponent flushes the tiny values, and the counted variant
+        // must both report it and return identical bytes.
+        let m = Matrix::from_fn(2, 16, |r, c| {
+            if r == 0 && c == 0 {
+                1000.0
+            } else if r == 0 {
+                1e-6
+            } else {
+                0.5
+            }
+        });
+        let spec = HbfpSpec::hbfp8();
+        let mut events = NumericEvents::default();
+        let counted = simd_writeback_hbfp_with_events(&m, spec, &mut events);
+        assert_eq!(counted, simd_writeback_hbfp(&m, spec));
+        assert_eq!(events.underflows_to_zero, 15);
+        assert_eq!(events.accumulator_saturations, 0);
+        assert_eq!(events.exponent_clamps, 0);
     }
 
     #[test]

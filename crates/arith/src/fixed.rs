@@ -64,6 +64,7 @@ impl Q8 {
 pub struct Accumulator25 {
     value: i32,
     saturated: bool,
+    saturation_events: u32,
 }
 
 impl Accumulator25 {
@@ -88,9 +89,11 @@ impl Accumulator25 {
         if sum > Self::MAX {
             self.value = Self::MAX;
             self.saturated = true;
+            self.saturation_events += 1;
         } else if sum < Self::MIN {
             self.value = Self::MIN;
             self.saturated = true;
+            self.saturation_events += 1;
         } else {
             self.value = sum;
         }
@@ -107,10 +110,33 @@ impl Accumulator25 {
         self.saturated
     }
 
-    /// Resets to zero, clearing the saturation flag.
+    /// Number of individual accumulations that clamped at either rail
+    /// since the last [`Accumulator25::reset`]. Where
+    /// [`Accumulator25::has_saturated`] answers "did this chain ever
+    /// overflow", the counter lets calibration probes measure *how much*
+    /// of a reduction chain was lost.
+    pub fn saturation_events(&self) -> u32 {
+        self.saturation_events
+    }
+
+    /// Resets to zero, clearing the saturation flag and event counter.
     pub fn reset(&mut self) {
         self.value = 0;
         self.saturated = false;
+        self.saturation_events = 0;
+    }
+
+    /// Longest reduction chain guaranteed not to saturate when every
+    /// product's operand magnitudes are at most `max_a` and `max_b`:
+    /// `floor(MAX / (max_a · max_b))` (the positive rail binds first,
+    /// since `|MIN| = MAX + 1`). This is the single source of truth the
+    /// static `numerics` analyzer *and* the executed-arithmetic
+    /// calibration gate share, so the static verdict cannot drift from
+    /// the arithmetic it speaks for. Zero-magnitude operands admit
+    /// unbounded chains (`u64::MAX`).
+    pub fn safe_chain_depth(max_a: u32, max_b: u32) -> u64 {
+        let product = max_a as u64 * max_b as u64;
+        (Self::MAX as u64).checked_div(product).unwrap_or(u64::MAX)
     }
 }
 
@@ -183,6 +209,39 @@ mod tests {
         }
         assert!(!acc.has_saturated());
         assert_eq!(acc.value(), 1023 * 16384);
+    }
+
+    #[test]
+    fn saturation_events_count_clamped_accumulations() {
+        let mut acc = Accumulator25::new();
+        for _ in 0..1030 {
+            acc.mac(Q8(i8::MIN), Q8(i8::MIN));
+        }
+        // 1023 fit; accumulations 1024..=1030 all clamp.
+        assert_eq!(acc.saturation_events(), 7);
+        acc.reset();
+        assert_eq!(acc.saturation_events(), 0);
+        assert!(!acc.has_saturated());
+    }
+
+    #[test]
+    fn safe_chain_depth_matches_executed_saturation_exactly() {
+        // The bound is tight for every operand-magnitude pair: a chain
+        // of `depth` worst-case products never saturates, `depth + 1`
+        // always does.
+        for (a, b) in [(128u32, 128u32), (127, 127), (127, 128), (1, 1), (64, 3)] {
+            let depth = Accumulator25::safe_chain_depth(a, b);
+            let mut acc = Accumulator25::new();
+            for _ in 0..depth {
+                acc.add_product((a * b) as i32);
+            }
+            assert!(!acc.has_saturated(), "{a}x{b} saturated within its safe depth");
+            acc.add_product((a * b) as i32);
+            assert!(acc.has_saturated(), "{a}x{b} survived past its safe depth");
+        }
+        assert_eq!(Accumulator25::safe_chain_depth(128, 128), 1023);
+        assert_eq!(Accumulator25::safe_chain_depth(127, 127), 1040);
+        assert_eq!(Accumulator25::safe_chain_depth(0, 128), u64::MAX);
     }
 
     #[test]

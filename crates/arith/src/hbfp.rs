@@ -74,6 +74,39 @@ impl Default for HbfpSpec {
     }
 }
 
+/// Counters for the numeric events the hbfp8 datapath can silently
+/// absorb: accumulator saturations in block dots, nonzero values a
+/// shared exponent flushes to a zero mantissa, and block exponents
+/// clamped at the top of the 12-bit field (which saturates every
+/// mantissa in the block). The executed-arithmetic calibration gate and
+/// future simulator probes read these instead of inferring events from
+/// final values.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NumericEvents {
+    /// Accumulations clamped at a 25-bit rail during block dots.
+    pub accumulator_saturations: u64,
+    /// Nonzero finite inputs quantized to a zero mantissa (the
+    /// small-value-next-to-large-value HBFP failure mode).
+    pub underflows_to_zero: u64,
+    /// Blocks whose ideal exponent exceeded the exponent-field maximum
+    /// and was clamped down, saturating the block's mantissas.
+    pub exponent_clamps: u64,
+}
+
+impl NumericEvents {
+    /// Accumulates another counter set into this one.
+    pub fn absorb(&mut self, other: NumericEvents) {
+        self.accumulator_saturations += other.accumulator_saturations;
+        self.underflows_to_zero += other.underflows_to_zero;
+        self.exponent_clamps += other.exponent_clamps;
+    }
+
+    /// True when no event of any kind was observed.
+    pub fn is_clean(&self) -> bool {
+        *self == NumericEvents::default()
+    }
+}
+
 /// One HBFP block: `block_size` 8-bit mantissas sharing one exponent.
 ///
 /// A value `i` denotes `mantissa[i] · 2^exponent`.
@@ -95,6 +128,22 @@ impl HbfpBlock {
     ///
     /// Panics if `values.len()` exceeds `spec.block_size`.
     pub fn quantize(values: &[f32], spec: &HbfpSpec) -> Self {
+        let mut events = NumericEvents::default();
+        Self::quantize_with_events(values, spec, &mut events)
+    }
+
+    /// [`HbfpBlock::quantize`] that also counts the numeric events the
+    /// conversion absorbed: nonzero values flushed to a zero mantissa
+    /// and exponents clamped at the top of the field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` exceeds `spec.block_size`.
+    pub fn quantize_with_events(
+        values: &[f32],
+        spec: &HbfpSpec,
+        events: &mut NumericEvents,
+    ) -> Self {
         assert!(
             values.len() <= spec.block_size,
             "block of {} values exceeds spec block size {}",
@@ -108,13 +157,21 @@ impl HbfpBlock {
         } else {
             // Smallest e with max_abs / 2^e <= mantissa_max.
             let needed = (max_abs / spec.mantissa_max() as f32).log2().ceil() as i32;
+            if needed > exp_max {
+                events.exponent_clamps += 1;
+            }
             needed.clamp(exp_min, exp_max)
         };
         let scale = (exponent as f32).exp2();
-        let mantissas = values
+        let mantissas: Vec<Q8> = values
             .iter()
             .map(|&v| Q8::saturating_from_scaled(v / scale))
             .collect();
+        events.underflows_to_zero += values
+            .iter()
+            .zip(&mantissas)
+            .filter(|&(&v, &m)| v != 0.0 && v.is_finite() && m == Q8(0))
+            .count() as u64;
         HbfpBlock { mantissas, exponent }
     }
 
@@ -152,11 +209,24 @@ impl HbfpBlock {
     ///
     /// Panics if the blocks have different lengths.
     pub fn dot(&self, other: &HbfpBlock) -> f32 {
+        let mut events = NumericEvents::default();
+        self.dot_with_events(other, &mut events)
+    }
+
+    /// [`HbfpBlock::dot`] that also counts accumulator saturations, for
+    /// probes that need to observe overflow rather than infer it from a
+    /// clamped result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks have different lengths.
+    pub fn dot_with_events(&self, other: &HbfpBlock, events: &mut NumericEvents) -> f32 {
         assert_eq!(self.len(), other.len(), "block length mismatch in dot");
         let mut acc = Accumulator25::new();
         for (&a, &b) in self.mantissas.iter().zip(&other.mantissas) {
             acc.mac(a, b);
         }
+        events.accumulator_saturations += acc.saturation_events() as u64;
         let exp = self.exponent + other.exponent;
         acc.value() as f32 * (exp as f32).exp2()
     }
@@ -191,6 +261,18 @@ pub struct HbfpMatrix {
 impl HbfpMatrix {
     /// Quantizes a dense matrix into HBFP blocks along `axis`.
     pub fn quantize(m: &crate::Matrix, axis: BlockAxis, spec: HbfpSpec) -> Self {
+        let mut events = NumericEvents::default();
+        Self::quantize_with_events(m, axis, spec, &mut events)
+    }
+
+    /// [`HbfpMatrix::quantize`] that also counts the numeric events the
+    /// whole-matrix conversion absorbed (summed over every block).
+    pub fn quantize_with_events(
+        m: &crate::Matrix,
+        axis: BlockAxis,
+        spec: HbfpSpec,
+        events: &mut NumericEvents,
+    ) -> Self {
         let (lanes, lane_len) = match axis {
             BlockAxis::Row => (m.rows(), m.cols()),
             BlockAxis::Col => (m.cols(), m.rows()),
@@ -206,7 +288,7 @@ impl HbfpMatrix {
             }
             let lane_blocks = lane_buf
                 .chunks(spec.block_size)
-                .map(|chunk| HbfpBlock::quantize(chunk, &spec))
+                .map(|chunk| HbfpBlock::quantize_with_events(chunk, &spec, events))
                 .collect();
             blocks.push(lane_blocks);
         }
@@ -421,6 +503,77 @@ mod tests {
                 "exact {exact} approx {approx} bound {bound}"
             );
         });
+    }
+
+    #[test]
+    fn quantize_counts_underflows_to_zero() {
+        let spec = HbfpSpec::hbfp8();
+        let mut events = NumericEvents::default();
+        // 1e-6 shares a block with 1000.0 and flushes to a zero mantissa;
+        // the true zero must not be counted.
+        HbfpBlock::quantize_with_events(&[1000.0, 1e-6, 0.0], &spec, &mut events);
+        assert_eq!(events.underflows_to_zero, 1);
+        assert_eq!(events.exponent_clamps, 0);
+        assert_eq!(events.accumulator_saturations, 0);
+        assert!(!events.is_clean());
+    }
+
+    #[test]
+    fn quantize_counts_exponent_clamps() {
+        // An f32 can't exceed the hbfp8 field top (exponents stop at
+        // 2047 > 128), so exercise the clamp with a narrower field: a
+        // value needing exponent 120 against a 6-bit field ([-32, 31]).
+        let mut events = NumericEvents::default();
+        let huge = 2.0f32.powi(120);
+        let tiny_spec = HbfpSpec { exponent_bits: 6, ..HbfpSpec::hbfp8() };
+        let block = HbfpBlock::quantize_with_events(&[huge], &tiny_spec, &mut events);
+        assert_eq!(events.exponent_clamps, 1);
+        assert_eq!(block.exponent(), tiny_spec.exponent_range().1);
+        assert_eq!(block.mantissas()[0], Q8::MAX);
+    }
+
+    #[test]
+    fn dot_counts_accumulator_saturations() {
+        // Two 1041-long blocks of worst-case same-sign mantissas: the
+        // safe depth for (127, 127) is 1040, so exactly one MAC clamps.
+        let spec = HbfpSpec::hbfp8_with_block(1041);
+        let values = vec![127.0f32; 1041];
+        let a = HbfpBlock::quantize(&values, &spec);
+        let b = HbfpBlock::quantize(&values, &spec);
+        let mut events = NumericEvents::default();
+        a.dot_with_events(&b, &mut events);
+        assert_eq!(events.accumulator_saturations, 1);
+
+        // One element shorter and the chain is clean.
+        let spec_ok = HbfpSpec::hbfp8_with_block(1040);
+        let a = HbfpBlock::quantize(&values[..1040], &spec_ok);
+        let b = HbfpBlock::quantize(&values[..1040], &spec_ok);
+        let mut clean = NumericEvents::default();
+        a.dot_with_events(&b, &mut clean);
+        assert!(clean.is_clean());
+    }
+
+    #[test]
+    fn numeric_events_absorb_sums_fields() {
+        let mut total = NumericEvents::default();
+        total.absorb(NumericEvents {
+            accumulator_saturations: 2,
+            underflows_to_zero: 3,
+            exponent_clamps: 1,
+        });
+        total.absorb(NumericEvents {
+            accumulator_saturations: 1,
+            underflows_to_zero: 0,
+            exponent_clamps: 4,
+        });
+        assert_eq!(
+            total,
+            NumericEvents {
+                accumulator_saturations: 3,
+                underflows_to_zero: 3,
+                exponent_clamps: 5,
+            }
+        );
     }
 
     #[test]

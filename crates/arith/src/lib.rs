@@ -45,7 +45,7 @@ pub mod wide;
 
 pub use bf16::Bf16;
 pub use fixed::{Accumulator25, Q8};
-pub use hbfp::{HbfpBlock, HbfpMatrix, HbfpSpec};
+pub use hbfp::{HbfpBlock, HbfpMatrix, HbfpSpec, NumericEvents};
 pub use matrix::Matrix;
 pub use rng::SplitMix64;
 
@@ -122,8 +122,8 @@ mod tests {
 
     #[test]
     fn encoding_is_ordered_and_hashable() {
-        use std::collections::HashSet;
-        let set: HashSet<Encoding> =
+        use std::collections::BTreeSet;
+        let set: BTreeSet<Encoding> =
             [Encoding::Hbfp8, Encoding::Bfloat16, Encoding::Fp32].into_iter().collect();
         assert_eq!(set.len(), 3);
         assert!(Encoding::Hbfp8 < Encoding::Fp32);

@@ -29,7 +29,7 @@
 
 use equinox_core::experiments::{
     ablation, bounds_calibration, diurnal, fault_sweep, fig10, fig11, fig2, fig6, fig7, fig8,
-    fig9, fleet, serve, software_sched, table1, table2, table3,
+    fig9, fleet, numerics, serve, software_sched, table1, table2, table3,
 };
 use equinox_core::ExperimentScale;
 use std::fmt::Write as _;
@@ -80,7 +80,7 @@ fn default_quick_budget_s(id: &str) -> f64 {
         "fig6" | "table1" | "fig8" | "software" | "diurnal" => 60.0,
         "fig7" | "fig9" | "table2" | "fig10" => 90.0,
         "table3" => 15.0,
-        "bounds" => 30.0,
+        "bounds" | "numerics" => 30.0,
         "fig11" | "ablation" | "fault" | "fleet" | "serve" => 120.0,
         "checks" => 180.0,
         _ => 120.0,
@@ -520,6 +520,37 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
             JobBody {
                 log,
                 files: vec![("bounds_calibration.json".into(), cal.to_json())],
+                failure,
+            }
+        }));
+    }
+
+    if selected("numerics") {
+        push("numerics", "HBFP numerics-pass calibration against the executed fixed-point kernels (extension)", Box::new(move || {
+            let mut log = String::new();
+            let sweep = numerics::run(scale);
+            let _ = writeln!(log, "{sweep}");
+            // The CI smoke gate: on every (paper model × lowering) cell
+            // the EQX08xx pass must be error-free and every reduction
+            // chain it marked safe must survive the executed-arithmetic
+            // probes (adversarial, tightness, and seeded random) with
+            // zero saturation events — a single false-safe verdict
+            // fails the job by name.
+            let failure = (!sweep.all_calibrated()).then(|| {
+                let names: Vec<String> = sweep
+                    .failures()
+                    .iter()
+                    .map(|c| format!("{}/{}", c.model, c.mode))
+                    .collect();
+                format!(
+                    "numerics: calibration gate failed on {} ({} false-safe verdict(s))",
+                    names.join(", "),
+                    sweep.false_safe_count(),
+                )
+            });
+            JobBody {
+                log,
+                files: vec![("numerics_sweep.json".into(), sweep.to_json())],
                 failure,
             }
         }));

@@ -23,7 +23,9 @@ use equinox_check::bounds::paper_energy_params;
 use equinox_check::{
     analyze_config, analyze_program_with, analyze_training, analyze_training_program_with,
 };
-use equinox_check::{encoding as wire, BoundsOptions, BufferBudget, Pass, PassSelection, Report};
+use equinox_check::{
+    encoding as wire, BoundsOptions, BufferBudget, NumericsOptions, Pass, PassSelection, Report,
+};
 use equinox_isa::cache::compile_inference_cached;
 use equinox_isa::lower::estimate_inference_instructions;
 use equinox_isa::models::ModelSpec;
@@ -110,6 +112,7 @@ fn run_unit(
 ) -> (Vec<Report>, bool, Vec<(Pass, f64)>) {
     let SweepUnit { encoding, space, config, model } = unit;
     let bounds_options = BoundsOptions::default();
+    let numerics_options = NumericsOptions::default();
     let mut reports = Vec::new();
     let mut timings: Vec<(Pass, f64)> = Vec::new();
     let mut failed = false;
@@ -169,6 +172,7 @@ fn run_unit(
                 passes,
                 Some(&cost),
                 &bounds_options,
+                &numerics_options,
             );
             timings.extend(pass_times);
             rename(&mut report, subject);
@@ -190,6 +194,7 @@ fn run_unit(
         passes,
         Some(&cost),
         &bounds_options,
+        &numerics_options,
     );
     timings.extend(pass_times);
     rename(
@@ -209,7 +214,7 @@ fn run_unit(
     (reports, failed, timings)
 }
 
-fn run_sweep(passes: &PassSelection) -> (Vec<Report>, bool, [f64; 5]) {
+fn run_sweep(passes: &PassSelection) -> (Vec<Report>, bool, [f64; 6]) {
     let tech = TechnologyParams::tsmc28();
     let budget = BufferBudget::paper_default();
     // Enumerate the grid serially (cheap), analyze cells in parallel,
@@ -237,7 +242,7 @@ fn run_sweep(passes: &PassSelection) -> (Vec<Report>, bool, [f64; 5]) {
     let cells = equinox_par::parallel_map(units, |u| run_unit(u, &budget, passes));
     let mut reports = Vec::new();
     let mut failed = false;
-    let mut pass_seconds = [0.0f64; 5];
+    let mut pass_seconds = [0.0f64; 6];
     for (cell_reports, cell_failed, cell_timings) in cells {
         reports.extend(cell_reports);
         failed |= cell_failed;
@@ -286,6 +291,7 @@ fn check_file(path: &str, passes: &PassSelection) -> Report {
                 passes,
                 Some(&cost),
                 &BoundsOptions::default(),
+                &NumericsOptions::default(),
             )
             .0
         }
@@ -312,7 +318,7 @@ fn write_json(reports: &[Report]) -> std::io::Result<()> {
 /// Writes per-pass wall-clock to `results/check_timings.json` — the
 /// same shape as `results/bench_timings.json` and, like it, exempt from
 /// the byte-identical determinism contract (it is a measurement).
-fn write_timings(pass_seconds: &[f64; 5], total_s: f64) -> std::io::Result<()> {
+fn write_timings(pass_seconds: &[f64; 6], total_s: f64) -> std::io::Result<()> {
     std::fs::create_dir_all("results")?;
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
     let mut json = format!(
@@ -382,7 +388,7 @@ fn main() {
     } else {
         let reports: Vec<Report> = files.iter().map(|p| check_file(p, &passes)).collect();
         let failed = reports.iter().any(Report::has_errors);
-        (reports, failed, [0.0; 5])
+        (reports, failed, [0.0; 6])
     };
 
     let mut errors = 0;

@@ -14,6 +14,7 @@
 //! | `05xx`  | dataflow (operand-level def-use over byte regions) |
 //! | `06xx`  | static cycle/energy bounds (schedule envelopes)    |
 //! | `07xx`  | serving / admission-control lints          |
+//! | `08xx`  | numerics (HBFP magnitude/exponent abstract interpretation) |
 //!
 //! (The retired `01xx` range held the pre-region occupancy-timeline
 //! pass; its codes are not reused.)
@@ -120,6 +121,28 @@ impl Code {
     /// The token bucket's burst capacity is below one batch, so the
     /// bucket throttles traffic the device serves in a single dispatch.
     pub const TOKEN_BURST_BELOW_BATCH: Code = Code(707);
+
+    /// A tile multiply's in-accumulator reduction chain is deeper than
+    /// the saturation-safe bound for the 25-bit accumulator at the
+    /// operands' worst-case mantissa magnitudes — the hardware *will*
+    /// clamp on adversarial data, silently corrupting results.
+    pub const REDUCTION_CHAIN_OVERFLOW: Code = Code(801);
+    /// A propagated shared-exponent interval can leave the 12-bit
+    /// exponent field, clamping block exponents and saturating every
+    /// mantissa in the affected blocks.
+    pub const EXPONENT_FIELD_OVERFLOW: Code = Code(802);
+    /// A bf16→hbfp8 requantization at a write-back can flush a block's
+    /// smaller mantissas to zero: the value spread within a block
+    /// exceeds the 7 magnitude bits a shared exponent can cover.
+    pub const REQUANTIZATION_FLUSH: Code = Code(803);
+    /// A weight-update increment can fall below the weight blocks'
+    /// representable LSB, so the optimizer step rounds to zero and
+    /// training stalls.
+    pub const UPDATE_BELOW_LSB: Code = Code(804);
+    /// A reduction chain is within the safe bound but its headroom
+    /// (safe depth / actual depth) is below the configured floor —
+    /// safe today, fragile under deeper tiling.
+    pub const SATURATION_HEADROOM_LOW: Code = Code(805);
 
     /// The numeric value (e.g. `101` for `EQX0101`).
     pub fn value(self) -> u16 {
@@ -406,6 +429,11 @@ mod tests {
         assert_eq!(Code::AUTOSCALE_THRESHOLD_INVERSION.to_string(), "EQX0705");
         assert_eq!(Code::AUTOSCALE_SUSTAIN_TOO_SHORT.to_string(), "EQX0706");
         assert_eq!(Code::TOKEN_BURST_BELOW_BATCH.value(), 707);
+        assert_eq!(Code::REDUCTION_CHAIN_OVERFLOW.to_string(), "EQX0801");
+        assert_eq!(Code::EXPONENT_FIELD_OVERFLOW.to_string(), "EQX0802");
+        assert_eq!(Code::REQUANTIZATION_FLUSH.to_string(), "EQX0803");
+        assert_eq!(Code::UPDATE_BELOW_LSB.to_string(), "EQX0804");
+        assert_eq!(Code::SATURATION_HEADROOM_LOW.value(), 805);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! assembler) produces; this crate catches malformed inputs *before*
 //! cycles are spent simulating them, with structured diagnostics
 //! ([`Diagnostic`]) carrying stable `EQXnnnn` codes, severities, and
-//! instruction spans. Five pass families run:
+//! instruction spans. Six pass families run:
 //!
 //! 1. **Dataflow** ([`dataflow`]) — precise operand-level def-use
 //!    analysis over the byte regions instructions name
@@ -24,13 +24,19 @@
 //! 5. **Bounds** ([`bounds`]) — static `[lower, upper]` cycle and
 //!    energy envelopes from the simulator's own cost model
 //!    (un-overlappable DMA, utilization floors, power-envelope
-//!    violations), calibrated against the cycle-accurate simulator.
+//!    violations), calibrated against the cycle-accurate simulator;
+//! 6. **Numerics** ([`numerics`]) — HBFP-aware abstract interpretation
+//!    over magnitude/exponent domains (reduction-chain saturation,
+//!    exponent-field overflow, requantization flush, stalled weight
+//!    updates), calibrated against executed fixed-point arithmetic.
+//!    Runs only for hbfp8 programs — bf16 designs accumulate in fp32
+//!    and have no shared-exponent blocks.
 //!
 //! Pass families can be selected individually ([`PassSelection`]), and
 //! the timed entry points report per-family wall-clock so drivers can
 //! record where analysis time goes.
 //!
-//! A sixth, standalone pass — [`serving`] (`07xx`) — lints fleet-level
+//! A further standalone pass — [`serving`] (`07xx`) — lints fleet-level
 //! admission-control and autoscaling parameters; it analyzes scalar
 //! [`ServingParams`] rather than programs, so it sits outside the
 //! [`PassSelection`] machinery.
@@ -61,11 +67,13 @@ pub mod dataflow;
 pub mod diag;
 pub mod encoding;
 pub mod intervals;
+pub mod numerics;
 pub mod resources;
 pub mod serving;
 
 pub use bounds::{BoundsOptions, CycleBounds, EnergyBounds, ProgramBounds};
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
+pub use numerics::{ChainVerdict, NumericsOptions, NumericsSummary};
 pub use serving::{analyze_serving, ServingParams};
 pub use equinox_isa::validate::BufferBudget;
 
@@ -94,12 +102,20 @@ pub enum Pass {
     Config,
     /// Static cycle/energy bound analysis (`06xx`).
     Bounds,
+    /// HBFP numerical-safety abstract interpretation (`08xx`).
+    Numerics,
 }
 
 impl Pass {
     /// Every pass family, in canonical (code-range) order.
-    pub const ALL: [Pass; 5] =
-        [Pass::Dataflow, Pass::Resources, Pass::Encoding, Pass::Config, Pass::Bounds];
+    pub const ALL: [Pass; 6] = [
+        Pass::Dataflow,
+        Pass::Resources,
+        Pass::Encoding,
+        Pass::Config,
+        Pass::Bounds,
+        Pass::Numerics,
+    ];
 
     /// The stable lower-case name used by `--pass` and in artifacts.
     pub fn name(self) -> &'static str {
@@ -109,6 +125,7 @@ impl Pass {
             Pass::Encoding => "encoding",
             Pass::Config => "config",
             Pass::Bounds => "bounds",
+            Pass::Numerics => "numerics",
         }
     }
 
@@ -120,6 +137,7 @@ impl Pass {
             Pass::Encoding => "binary encoding round-trip verification (EQX03xx)",
             Pass::Config => "scheduler and configuration lints (EQX04xx)",
             Pass::Bounds => "static cycle/energy bound analysis (EQX06xx)",
+            Pass::Numerics => "HBFP numerical-safety abstract interpretation (EQX08xx)",
         }
     }
 
@@ -138,7 +156,7 @@ impl std::fmt::Display for Pass {
 /// A set of selected pass families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PassSelection {
-    selected: [bool; 5],
+    selected: [bool; 6],
 }
 
 impl Default for PassSelection {
@@ -150,12 +168,12 @@ impl Default for PassSelection {
 impl PassSelection {
     /// Every pass family selected (the default).
     pub fn all() -> Self {
-        PassSelection { selected: [true; 5] }
+        PassSelection { selected: [true; 6] }
     }
 
     /// No pass family selected.
     pub fn none() -> Self {
-        PassSelection { selected: [false; 5] }
+        PassSelection { selected: [false; 6] }
     }
 
     /// Selects one family (builder style).
@@ -198,8 +216,8 @@ impl PassSelection {
     }
 }
 
-/// Runs all program-level passes (dataflow, resources, encoding) over
-/// one lowered program.
+/// Runs all program-level passes (dataflow, resources, encoding,
+/// numerics) over one lowered program.
 pub fn analyze_program(
     program: &Program,
     dims: &ArrayDims,
@@ -214,6 +232,7 @@ pub fn analyze_program(
         &PassSelection::all(),
         None,
         &BoundsOptions::default(),
+        &NumericsOptions::default(),
     )
     .0
 }
@@ -223,7 +242,10 @@ pub fn analyze_program(
 ///
 /// The bounds family runs only when selected *and* a [`CostModel`] is
 /// supplied (it needs a concrete operating point to price cycles); the
-/// other families need none.
+/// numerics family runs only for [`ValueEncoding::Hbfp8`] programs
+/// (other encodings accumulate in fp32 and carry no shared-exponent
+/// blocks); the other families need nothing extra.
+#[allow(clippy::too_many_arguments)]
 pub fn analyze_program_with(
     program: &Program,
     dims: &ArrayDims,
@@ -232,6 +254,7 @@ pub fn analyze_program_with(
     passes: &PassSelection,
     bounds_cost: Option<&CostModel>,
     bounds_options: &BoundsOptions,
+    numerics_options: &NumericsOptions,
 ) -> (Report, Vec<(Pass, f64)>) {
     let mut report = Report::new(program.name().to_string());
     let mut timings = Vec::new();
@@ -261,6 +284,11 @@ pub fn analyze_program_with(
                 bounds::analyze(r, program, cost, bounds_options);
             });
         }
+    }
+    if passes.contains(Pass::Numerics) && encoding == ValueEncoding::Hbfp8 {
+        timed(Pass::Numerics, &mut report, &mut |r| {
+            numerics::analyze(r, program, encoding, numerics_options);
+        });
     }
     (report, timings)
 }
@@ -311,6 +339,7 @@ pub fn analyze_training_program(
         &PassSelection::all(),
         None,
         &BoundsOptions::default(),
+        &NumericsOptions::default(),
     )
     .0
 }
@@ -327,6 +356,7 @@ pub fn analyze_training_program_with(
     passes: &PassSelection,
     bounds_cost: Option<&CostModel>,
     bounds_options: &BoundsOptions,
+    numerics_options: &NumericsOptions,
 ) -> (Report, Vec<(Pass, f64)>) {
     let estimate = estimate_training_instructions(model, dims, setup);
     if estimate > max_instructions {
@@ -349,6 +379,7 @@ pub fn analyze_training_program_with(
         passes,
         bounds_cost,
         bounds_options,
+        numerics_options,
     )
 }
 
@@ -449,6 +480,7 @@ mod tests {
             &sel,
             Some(&cost),
             &BoundsOptions::default(),
+            &NumericsOptions::default(),
         );
         assert!(!report.has_errors(), "{}", report.render_human());
         let families: Vec<Pass> = timings.iter().map(|(p, _)| *p).collect();
@@ -463,8 +495,34 @@ mod tests {
             &sel,
             None,
             &BoundsOptions::default(),
+            &NumericsOptions::default(),
         );
         assert_eq!(no_cost.iter().map(|(p, _)| *p).collect::<Vec<_>>(), vec![Pass::Encoding]);
+    }
+
+    #[test]
+    fn numerics_pass_runs_only_for_hbfp8() {
+        let dims = ArrayDims { n: 186, w: 3, m: 3 };
+        let budget = BufferBudget::paper_default();
+        let program = compile_inference(&ModelSpec::mlp_2048x5(), &dims, 8);
+        let sel = PassSelection::none().with(Pass::Numerics);
+        for (encoding, expected) in [
+            (ValueEncoding::Hbfp8, vec![Pass::Numerics]),
+            (ValueEncoding::Bfloat16, Vec::new()),
+        ] {
+            let (report, timings) = analyze_program_with(
+                &program,
+                &dims,
+                &budget,
+                encoding,
+                &sel,
+                None,
+                &BoundsOptions::default(),
+                &NumericsOptions::default(),
+            );
+            assert!(!report.has_errors(), "{}", report.render_human());
+            assert_eq!(timings.iter().map(|(p, _)| *p).collect::<Vec<_>>(), expected);
+        }
     }
 
     #[test]

@@ -421,3 +421,100 @@ fn eqx0707_token_burst_below_batch() {
     assert!(r.has_code(Code::TOKEN_BURST_BELOW_BATCH), "{}", r.render_human());
     assert!(!r.has_errors());
 }
+
+fn numerics_report(p: &Program, options: &equinox_check::NumericsOptions) -> equinox_check::Report {
+    let mut r = equinox_check::Report::new(p.name().to_string());
+    equinox_check::numerics::analyze(&mut r, p, Encoding::Hbfp8, options);
+    r
+}
+
+#[test]
+fn eqx0801_reduction_chain_overflow() {
+    // The acceptance reproducer: a 2000-deep in-accumulator reduction
+    // exceeds the 1040-accumulation saturation-safe bound at worst-case
+    // 127×127 mantissas, surfaced through the plain program entry point
+    // (no pass selection or options needed).
+    let mut p = Program::new("over-deep");
+    p.push(Instruction::matmul(1, 2000, 1, GemmMode::VectorMatrix));
+    let r = analyze(p);
+    assert!(r.has_code(Code::REDUCTION_CHAIN_OVERFLOW), "{}", r.render_human());
+    let d = r
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == Code::REDUCTION_CHAIN_OVERFLOW)
+        .unwrap();
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span, Some(Span::at(0)));
+    // The paper's own tile depth (n·w = 558) stays clean.
+    let mut ok = Program::new("paper-depth");
+    ok.push(Instruction::matmul(1, dims().tile_k(), 1, GemmMode::VectorMatrix));
+    assert!(!analyze(ok).has_code(Code::REDUCTION_CHAIN_OVERFLOW));
+}
+
+#[test]
+fn eqx0802_exponent_field_overflow() {
+    // Inputs whose magnitude exponent already sits near the top of the
+    // 12-bit shared-exponent field push the matmul product past it.
+    let mut p = Program::new("hot-inputs");
+    p.push(Instruction::matmul(1, 16, 1, GemmMode::VectorMatrix));
+    let options =
+        equinox_check::NumericsOptions { input_exp_hi: 2000, ..Default::default() };
+    let r = numerics_report(&p, &options);
+    assert!(r.has_code(Code::EXPONENT_FIELD_OVERFLOW), "{}", r.render_human());
+    let d = r
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == Code::EXPONENT_FIELD_OVERFLOW)
+        .unwrap();
+    assert_eq!(d.severity, Severity::Warning);
+    // Unit-scale inputs stay far from the field edge.
+    assert!(!numerics_report(&p, &Default::default()).has_code(Code::EXPONENT_FIELD_OVERFLOW));
+}
+
+#[test]
+fn eqx0803_requantization_flush() {
+    // A within-block magnitude spread wider than the 7 magnitude bits
+    // flushes the small half of the block to zero on hbfp8 writeback.
+    let mut p = Program::new("wide-spread");
+    p.push(Instruction::matmul(1, 16, 1, GemmMode::VectorMatrix));
+    let options =
+        equinox_check::NumericsOptions { input_spread_bits: 6, ..Default::default() };
+    let r = numerics_report(&p, &options);
+    assert!(r.has_code(Code::REQUANTIZATION_FLUSH), "{}", r.render_human());
+    assert!(!numerics_report(&p, &Default::default()).has_code(Code::REQUANTIZATION_FLUSH));
+}
+
+#[test]
+fn eqx0804_update_below_lsb() {
+    // A learning rate so small the weight-update increment falls below
+    // the representable LSB of the weight blocks: training stalls.
+    let mut p = Program::new("stalled-training");
+    p.push(Instruction::simd(SimdOpKind::WeightUpdate, 64));
+    let options =
+        equinox_check::NumericsOptions { learning_rate_exp: -120, ..Default::default() };
+    let r = numerics_report(&p, &options);
+    assert!(r.has_code(Code::UPDATE_BELOW_LSB), "{}", r.render_human());
+    assert!(!numerics_report(&p, &Default::default()).has_code(Code::UPDATE_BELOW_LSB));
+}
+
+#[test]
+fn eqx0805_saturation_headroom_low() {
+    // 800 accumulations fit the 1040 bound but with only 1.3× headroom,
+    // under the 1.5× floor: safe, but worth a warning — and not the
+    // EQX0801 error.
+    let mut p = Program::new("thin-headroom");
+    p.push(Instruction::matmul(1, 800, 1, GemmMode::VectorMatrix));
+    let r = numerics_report(&p, &Default::default());
+    assert!(r.has_code(Code::SATURATION_HEADROOM_LOW), "{}", r.render_human());
+    assert!(!r.has_code(Code::REDUCTION_CHAIN_OVERFLOW));
+    let d = r
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == Code::SATURATION_HEADROOM_LOW)
+        .unwrap();
+    assert_eq!(d.severity, Severity::Warning);
+    // The paper depth clears the floor (1040/558 ≈ 1.86).
+    let mut ok = Program::new("paper-headroom");
+    ok.push(Instruction::matmul(1, dims().tile_k(), 1, GemmMode::VectorMatrix));
+    assert!(!numerics_report(&ok, &Default::default()).has_code(Code::SATURATION_HEADROOM_LOW));
+}

@@ -148,10 +148,12 @@ impl Equinox {
 
     /// Runs the full static-analysis suite for `model` served at
     /// `batch` on this instance: installation fit, the compiled
-    /// inference program's dataflow/resource/encoding passes, the same
-    /// passes over the lowered training iteration, and the
-    /// configuration lints. Returns the merged report without
-    /// panicking, for drivers that want to surface findings.
+    /// inference program's dataflow/resource/encoding passes (plus, on
+    /// hbfp8 instances, the `EQX08xx` numerical-safety abstract
+    /// interpretation), the same passes over the lowered training
+    /// iteration, and the configuration lints. Returns the merged
+    /// report without panicking, for drivers that want to surface
+    /// findings.
     pub fn check(&self, model: &ModelSpec, batch: usize) -> equinox_check::Report {
         let budget = equinox_check::BufferBudget::paper_default();
         let mut report = equinox_check::Report::new(format!(

@@ -16,6 +16,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod fleet;
+pub mod numerics;
 pub mod serve;
 pub mod software_sched;
 pub mod table1;

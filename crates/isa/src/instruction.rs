@@ -212,6 +212,22 @@ impl Instruction {
         }
     }
 
+    /// In-accumulator reduction-chain depth of the instruction: the
+    /// number of products a single 25-bit accumulator absorbs without an
+    /// intervening drain. `Some(k_span)` for a tile multiply (each
+    /// output element accumulates `k_span` mantissa products before the
+    /// accumulator drains to the SIMD unit), `None` for everything else.
+    /// Cross-k-chunk accumulation happens *after* the drain, in fp32 on
+    /// the SIMD unit, so it never deepens this chain — the `numerics`
+    /// pass in `equinox-check` keys its EQX0801/0805 saturation bound on
+    /// exactly this quantity.
+    pub fn reduction_depth(&self) -> Option<usize> {
+        match *self {
+            Instruction::MatMulTile { k_span, .. } => Some(k_span),
+            _ => None,
+        }
+    }
+
     /// MMU occupancy in cycles on an MMU with `m_arrays` systolic
     /// arrays, or 0 for non-MMU instructions.
     pub fn mmu_occupancy_cycles(&self, m_arrays: usize) -> u64 {
@@ -267,6 +283,16 @@ mod tests {
         assert!(!i.uses_simd());
         assert_eq!(i.dram_bytes(), 0);
         assert_eq!(i.encoded_words(), 3);
+    }
+
+    #[test]
+    fn reduction_depth_is_k_span_for_tiles_only() {
+        assert_eq!(
+            Instruction::matmul(4, 558, 16, GemmMode::VectorMatrix).reduction_depth(),
+            Some(558)
+        );
+        assert_eq!(Instruction::simd(SimdOpKind::Elementwise, 128).reduction_depth(), None);
+        assert_eq!(Instruction::Sync.reduction_depth(), None);
     }
 
     #[test]

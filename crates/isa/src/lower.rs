@@ -43,8 +43,12 @@ use crate::ArrayDims;
 use equinox_arith::Encoding;
 
 /// One (output-group, k-chunk) tile of a GEMM lowered onto a geometry.
+///
+/// Public so analysis passes (notably the `numerics` pass in
+/// `equinox-check`) can reconstruct the reduction-chain structure the
+/// compiler emits without re-deriving the tiling.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct Tile {
+pub struct Tile {
     /// k-chunk index within the group.
     pub kc: usize,
     /// Useful reduction extent.
@@ -63,10 +67,27 @@ impl Tile {
     pub fn weight_bytes(&self, bpv: u64) -> u64 {
         self.k_span as u64 * self.out_span as u64 * bpv
     }
+
+    /// In-accumulator reduction-chain depth of this tile: how many
+    /// mantissa products one 25-bit accumulator absorbs before it
+    /// drains. Equal to `k_span` — the cross-chunk fold runs in fp32 on
+    /// the SIMD unit after the drain (see the `Elementwise` drains the
+    /// tile emitter appends after the last k-chunk) and never deepens
+    /// the fixed-point chain.
+    pub fn reduction_depth(&self) -> usize {
+        self.k_span
+    }
+
+    /// Number of intermediate output tiles folded (in fp32, on the SIMD
+    /// unit) into this tile's output group after the last k-chunk:
+    /// `k_chunks - 1`, i.e. zero when the reduction fits one chunk.
+    pub fn fold_count(&self) -> usize {
+        self.k_chunks - 1
+    }
 }
 
 /// The output-tile span for a mode on the given geometry.
-pub(crate) fn tile_out_span(dims: &ArrayDims, mode: GemmMode) -> usize {
+pub fn tile_out_span(dims: &ArrayDims, mode: GemmMode) -> usize {
     match mode {
         GemmMode::VectorMatrix => dims.tile_out(),
         GemmMode::WeightBroadcast => dims.n,
@@ -75,7 +96,7 @@ pub(crate) fn tile_out_span(dims: &ArrayDims, mode: GemmMode) -> usize {
 
 /// Enumerates the tiles of a `k → out` GEMM in emission order
 /// (output-group outer, k-chunk inner).
-pub(crate) fn tile_list(dims: &ArrayDims, k: usize, out: usize, mode: GemmMode) -> Vec<Tile> {
+pub fn tile_list(dims: &ArrayDims, k: usize, out: usize, mode: GemmMode) -> Vec<Tile> {
     let tile_k = dims.tile_k().max(1);
     let tile_out = tile_out_span(dims, mode).max(1);
     let k_chunks = k.div_ceil(tile_k).max(1);
@@ -713,6 +734,34 @@ mod tests {
                 assert!(words <= 2048, "{}: region of {words} words", model.name());
             }
         }
+    }
+
+    #[test]
+    fn tile_metadata_matches_emitted_instructions() {
+        // Every emitted MatMulTile's reduction depth equals some tile's
+        // k_span, is capped by the geometry's tile_k, and the emitted
+        // fold SIMDs match each tile list's fold counts.
+        let d = dims();
+        let model = ModelSpec::new("t", vec![GemmStep::dense(200, 300)]);
+        let tiles = tile_list(&d, 200, 300, GemmMode::VectorMatrix);
+        let spans: Vec<usize> = tiles.iter().map(|t| t.reduction_depth()).collect();
+        let p = compile_inference(&model, &d, 2);
+        for i in p.instructions() {
+            if let Some(depth) = i.reduction_depth() {
+                assert!(depth <= d.tile_k());
+                assert!(spans.contains(&depth), "unknown depth {depth}");
+            }
+        }
+        // k=200 over tile_k=64 → 4 chunks: three intermediate tiles fold.
+        assert!(tiles.iter().all(|t| t.fold_count() == 3));
+        assert_eq!(
+            p.instructions()
+                .iter()
+                .filter(|i| matches!(i, Instruction::Simd { kind: SimdOpKind::Elementwise, .. }))
+                .count(),
+            3,
+            "one fold per output group"
+        );
     }
 
     #[test]

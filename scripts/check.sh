@@ -7,6 +7,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> determinism guard: no HashMap/HashSet/wall-clock reads in"
+echo "    result-producing crates outside the documented allowlist"
+bash scripts/determinism_guard.sh
+
 echo "==> clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -50,23 +54,31 @@ echo "    upper/lower ratio exceeds 4x, or the --quick budget"
 echo "    EQUINOX_QUICK_BUDGET_BOUNDS_S is blown)"
 cargo run --release -p equinox-bench --bin regen-results -- --quick bounds
 
+echo "==> numerics-calibration smoke (fails on any EQX08xx error in a"
+echo "    paper lowering, on any false-safe saturation verdict against"
+echo "    the executed fixed-point kernels, or if the --quick budget"
+echo "    EQUINOX_QUICK_BUDGET_NUMERICS_S is blown)"
+cargo run --release -p equinox-bench --bin regen-results -- --quick numerics
+
 echo "==> determinism smoke: the --quick regen of the sweep-backed"
-echo "    figures, the fleet and serving sweeps, and the bound"
-echo "    calibration must be byte-identical serial vs parallel"
-EQUINOX_THREADS=1 cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks fleet serve bounds
+echo "    figures, the fleet and serving sweeps, and the bound and"
+echo "    numerics calibrations must be byte-identical serial vs parallel"
+EQUINOX_THREADS=1 cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks fleet serve bounds numerics
 cp results/fig6a_hbfp8.csv /tmp/equinox_fig6a_serial.csv
 cp results/table1_pareto.txt /tmp/equinox_table1_serial.txt
 cp results/driver_checks.json /tmp/equinox_checks_serial.json
 cp results/fleet_sweep.json /tmp/equinox_fleet_serial.json
 cp results/serve_sweep.json /tmp/equinox_serve_serial.json
 cp results/bounds_calibration.json /tmp/equinox_bounds_serial.json
-cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks fleet serve bounds
+cp results/numerics_sweep.json /tmp/equinox_numerics_serial.json
+cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks fleet serve bounds numerics
 cmp results/fig6a_hbfp8.csv /tmp/equinox_fig6a_serial.csv
 cmp results/table1_pareto.txt /tmp/equinox_table1_serial.txt
 cmp results/driver_checks.json /tmp/equinox_checks_serial.json
 cmp results/fleet_sweep.json /tmp/equinox_fleet_serial.json
 cmp results/serve_sweep.json /tmp/equinox_serve_serial.json
 cmp results/bounds_calibration.json /tmp/equinox_bounds_serial.json
+cmp results/numerics_sweep.json /tmp/equinox_numerics_serial.json
 echo "    byte-identical at EQUINOX_THREADS=1 and the default pool"
 
 echo "==> rustdoc (warnings are errors; no external deps to document)"

@@ -10,7 +10,7 @@
 //! contract must be immune to.
 
 use equinox_arith::Encoding;
-use equinox_core::experiments::{fig10, fig11, fig6, fig7, fig8, fig9, fleet, serve, table1};
+use equinox_core::experiments::{fig10, fig11, fig6, fig7, fig8, fig9, fleet, numerics, serve, table1};
 use equinox_core::{Equinox, ExperimentScale};
 use equinox_isa::models::ModelSpec;
 use equinox_model::LatencyConstraint;
@@ -100,6 +100,15 @@ fn serve_sweep_json_is_thread_count_invariant() {
     // the per-device evaluations merge by index — so the serialized
     // sweep must not depend on scheduling.
     assert_identical_across_thread_counts(|| serve::run(ExperimentScale::Quick).to_json());
+}
+
+#[test]
+fn numerics_sweep_json_is_thread_count_invariant() {
+    // The golden for `results/numerics_sweep.json`: the per-cell
+    // lowerings and chain probes fan out across threads but merge by
+    // grid index, and every probe seed derives from the chain shape —
+    // so the serialized sweep must not depend on scheduling.
+    assert_identical_across_thread_counts(|| numerics::run(ExperimentScale::Quick).to_json());
 }
 
 #[test]

@@ -230,3 +230,51 @@ fn adjacent_regions_are_not_dataflow_hazards() {
         }
     });
 }
+
+/// The numerics pass is never false-safe: for random reduction
+/// geometries, every chain the pass marks saturation-safe survives the
+/// executed 25-bit accumulator at worst-case operand magnitudes (and
+/// on seeded random data), and every chain it marks unsafe demonstrably
+/// saturates. This is the same replay the `numerics` calibration gate
+/// runs over the paper lowerings, driven here over arbitrary shapes.
+#[test]
+fn numerics_verdicts_never_false_safe_against_executed_arithmetic() {
+    use equinox::check::numerics::{compute_numerics, NumericsOptions};
+    use equinox::isa::layers::GemmMode;
+    use equinox::isa::{Instruction, Program};
+    use equinox_core::experiments::numerics::probe_chain;
+
+    for_each_case(24, 0x707207, |g| {
+        let mut p = Program::new("prop-numerics");
+        for _ in 0..g.usize_in(1, 5) {
+            let k = g.usize_in(1, 2048);
+            p.push(Instruction::matmul(
+                g.usize_in(1, 8),
+                k,
+                g.usize_in(1, 8),
+                GemmMode::VectorMatrix,
+            ));
+        }
+        let summary = compute_numerics(&p, Encoding::Hbfp8, &NumericsOptions::default());
+        assert!(!summary.chains.is_empty());
+        for v in &summary.chains {
+            let probe = probe_chain(v, 2);
+            assert!(
+                !probe.false_safe(),
+                "false-safe verdict: k={} declared safe up to {} but saturated \
+                 (adversarial {} / random {})",
+                v.k_span,
+                v.safe_depth,
+                probe.adversarial_saturations,
+                probe.random_saturations,
+            );
+            assert!(
+                probe.sound(),
+                "unsound verdict at k={} (safe_depth {}, static_safe {})",
+                v.k_span,
+                v.safe_depth,
+                probe.static_safe,
+            );
+        }
+    });
+}
