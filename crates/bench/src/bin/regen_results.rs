@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures at full scale.
 //!
 //! Usage: `cargo run --release -p equinox-bench --bin regen-results
-//! [--quick] [fig2|fig6|table1|fig7|…|fault|fleet|serve|checks]...`
+//! [--quick] [fig2|fig6|table1|fig7|…|fault|fleet|serve|fitted|checks]...`
 //!
 //! With no ids, everything is regenerated. `--quick` switches to the
 //! reduced [`ExperimentScale::Quick`] grids (the CI fault-injection
@@ -29,7 +29,7 @@
 
 use equinox_core::experiments::{
     ablation, bounds_calibration, diurnal, fault_sweep, fig10, fig11, fig2, fig6, fig7, fig8,
-    fig9, fleet, numerics, serve, software_sched, table1, table2, table3,
+    fig9, fitted, fleet, numerics, serve, software_sched, table1, table2, table3,
 };
 use equinox_core::ExperimentScale;
 use std::fmt::Write as _;
@@ -45,6 +45,11 @@ struct JobBody {
     /// A gate failure (SLO violation, check errors, …); reported after
     /// every job has run instead of exiting mid-run.
     failure: Option<String>,
+    /// Pre-rendered JSON rows for the `comparisons` array of
+    /// `bench_timings.json` (wall-clock comparisons a job measured
+    /// itself; timing data, so exempt from the byte-identity contract
+    /// like the rest of that file).
+    comparisons: Vec<String>,
 }
 
 /// One selected experiment, ready to run on any worker.
@@ -81,7 +86,7 @@ fn default_quick_budget_s(id: &str) -> f64 {
         "fig7" | "fig9" | "table2" | "fig10" => 90.0,
         "table3" => 15.0,
         "bounds" | "numerics" => 30.0,
-        "fig11" | "ablation" | "fault" | "fleet" | "serve" => 120.0,
+        "fig11" | "ablation" | "fault" | "fleet" | "serve" | "fitted" => 120.0,
         "checks" => 180.0,
         _ => 120.0,
     }
@@ -133,6 +138,17 @@ fn timings_json(threads: usize, quick: bool, total_s: f64, results: &[JobResult]
         }
         json.push('}');
     }
+    json.push_str("],\"comparisons\":[");
+    let mut first = true;
+    for r in results {
+        for row in &r.body.comparisons {
+            if !first {
+                json.push(',');
+            }
+            first = false;
+            json.push_str(row);
+        }
+    }
     json.push_str("]}\n");
     json
 }
@@ -168,6 +184,7 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
             }
             JobBody {
                 log,
+                comparisons: Vec::new(),
                 files: vec![("fig2_convergence.csv".into(), csv)],
                 failure: None,
             }
@@ -181,6 +198,7 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
             let _ = writeln!(log, "{fig}");
             JobBody {
                 log,
+                comparisons: Vec::new(),
                 files: vec![
                     ("fig6a_hbfp8.csv".into(), fig.hbfp8_csv),
                     ("fig6b_bfloat16.csv".into(), fig.bf16_csv),
@@ -197,6 +215,7 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
             let _ = writeln!(log, "{table}");
             JobBody {
                 log,
+                comparisons: Vec::new(),
                 files: vec![("table1_pareto.txt".into(), table.to_string())],
                 failure: None,
             }
@@ -226,7 +245,7 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
                 let panel = if encoding == equinox_arith::Encoding::Hbfp8 { "a" } else { "b" };
                 files.push((format!("fig7{panel}_{encoding}.csv"), csv));
             }
-            JobBody { log, files, failure: None }
+            JobBody { log, files, failure: None, comparisons: Vec::new() }
         }));
     }
 
@@ -250,6 +269,7 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
             }
             JobBody {
                 log,
+                comparisons: Vec::new(),
                 files: vec![("fig8_breakdown.csv".into(), csv)],
                 failure: None,
             }
@@ -278,6 +298,7 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
             }
             JobBody {
                 log,
+                comparisons: Vec::new(),
                 files: vec![("fig9_training.csv".into(), csv)],
                 failure: None,
             }
@@ -291,6 +312,7 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
             let _ = writeln!(log, "{table}");
             JobBody {
                 log,
+                comparisons: Vec::new(),
                 files: vec![("table2_workloads.txt".into(), table.to_string())],
                 failure: None,
             }
@@ -318,6 +340,7 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
             );
             JobBody {
                 log,
+                comparisons: Vec::new(),
                 files: vec![("table3_area_power.txt".into(), report.to_string())],
                 failure: None,
             }
@@ -341,6 +364,7 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
             }
             JobBody {
                 log,
+                comparisons: Vec::new(),
                 files: vec![("fig10_scheduling.csv".into(), csv)],
                 failure: None,
             }
@@ -371,6 +395,7 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
             }
             JobBody {
                 log,
+                comparisons: Vec::new(),
                 files: vec![("fig11_batching.csv".into(), csv)],
                 failure: None,
             }
@@ -384,6 +409,7 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
             let _ = writeln!(log, "{study}");
             JobBody {
                 log,
+                comparisons: Vec::new(),
                 files: vec![("software_scheduling.txt".into(), study.to_string())],
                 failure: None,
             }
@@ -397,6 +423,7 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
             let _ = writeln!(log, "{d}");
             JobBody {
                 log,
+                comparisons: Vec::new(),
                 files: vec![("diurnal.txt".into(), d.to_string())],
                 failure: None,
             }
@@ -410,6 +437,7 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
             let _ = writeln!(log, "{a}");
             JobBody {
                 log,
+                comparisons: Vec::new(),
                 files: vec![("ablations.txt".into(), a.to_string())],
                 failure: None,
             }
@@ -434,6 +462,7 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
             };
             JobBody {
                 log,
+                comparisons: Vec::new(),
                 files: vec![("fault_sweep.json".into(), sweep.to_json())],
                 failure,
             }
@@ -454,6 +483,7 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
             });
             JobBody {
                 log,
+                comparisons: Vec::new(),
                 files: vec![("fleet_sweep.json".into(), sweep.to_json())],
                 failure,
             }
@@ -492,6 +522,7 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
             });
             JobBody {
                 log,
+                comparisons: Vec::new(),
                 files: vec![("serve_sweep.json".into(), sweep.to_json())],
                 failure,
             }
@@ -519,7 +550,86 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
             });
             JobBody {
                 log,
+                comparisons: Vec::new(),
                 files: vec![("bounds_calibration.json".into(), cal.to_json())],
+                failure,
+            }
+        }));
+    }
+
+    if selected("fitted") {
+        push("fitted", "fitted distributional surrogate: tables + calibration gate (extension)", Box::new(move || {
+            let mut log = String::new();
+            // Fit (or reuse this process's shared fit) and gate the
+            // tables against held-out cycle-accurate runs.
+            let t_fit = Instant::now();
+            let cal = fitted::FittedCalibration::shared(scale);
+            let fit_s = t_fit.elapsed().as_secs_f64();
+            let _ = writeln!(log, "{cal}");
+            // The wall-clock comparison the tier exists for: the
+            // largest cycle-accurate grid cell vs the fitted scaled
+            // sweep, normalised per simulated device-interval. Timing
+            // rows land in bench_timings.json's `comparisons` array
+            // (exempt from the byte-identity contract).
+            let t_ref = Instant::now();
+            let (ref_devices, ref_intervals) = fleet::run_reference_cell(scale);
+            let ref_s = t_ref.elapsed().as_secs_f64();
+            let t_scaled = Instant::now();
+            let scaled = fleet::run_scaled(scale);
+            let scaled_s = t_scaled.elapsed().as_secs_f64();
+            let ref_di = (ref_devices as u64 * ref_intervals) as f64;
+            let scaled_di: f64 = scaled
+                .iter()
+                .map(|c| (c.fleet_size as u64 * c.intervals) as f64)
+                .sum();
+            let throughput_x = if ref_s > 0.0 && scaled_s > 0.0 {
+                (scaled_di / scaled_s) / (ref_di / ref_s)
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                log,
+                "  wall-clock: cycle-accurate {ref_devices}x{ref_intervals} \
+                 device-intervals in {ref_s:.1}s vs fitted {scaled_di:.0} \
+                 device-intervals in {scaled_s:.1}s — {throughput_x:.2}x \
+                 per device-interval (fit itself: {fit_s:.1}s)",
+            );
+            let mut comparisons = vec![
+                format!("{{\"id\":\"fit\",\"wall_s\":{fit_s:.3}}}"),
+                format!(
+                    "{{\"id\":\"cycle_accurate_reference\",\"wall_s\":{ref_s:.3},\
+                     \"devices\":{ref_devices},\"intervals\":{ref_intervals},\
+                     \"device_intervals\":{ref_di:.0}}}"
+                ),
+            ];
+            for c in &scaled {
+                comparisons.push(format!(
+                    "{{\"id\":\"fitted_scaled_{}x{}\",\"devices\":{},\
+                     \"intervals\":{},\"device_intervals\":{}}}",
+                    c.fleet_size,
+                    c.intervals,
+                    c.fleet_size,
+                    c.intervals,
+                    c.fleet_size as u64 * c.intervals,
+                ));
+            }
+            comparisons.push(format!(
+                "{{\"id\":\"fitted_scaled_total\",\"wall_s\":{scaled_s:.3},\
+                 \"device_intervals\":{scaled_di:.0},\
+                 \"throughput_x_vs_cycle_accurate\":{throughput_x:.2}}}"
+            ));
+            // The CI smoke gate: every fitted sample inside the static
+            // envelope, measured service contained, and every
+            // sufficiently-populated held-out contention bucket within
+            // the relative-error ceiling — failures are named per
+            // (model, bucket).
+            let failure = (!cal.all_calibrated()).then(|| {
+                format!("fitted: calibration gate failed ({})", cal.failures().join("; "))
+            });
+            JobBody {
+                log,
+                comparisons,
+                files: vec![("fitted_tables.json".into(), cal.to_json())],
                 failure,
             }
         }));
@@ -550,6 +660,7 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
             });
             JobBody {
                 log,
+                comparisons: Vec::new(),
                 files: vec![("numerics_sweep.json".into(), sweep.to_json())],
                 failure,
             }
@@ -642,6 +753,7 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
             });
             JobBody {
                 log,
+                comparisons: Vec::new(),
                 files: vec![("driver_checks.json".into(), json)],
                 failure,
             }

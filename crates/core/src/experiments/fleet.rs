@@ -17,6 +17,7 @@
 //! part of the artifact (`results/fleet_sweep.json`).
 
 use crate::accelerator::Equinox;
+use crate::experiments::fitted::FittedCalibration;
 use crate::experiments::ExperimentScale;
 use equinox_arith::Encoding;
 use equinox_check::diag::json_string;
@@ -25,7 +26,7 @@ use equinox_fleet::{
 };
 use equinox_isa::models::ModelSpec;
 use equinox_model::LatencyConstraint;
-use equinox_sim::SloSpec;
+use equinox_sim::{RequestClass, SloSpec};
 
 /// Fleet sizes swept (≥ 3, per the sweep's acceptance contract).
 pub const FLEET_SIZES: [usize; 3] = [2, 4, 8];
@@ -101,6 +102,46 @@ pub struct HarvestComparison {
     pub training_aware_slo_clean: bool,
 }
 
+/// One cell of the scaled sweep: a 64–256-device fleet of
+/// [`crate::experiments::fitted`]-surrogate devices, run for a horizon
+/// the cycle-accurate grid never reaches (≥ 10× more batch-service
+/// intervals). Per-batch service comes from the calibrated quantile
+/// tables, so the cell carries the same SLO/harvest/energy accounting
+/// as a [`FleetCell`] plus the displacement ledger the surrogate
+/// attributes per admission tier.
+#[derive(Debug, Clone)]
+pub struct ScaledCell {
+    /// Devices in the fleet.
+    pub fleet_size: usize,
+    /// Devices co-hosting training (the second half of the fleet).
+    pub training_devices: usize,
+    /// Routing policy name.
+    pub policy: &'static str,
+    /// Offered fleet load (fraction of aggregate saturation).
+    pub load: f64,
+    /// Horizon, in batch-service intervals.
+    pub intervals: u64,
+    /// `intervals` over the cycle-accurate grid's horizon at this
+    /// scale (the "10–100×" claim, measured not asserted).
+    pub horizon_multiple: f64,
+    /// Requests the front end offered.
+    pub offered: usize,
+    /// Requests completed fleet-wide.
+    pub completed: u64,
+    /// SLO violations fleet-wide.
+    pub violations: usize,
+    /// Fleet-wide 99th-percentile latency, ms.
+    pub p99_ms: f64,
+    /// Fleet-wide free-training epochs harvested.
+    pub free_epochs: f64,
+    /// Fleet-wide inference energy priced by the fitted tables, J.
+    pub inference_energy_j: f64,
+    /// Training epochs displaced by admitted paid traffic.
+    pub paid_displaced_epochs: f64,
+    /// Training epochs displaced by admitted free traffic.
+    pub free_displaced_epochs: f64,
+}
+
 /// The full sweep result.
 #[derive(Debug, Clone)]
 pub struct FleetSweep {
@@ -110,6 +151,9 @@ pub struct FleetSweep {
     pub cells: Vec<FleetCell>,
     /// Harvest comparisons for every (size, load) point.
     pub comparisons: Vec<HarvestComparison>,
+    /// The fitted-surrogate cells at 64–256 devices and 10–100× longer
+    /// horizons.
+    pub scaled: Vec<ScaledCell>,
 }
 
 /// A mixed fleet of `size` Equinox_500µs devices: the first half
@@ -226,7 +270,125 @@ pub fn run(scale: ExperimentScale) -> FleetSweep {
             });
         }
     }
-    FleetSweep { deadline_ms: deadline_s * 1e3, cells, comparisons }
+    FleetSweep {
+        deadline_ms: deadline_s * 1e3,
+        cells,
+        comparisons,
+        scaled: run_scaled(scale),
+    }
+}
+
+/// Horizon of the cycle-accurate grid at `scale`, in batch-service
+/// intervals — the baseline the scaled cells' `horizon_multiple` is
+/// measured against.
+fn base_intervals(scale: ExperimentScale) -> u64 {
+    match scale {
+        ExperimentScale::Quick => 100,
+        ExperimentScale::Full => 600,
+    }
+}
+
+/// The scaled (size, load, intervals) grid. Loads are light because
+/// the router still materialises every request (≈ 70–80 B each):
+/// 64 devices × 6 000 intervals × 186 requests/interval/device at 30 %
+/// load is already ≈ 21 M routed requests.
+fn scaled_grid(scale: ExperimentScale) -> Vec<(usize, f64, u64)> {
+    match scale {
+        ExperimentScale::Quick => vec![(64, 0.3, 10 * base_intervals(scale))],
+        ExperimentScale::Full => vec![
+            (64, 0.3, 10 * base_intervals(scale)),
+            (256, 0.1, 10 * base_intervals(scale)),
+        ],
+    }
+}
+
+/// Runs the scaled sweep: mixed fleets of fitted-surrogate LSTM
+/// devices (half harvesting, 60 % paid traffic) at sizes and horizons
+/// the cycle-accurate engine cannot reach in the wall-clock budget.
+/// Routing is round-robin so every device — including the harvesting
+/// half — serves traffic and the per-tier displacement ledger is
+/// exercised at scale (training-aware routing would starve the
+/// harvesting half at these light loads and leave the ledger empty).
+pub fn run_scaled(scale: ExperimentScale) -> Vec<ScaledCell> {
+    let fit = FittedCalibration::shared(scale)
+        .fit("LSTM")
+        .expect("the LSTM table is fitted")
+        .clone();
+    // The same deadline rule as the cycle-accurate grid (16× the
+    // measured batch service time), so the SLO columns compare.
+    let deadline_s = DEADLINE_X * fit.measured_cycles as f64
+        / FittedCalibration::shared(scale).freq_hz;
+    let slo = SloSpec::new(deadline_s).expect("positive deadline");
+    // The cells are few and huge; run them serially so each one's
+    // per-device fan-out owns the whole pool.
+    scaled_grid(scale)
+        .into_iter()
+        .map(|(size, load, intervals)| {
+            let devices: Vec<DeviceSpec> = (0..size)
+                .map(|i| fit.device(&format!("fit[{i}]"), i >= size - size / 2))
+                .collect();
+            let fleet = Fleet::new(devices).expect("fitted devices validate");
+            let report = fleet
+                .run(&FleetRunOptions {
+                    source: ArrivalSource::Poisson { load },
+                    policy: RoutingPolicy::RoundRobin,
+                    admission: AdmissionSpec::AdmitAll,
+                    autoscale: None,
+                    paid_fraction: 0.6,
+                    horizon_cycles: intervals * fit.measured_cycles,
+                    seed: SWEEP_SEED,
+                    slo: Some(slo),
+                })
+                .expect("scaled fleet runs complete");
+            ScaledCell {
+                fleet_size: size,
+                training_devices: size / 2,
+                policy: RoutingPolicy::RoundRobin.name(),
+                load,
+                intervals,
+                horizon_multiple: intervals as f64 / base_intervals(scale) as f64,
+                offered: report.offered_requests,
+                completed: report.completed_requests(),
+                violations: report.total_violations(),
+                p99_ms: report.p99_ms(),
+                free_epochs: report.free_epochs(),
+                inference_energy_j: report.inference_energy_j(),
+                paid_displaced_epochs: report.displaced_epochs(RequestClass::Paid),
+                free_displaced_epochs: report.displaced_epochs(RequestClass::Free),
+            }
+        })
+        .collect()
+}
+
+/// One cycle-accurate reference run — the largest mixed fleet of the
+/// base grid at the moderate load and base horizon — returning its
+/// (devices, intervals) so the regen driver can put the wall-clock of
+/// "what the engine can afford" next to the scaled cells' timings in
+/// `bench_timings.json`.
+pub fn run_reference_cell(scale: ExperimentScale) -> (usize, u64) {
+    let eq = Equinox::build(Encoding::Hbfp8, LatencyConstraint::Micros(500))
+        .expect("the 500 µs design exists");
+    let timing = eq
+        .compile(&ModelSpec::lstm_2048_25())
+        .expect("reference workload compiles");
+    let size = *FLEET_SIZES.last().expect("sizes are non-empty");
+    let intervals = base_intervals(scale);
+    let deadline_s = DEADLINE_X * timing.service_time_s(eq.freq_hz());
+    let fleet = mixed_fleet(&eq, size);
+    let report = fleet
+        .run(&FleetRunOptions {
+            source: ArrivalSource::Poisson { load: MODERATE_LOAD },
+            policy: RoutingPolicy::training_aware_default(),
+            admission: AdmissionSpec::AdmitAll,
+            autoscale: None,
+            paid_fraction: 1.0,
+            horizon_cycles: intervals * timing.total_cycles,
+            seed: SWEEP_SEED,
+            slo: Some(SloSpec::new(deadline_s).expect("positive deadline")),
+        })
+        .expect("reference fleet run completes");
+    assert!(report.completed_requests() > 0);
+    (size, intervals)
 }
 
 impl FleetSweep {
@@ -298,6 +460,33 @@ impl FleetSweep {
                 assigned.join(","),
             ));
         }
+        out.push_str("],\"scaled\":[");
+        for (i, c) in self.scaled.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"fleet_size\":{},\"training_devices\":{},\"policy\":{},\
+                 \"load\":{},\"intervals\":{},\"horizon_multiple\":{},\
+                 \"offered\":{},\"completed\":{},\"violations\":{},\
+                 \"p99_ms\":{},\"free_epochs\":{},\"inference_energy_j\":{},\
+                 \"paid_displaced_epochs\":{},\"free_displaced_epochs\":{}}}",
+                c.fleet_size,
+                c.training_devices,
+                json_string(c.policy),
+                c.load,
+                c.intervals,
+                c.horizon_multiple,
+                c.offered,
+                c.completed,
+                c.violations,
+                c.p99_ms,
+                c.free_epochs,
+                c.inference_energy_j,
+                c.paid_displaced_epochs,
+                c.free_displaced_epochs,
+            ));
+        }
         out.push_str("],\"harvest_comparisons\":[");
         for (i, c) in self.comparisons.iter().enumerate() {
             if i > 0 {
@@ -347,6 +536,25 @@ impl std::fmt::Display for FleetSweep {
                 c.inference_tops,
                 c.training_tops,
                 c.free_epochs,
+            )?;
+        }
+        for c in &self.scaled {
+            writeln!(
+                f,
+                "  scaled (fitted surrogate): {} devices @ {:>2.0}% load, {} intervals \
+                 ({:.0}x horizon): {} completed, {} viol, p99 {:.3} ms, {:.2} epochs, \
+                 {:.1} J, displaced {:.2} paid / {:.2} free",
+                c.fleet_size,
+                c.load * 100.0,
+                c.intervals,
+                c.horizon_multiple,
+                c.completed,
+                c.violations,
+                c.p99_ms,
+                c.free_epochs,
+                c.inference_energy_j,
+                c.paid_displaced_epochs,
+                c.free_displaced_epochs,
             )?;
         }
         writeln!(f, "  harvest at the moderate operating point (training-aware vs round-robin):")?;
@@ -426,6 +634,33 @@ mod tests {
         assert!(json.contains("\"training_aware_epochs\":"));
         assert!(json.contains("\"policy\":\"power_of_two\""));
         assert!(json.contains("\"epochs_per_device\":["));
+    }
+
+    #[test]
+    fn scaled_cells_reach_the_issue_floor() {
+        // The tentpole claim: ≥ 64 fitted devices at ≥ 10× the
+        // cycle-accurate horizon, with live harvest/energy/displacement
+        // accounting.
+        let s = sweep();
+        assert!(!s.scaled.is_empty());
+        for c in &s.scaled {
+            assert!(c.fleet_size >= 64, "{}", c.fleet_size);
+            assert!(c.horizon_multiple >= 10.0, "{}", c.horizon_multiple);
+            assert!(c.completed > 0);
+            assert!(c.offered > 100_000, "scaled cell should be big: {}", c.offered);
+            assert!(c.free_epochs > 0.0, "harvesting half should harvest");
+            assert!(c.inference_energy_j > 0.0, "fitted energy lane should price");
+            assert!(
+                c.paid_displaced_epochs > 0.0 && c.free_displaced_epochs > 0.0,
+                "both tiers displace at 60% paid: paid {} free {}",
+                c.paid_displaced_epochs,
+                c.free_displaced_epochs
+            );
+        }
+        let json = s.to_json();
+        assert!(json.contains("\"scaled\":[{"));
+        assert!(json.contains("\"horizon_multiple\":"));
+        assert!(json.contains("\"paid_displaced_epochs\":"));
     }
 
     #[test]

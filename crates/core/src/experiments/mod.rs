@@ -15,6 +15,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fitted;
 pub mod fleet;
 pub mod numerics;
 pub mod serve;

@@ -25,6 +25,7 @@
 //! joins and drains, and the serving-layer lints (`EQX07xx`) are clean
 //! on the swept parameters.
 
+use crate::experiments::fitted::FittedCalibration;
 use crate::experiments::ExperimentScale;
 use equinox_arith::Encoding;
 use equinox_check::diag::json_string;
@@ -119,6 +120,9 @@ pub struct ServeCell {
 pub struct ServeSweep {
     /// The per-request deadline every run was held against, ms.
     pub deadline_ms: f64,
+    /// The deadline of the `scaled` cell, ms (16× the fitted LSTM
+    /// batch service time — the devices differ, so the deadline does).
+    pub scaled_deadline_ms: f64,
     /// Paid-tier arrival probability.
     pub paid_fraction: f64,
     /// Offered-request floor the trace-scale gate requires of the
@@ -245,7 +249,7 @@ pub fn run(scale: ExperimentScale) -> ServeSweep {
     }
     grid.push(Cell::Autoscale);
 
-    let cells = equinox_par::parallel_map(grid, |cell| {
+    let mut cells = equinox_par::parallel_map(grid, |cell| {
         let (kind, load, admission, autoscale, fault) = match cell {
             Cell::Steady { admission, load } => ("steady", load, admission, None, false),
             Cell::Fault { admission } => ("fault", OVERLOAD, admission, None, true),
@@ -311,6 +315,66 @@ pub fn run(scale: ExperimentScale) -> ServeSweep {
         }
     });
 
+    // The scaled cell: the same trace day served by a 64-device fleet
+    // of fitted-surrogate LSTM devices (half harvesting) under priority
+    // admission, at a horizon ≥ 10× the Quick day in the scaled
+    // fleet's own batch-service intervals. It rides in the same cell
+    // vector with kind `scaled` — only the deadline differs (real
+    // devices, real service time), recorded as `scaled_deadline_ms`.
+    let fit = FittedCalibration::shared(scale)
+        .fit("LSTM")
+        .expect("the LSTM table is fitted")
+        .clone();
+    let scaled_deadline_s = DEADLINE_X * fit.measured_cycles as f64
+        / FittedCalibration::shared(scale).freq_hz;
+    let (scaled_size, scaled_load, scaled_intervals): (usize, f64, u64) = match scale {
+        ExperimentScale::Quick => (64, 0.05, 5_860),
+        ExperimentScale::Full => (64, 0.05, 18_750),
+    };
+    let scaled_devices: Vec<DeviceSpec> = (0..scaled_size)
+        .map(|i| fit.device(&format!("fit[{i}]"), i >= scaled_size - scaled_size / 2))
+        .collect();
+    let scaled_fleet = Fleet::new(scaled_devices).expect("fitted devices validate");
+    let scaled_report = scaled_fleet
+        .run(&FleetRunOptions {
+            source: ArrivalSource::Trace {
+                profile,
+                rate_scale: scaled_load / trace_mean,
+                crowd,
+            },
+            admission: AdmissionSpec::priority_default(),
+            horizon_cycles: scaled_intervals * fit.measured_cycles,
+            slo: Some(SloSpec::new(scaled_deadline_s).expect("positive deadline")),
+            ..base
+        })
+        .expect("the scaled serve run completes");
+    cells.push(ServeCell {
+        kind: "scaled",
+        admission: AdmissionSpec::priority_default().name(),
+        load: scaled_load,
+        offered: scaled_report.offered_requests,
+        admission_shed: scaled_report.admission_shed_requests,
+        completed: scaled_report.completed_requests(),
+        device_shed: scaled_report.shed_requests(),
+        final_queue: scaled_report
+            .devices
+            .iter()
+            .filter_map(|d| d.report.slo.as_ref())
+            .map(|s| s.final_queue_depth)
+            .sum(),
+        joins: 0,
+        drains: 0,
+        p999_ms: scaled_report.p999_ms(),
+        violations: scaled_report.total_violations(),
+        paid: tier_stats(&scaled_report, RequestClass::Paid),
+        free: tier_stats(&scaled_report, RequestClass::Free),
+        assigned_per_device: scaled_report
+            .devices
+            .iter()
+            .map(|d| d.assigned_requests)
+            .collect(),
+    });
+
     // The serving-layer lints over the exact parameters the sweep ran:
     // every policy's defaults plus the autoscaler, against the fleet's
     // real deadline and service-time scales.
@@ -334,6 +398,7 @@ pub fn run(scale: ExperimentScale) -> ServeSweep {
 
     ServeSweep {
         deadline_ms: deadline_s * 1e3,
+        scaled_deadline_ms: scaled_deadline_s * 1e3,
         paid_fraction: PAID_FRACTION,
         min_offered,
         lint_errors,
@@ -426,6 +491,7 @@ impl ServeSweep {
         }
         let mut out = String::from("{");
         out.push_str(&format!("\"deadline_ms\":{},", self.deadline_ms));
+        out.push_str(&format!("\"scaled_deadline_ms\":{},", self.scaled_deadline_ms));
         out.push_str(&format!("\"paid_fraction\":{},", self.paid_fraction));
         out.push_str(&format!("\"min_offered\":{},", self.min_offered));
         out.push_str(&format!(
@@ -536,13 +602,26 @@ mod tests {
     #[test]
     fn grid_covers_scenarios_policies_and_loads() {
         let s = sweep();
-        assert_eq!(s.cells.len(), LOADS.len() * 4 + 2 + 1);
+        assert_eq!(s.cells.len(), LOADS.len() * 4 + 2 + 1 + 1);
         assert_eq!(s.cells.iter().filter(|c| c.kind == "steady").count(), 12);
         assert_eq!(s.cells.iter().filter(|c| c.kind == "fault").count(), 2);
         assert_eq!(s.cells.iter().filter(|c| c.kind == "autoscale").count(), 1);
+        assert_eq!(s.cells.iter().filter(|c| c.kind == "scaled").count(), 1);
         let policies: std::collections::BTreeSet<_> =
             s.cells.iter().map(|c| c.admission).collect();
         assert_eq!(policies.len(), 4);
+    }
+
+    #[test]
+    fn scaled_cell_serves_the_trace_day_on_a_fitted_fleet() {
+        let s = sweep();
+        let c = s.cells.iter().find(|c| c.kind == "scaled").expect("scaled cell exists");
+        assert_eq!(c.assigned_per_device.len(), 64);
+        assert!(c.offered > 1_000_000, "scaled cell is trace-scale: {}", c.offered);
+        assert!(c.completed > 0);
+        // Tier ledgers partition the day.
+        assert_eq!(c.paid.offered + c.free.offered, c.offered);
+        assert!(s.scaled_deadline_ms > s.deadline_ms, "LSTM batches are slower");
     }
 
     #[test]

@@ -121,26 +121,60 @@ impl Fleet {
                  diurnal source instead)",
             ));
         }
-        // Static-bounds surrogate devices: the bounds must be a valid
-        // interval, and the surrogate models neither faults, software
-        // scheduling, nor degradation beyond load shedding — reject
-        // combinations whose answer it could not stand behind.
+        // Surrogate devices (static-bounds or fitted): the envelope
+        // must be a valid interval around the served program, and
+        // neither surrogate models faults, software scheduling, or
+        // degradation beyond load shedding — reject combinations whose
+        // answer it could not stand behind.
         for d in &devices {
-            let Fidelity::StaticBounds { lower_cycles, upper_cycles } = d.fidelity else {
-                continue;
+            let tier = match &d.fidelity {
+                Fidelity::CycleAccurate => continue,
+                Fidelity::StaticBounds { lower_cycles, upper_cycles } => {
+                    if *lower_cycles == 0 || lower_cycles > upper_cycles {
+                        return Err(EquinoxError::invalid_argument(
+                            "Fleet::new",
+                            "static-bounds fidelity needs 0 < lower_cycles ≤ upper_cycles",
+                        ));
+                    }
+                    "static-bounds"
+                }
+                Fidelity::Fitted(table) => {
+                    if table.batch != d.timing.batch {
+                        return Err(EquinoxError::invalid_argument(
+                            "Fleet::new",
+                            format!(
+                                "fitted table '{}' was fitted at batch {} but device \
+                                 '{}' serves batch {}",
+                                table.model, table.batch, d.config.name, d.timing.batch
+                            ),
+                        ));
+                    }
+                    if !(table.lower_cycles..=table.upper_cycles)
+                        .contains(&d.timing.total_cycles)
+                    {
+                        return Err(EquinoxError::invalid_argument(
+                            "Fleet::new",
+                            format!(
+                                "device '{}' nominal service time {} cycles lies outside \
+                                 fitted table '{}' envelope [{}, {}]",
+                                d.config.name,
+                                d.timing.total_cycles,
+                                table.model,
+                                table.lower_cycles,
+                                table.upper_cycles
+                            ),
+                        ));
+                    }
+                    "fitted"
+                }
             };
-            if lower_cycles == 0 || lower_cycles > upper_cycles {
-                return Err(EquinoxError::invalid_argument(
-                    "Fleet::new",
-                    "static-bounds fidelity needs 0 < lower_cycles ≤ upper_cycles",
-                ));
-            }
             if !d.scenario.is_fault_free() {
                 return Err(EquinoxError::fault_model(
                     d.scenario.name.clone(),
-                    "the static-bounds surrogate cannot model injected \
-                     faults; use cycle-accurate fidelity for faulted \
-                     devices",
+                    format!(
+                        "the {tier} surrogate cannot model injected faults; use \
+                         cycle-accurate fidelity for faulted devices"
+                    ),
                 ));
             }
             let deg = &d.config.degradation;
@@ -150,10 +184,11 @@ impl Fleet {
             if matches!(d.config.scheduler, SchedulerPolicy::Software { .. }) || !shed_only {
                 return Err(EquinoxError::invalid_argument(
                     "Fleet::new",
-                    "the static-bounds surrogate models only the \
-                     hardware schedulers and, of the degradation \
-                     levers, only load shedding; use cycle-accurate \
-                     fidelity",
+                    format!(
+                        "the {tier} surrogate models only the hardware schedulers \
+                         and, of the degradation levers, only load shedding; use \
+                         cycle-accurate fidelity"
+                    ),
                 ));
             }
         }
@@ -279,7 +314,7 @@ impl Fleet {
         // `unattributed_requests`.
         let assigned: Vec<usize> = per_device.iter().map(|(a, _)| a.len()).collect();
         let work: Vec<(usize, DeviceShare)> = per_device.into_iter().enumerate().collect();
-        let results: Vec<Result<(SimReport, [ClassLedger; 2]), EquinoxError>> =
+        let results: Vec<Result<DeviceResult, EquinoxError>> =
             equinox_par::parallel_map(work, |(i, (device_arrivals, classes))| {
                 let spec = &self.devices[i];
                 let scale = spec.config.freq_hz / freq_ref;
@@ -288,7 +323,8 @@ impl Fleet {
                 } else {
                     (opts.horizon_cycles as f64 * scale).ceil() as u64
                 };
-                match spec.fidelity {
+                let displacement = harvest_displacement(spec);
+                match &spec.fidelity {
                     Fidelity::CycleAccurate => {
                         let report = spec.simulation()?.run_faulted(
                             &device_arrivals,
@@ -296,19 +332,44 @@ impl Fleet {
                             &spec.scenario,
                             opts.slo,
                         )?;
-                        Ok((report, attributed_ledgers(None, &classes, deadline_s)))
+                        let ledgers = attributed_ledgers(None, &classes, deadline_s, None);
+                        Ok((report, ledgers, 0.0))
                     }
                     Fidelity::StaticBounds { upper_cycles, .. } => {
                         let run = surrogate::run_static_bounds_traced(
                             spec,
-                            upper_cycles,
+                            *upper_cycles,
                             &device_arrivals,
                             horizon,
                             opts.slo,
                         );
-                        let ledgers =
-                            attributed_ledgers(Some(&run.outcomes), &classes, deadline_s);
-                        Ok((run.report, ledgers))
+                        let ledgers = attributed_ledgers(
+                            Some(&run.outcomes),
+                            &classes,
+                            deadline_s,
+                            displacement,
+                        );
+                        Ok((run.report, ledgers, run.energy_j))
+                    }
+                    Fidelity::Fitted(table) => {
+                        // Stream `2 + i` is free for the per-batch
+                        // draws: fitted devices are fault-free, so no
+                        // burst traffic ever uses it (see crate docs).
+                        let run = surrogate::run_fitted_traced(
+                            spec,
+                            table,
+                            &device_arrivals,
+                            horizon,
+                            opts.slo,
+                            split_seed(opts.seed, 2 + i as u64),
+                        );
+                        let ledgers = attributed_ledgers(
+                            Some(&run.outcomes),
+                            &classes,
+                            deadline_s,
+                            displacement,
+                        );
+                        Ok((run.report, ledgers, run.energy_j))
                     }
                 }
             });
@@ -319,12 +380,13 @@ impl Fleet {
         let mut devices = Vec::with_capacity(self.devices.len());
         let mut device_ledgers: Vec<[ClassLedger; 2]> = Vec::with_capacity(self.devices.len());
         for ((spec, result), assigned) in self.devices.iter().zip(results).zip(assigned) {
-            let (report, ledgers) = result?;
+            let (report, ledgers, inference_energy_j) = result?;
             device_ledgers.push(ledgers);
             devices.push(DeviceOutcome {
                 name: spec.config.name.clone(),
                 assigned_requests: assigned,
                 free_epochs: free_epochs(&report, spec.training.as_ref()),
+                inference_energy_j,
                 report,
             });
         }
@@ -360,16 +422,38 @@ impl Fleet {
 /// each request's priority class.
 type DeviceShare = (Vec<u64>, Vec<RequestClass>);
 
+/// One device's evaluation: the engine-shaped report, its per-class
+/// attribution ledgers, and the inference energy (fitted devices only).
+type DeviceResult = (SimReport, [ClassLedger; 2], f64);
+
+/// The harvest-displacement price of one MMU busy cycle on `spec`:
+/// `(harvest rate, cycles per epoch)`, or `None` when the device
+/// cannot harvest (no training service, or an inference-only
+/// scheduler) — then no traffic displaces anything.
+fn harvest_displacement(spec: &DeviceSpec) -> Option<(f64, f64)> {
+    let profile = spec.training.as_ref()?;
+    if matches!(spec.config.scheduler, SchedulerPolicy::InferenceOnly) {
+        return None;
+    }
+    Some((surrogate::idle_harvest_rate(spec), crate::report::epoch_cycles(profile)))
+}
+
 /// Builds one device's per-class attribution ledgers. With per-request
 /// `outcomes` (surrogate fidelity) completions, sheds, and stranded
 /// misses are attributed to their class exactly; without them
 /// (cycle-accurate fidelity) every admitted request is counted as
 /// unattributable instead of guessed. Offered counts stay zero — the
-/// fleet edge owns them.
+/// fleet edge owns them. On a harvesting device (`displacement` =
+/// the harvest rate and epoch cost from [`harvest_displacement`]) each
+/// completion is additionally charged the free-training epochs its MMU
+/// occupancy displaced — first-order attribution: had the request not
+/// been served, those cycles would have been idle and harvested at the
+/// DRAM-capped rate.
 fn attributed_ledgers(
     outcomes: Option<&[RequestOutcome]>,
     classes: &[RequestClass],
     deadline_s: Option<f64>,
+    displacement: Option<(f64, f64)>,
 ) -> [ClassLedger; 2] {
     let mut ledgers = RequestClass::ALL.map(ClassLedger::empty);
     let Some(outcomes) = outcomes else {
@@ -379,11 +463,15 @@ fn attributed_ledgers(
         return ledgers;
     };
     debug_assert_eq!(outcomes.len(), classes.len());
+    let epochs_per_busy_cycle = displacement
+        .map(|(rate, epoch_cycles)| if epoch_cycles > 0.0 { rate / epoch_cycles } else { 0.0 })
+        .unwrap_or(0.0);
     let mut samples: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
     for (&o, &c) in outcomes.iter().zip(classes) {
         let l = &mut ledgers[c.index()];
         match o {
-            RequestOutcome::Completed { latency_s, measured } => {
+            RequestOutcome::Completed { latency_s, measured, busy_cycles } => {
+                l.displaced_epochs += busy_cycles * epochs_per_busy_cycle;
                 if measured {
                     l.completed_requests += 1;
                     samples[c.index()].push(latency_s);
@@ -621,6 +709,96 @@ pub(crate) mod tests {
         let d = test_device(name, 1e9, harvests);
         let exact = d.timing.total_cycles;
         d.with_static_bounds(exact, exact)
+    }
+
+    /// A fitted table fitting [`test_device`]'s timing: a ±25 %
+    /// envelope around the nominal service time, mild depth-dependent
+    /// stretch, 1 mJ..2 mJ energy.
+    fn test_fitted_table() -> std::sync::Arc<crate::fitted::FittedTable> {
+        let nominal = 16_000u64;
+        let (lower, upper) = (nominal - nominal / 4, nominal + nominal / 4);
+        let samples: Vec<equinox_sim::BatchSample> = (0..400)
+            .map(|i| {
+                let depth = (i % 5) * 16;
+                let occ = lower as f64 + ((i * 37) % (upper - lower) as usize) as f64;
+                let stretch = 1.0 + 0.5 * (depth as f64 / 64.0).min(1.0);
+                equinox_sim::BatchSample {
+                    queue_depth: depth,
+                    real: 16,
+                    start_cycle: 0.0,
+                    end_cycle: occ * stretch,
+                    occupancy_cycles: occ,
+                }
+            })
+            .collect();
+        std::sync::Arc::new(
+            crate::fitted::FittedTable::fit(
+                "test", 16, lower, upper, 1e-3, 2e-3, vec![16, 48], &samples,
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn fitted_devices_compose_and_fill_the_harvest_ledgers() {
+        let table = test_fitted_table();
+        let devices = vec![
+            test_device("d0", 1e9, true).with_fitted(table.clone()),
+            test_device("d1", 1e9, false).with_fitted(table),
+        ];
+        let fleet = Fleet::new(devices).unwrap();
+        let o = opts(RoutingPolicy::RoundRobin, 0.5, 400);
+        let fr = fleet.run(&o).unwrap();
+        let assigned: usize = fr.devices.iter().map(|d| d.assigned_requests).sum();
+        assert_eq!(assigned, fr.offered_requests);
+        assert!(fr.completed_requests() > 0);
+        // The fitted tier prices energy; both devices served traffic.
+        assert!(fr.devices[0].inference_energy_j > 0.0);
+        assert!(fr.devices[1].inference_energy_j > 0.0);
+        assert!(fr.inference_energy_j() > 0.0);
+        // The harvesting device harvests (co-run + idle credit) and its
+        // paid traffic is charged the epochs it displaced; the
+        // inference-only device displaces nothing.
+        assert!(fr.devices[0].free_epochs > 0.0);
+        assert_eq!(fr.devices[1].free_epochs, 0.0);
+        let paid = fr.class_ledger(RequestClass::Paid);
+        assert!(paid.displaced_epochs > 0.0, "paid traffic on a harvesting device");
+        assert_eq!(fr.class_ledger(RequestClass::Free).displaced_epochs, 0.0);
+        // Displacement is bounded by what full occupancy of the horizon
+        // could have harvested.
+        assert!(paid.displaced_epochs < fr.devices[0].free_epochs + paid.displaced_epochs + 1.0);
+        // Determinism: same options, same rendered report.
+        assert_eq!(fleet.run(&o).unwrap().to_string(), fr.to_string());
+    }
+
+    #[test]
+    fn fitted_validation_rejects_mismatched_tables() {
+        let table = test_fitted_table();
+        // Happy path first.
+        assert!(Fleet::new(vec![test_device("d0", 1e9, false).with_fitted(table.clone())]).is_ok());
+        // Batch mismatch.
+        let wrong_batch = std::sync::Arc::new(
+            crate::fitted::FittedTable::fit("m", 8, 12_000, 20_000, 0.0, 1.0, vec![], &[])
+                .unwrap(),
+        );
+        let bad = test_device("d0", 1e9, false).with_fitted(wrong_batch);
+        assert_eq!(Fleet::new(vec![bad]).unwrap_err().kind(), "invalid-argument");
+        // Nominal service time outside the table's envelope.
+        let narrow = std::sync::Arc::new(
+            crate::fitted::FittedTable::fit("m", 16, 1_000, 2_000, 0.0, 1.0, vec![], &[])
+                .unwrap(),
+        );
+        let bad = test_device("d0", 1e9, false).with_fitted(narrow);
+        assert_eq!(Fleet::new(vec![bad]).unwrap_err().kind(), "invalid-argument");
+        // Faults and non-shed degradation reject exactly as for the
+        // static-bounds tier.
+        let bad = test_device("d0", 1e9, false)
+            .with_fitted(table.clone())
+            .with_scenario(FaultScenario::named("stall").with_stall(10, 20));
+        assert_eq!(Fleet::new(vec![bad]).unwrap_err().kind(), "fault-model");
+        let mut bad = test_device("d0", 1e9, false).with_fitted(table);
+        bad.config.degradation.preempt_training_above = Some(64);
+        assert_eq!(Fleet::new(vec![bad]).unwrap_err().kind(), "invalid-argument");
     }
 
     #[test]

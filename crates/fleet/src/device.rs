@@ -1,9 +1,11 @@
 //! Per-device specification of a fleet member.
 
+use crate::fitted::FittedTable;
 use equinox_isa::lower::InferenceTiming;
 use equinox_isa::training::TrainingProfile;
 use equinox_isa::EquinoxError;
 use equinox_sim::{AcceleratorConfig, FaultScenario, Simulation};
+use std::sync::Arc;
 
 /// How a fleet member evaluates its share of the traffic.
 ///
@@ -12,12 +14,20 @@ use equinox_sim::{AcceleratorConfig, FaultScenario, Simulation};
 /// (sizing, routing-policy screening), a device can instead be
 /// evaluated by a fast analytic surrogate driven by the static cycle
 /// bounds of the served program (`equinox_check::bounds`). The
-/// surrogate mirrors the dispatcher's batch-formation rules but
-/// charges every batch the *upper* service bound, so its latencies are
-/// conservative; harvest is credited only for fully idle cycles, so
-/// free-training numbers are conservative too (see
-/// [`crate::surrogate`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// [`Fidelity::StaticBounds`] surrogate mirrors the dispatcher's
+/// batch-formation rules but charges every batch the *upper* service
+/// bound, so its latencies are conservative; harvest is credited only
+/// for fully idle cycles, so free-training numbers are conservative
+/// too (see [`crate::surrogate`]).
+///
+/// [`Fidelity::Fitted`] keeps the same walk but draws each batch's
+/// service time, contention stretch, and energy from a quantile table
+/// fitted offline against the cycle-accurate engine and clamped into
+/// the same static envelope (see [`crate::fitted`]) — distributionally
+/// faithful where the envelope is merely sound, at the same O(1) cost
+/// per request, which is what lets sweeps reach 64–256 devices and
+/// 10–100× longer horizons.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Fidelity {
     /// Full discrete-event simulation (the default).
     CycleAccurate,
@@ -31,6 +41,10 @@ pub enum Fidelity {
         /// time the surrogate charges per batch.
         upper_cycles: u64,
     },
+    /// Distributional surrogate: batch service drawn from a fitted
+    /// quantile table (shared across devices via `Arc`), every draw
+    /// clamped inside the static envelope.
+    Fitted(Arc<FittedTable>),
 }
 
 /// One accelerator in the fleet: its simulator configuration, the
@@ -91,6 +105,17 @@ impl DeviceSpec {
     #[must_use]
     pub fn with_static_bounds(mut self, lower_cycles: u64, upper_cycles: u64) -> Self {
         self.fidelity = Fidelity::StaticBounds { lower_cycles, upper_cycles };
+        self
+    }
+
+    /// Evaluates this device with the fitted distributional surrogate.
+    /// The table is `Arc`-shared so hundreds of devices serving the
+    /// same model reference one fit; [`crate::Fleet::new`] validates
+    /// that the table's batch matches the device timing and that the
+    /// nominal service time lies inside the table's envelope.
+    #[must_use]
+    pub fn with_fitted(mut self, table: Arc<FittedTable>) -> Self {
+        self.fidelity = Fidelity::Fitted(table);
         self
     }
 

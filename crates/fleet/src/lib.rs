@@ -31,7 +31,9 @@
 //! via [`equinox_sim::loadgen::split_seed`]: stream 0 seeds the
 //! fleet-wide arrival process, stream 1 the router's
 //! power-of-two-choices draws, stream `2 + i` is reserved for device
-//! `i` (per-device fault burst traffic), and stream `1 << 32` draws
+//! `i` (per-device fault burst traffic, or the fitted surrogate's
+//! per-batch draws — never both, fitted devices are fault-free), and
+//! stream `1 << 32` draws
 //! each request's paid/free class. Adding a device, switching the
 //! routing or admission policy, or changing the paid fraction
 //! therefore never perturbs the offered traffic itself.
@@ -63,6 +65,7 @@ pub mod admission;
 pub mod autoscale;
 pub mod cluster;
 pub mod device;
+pub mod fitted;
 pub mod report;
 pub mod routing;
 pub mod surrogate;
@@ -71,5 +74,6 @@ pub use admission::{AdmissionContext, AdmissionDecision, AdmissionPolicy, Admiss
 pub use autoscale::{AutoscalePolicy, ScalingKind, ScalingSpan};
 pub use cluster::{ArrivalSource, Fleet, FleetRunOptions};
 pub use device::{DeviceSpec, Fidelity};
+pub use fitted::{sorted_quantile, FittedDraw, FittedTable, QuantileGrid, GRID_POINTS, MAX_STRETCH};
 pub use report::{DeviceOutcome, FleetReport, EPOCH_SAMPLES};
 pub use routing::RoutingPolicy;

@@ -13,14 +13,20 @@ use equinox_sim::{ClassLedger, LatencyStats, RequestClass, SimReport};
 /// *ratios*, so the constant cancels there.
 pub const EPOCH_SAMPLES: u64 = 65_536;
 
+/// MMU cycles one epoch of [`EPOCH_SAMPLES`] samples costs at the
+/// profile's mini-batch size — the denominator of every epoch figure
+/// in the fleet ledger.
+pub fn epoch_cycles(p: &TrainingProfile) -> f64 {
+    let iterations = EPOCH_SAMPLES.div_ceil(p.batch as u64) as f64;
+    iterations * p.iteration_mmu_cycles as f64
+}
+
 /// Free-training epochs a device harvested, given its simulation
 /// report and training profile: MMU cycles actually granted to
-/// training, divided by the cycles one epoch of [`EPOCH_SAMPLES`]
-/// samples costs at the profile's mini-batch size.
+/// training, divided by [`epoch_cycles`].
 pub fn free_epochs(report: &SimReport, training: Option<&TrainingProfile>) -> f64 {
     let Some(p) = training else { return 0.0 };
-    let iterations = EPOCH_SAMPLES.div_ceil(p.batch as u64) as f64;
-    let epoch_cycles = iterations * p.iteration_mmu_cycles as f64;
+    let epoch_cycles = epoch_cycles(p);
     if epoch_cycles <= 0.0 {
         return 0.0;
     }
@@ -36,6 +42,10 @@ pub struct DeviceOutcome {
     pub assigned_requests: usize,
     /// Free-training epochs harvested ([`free_epochs`]).
     pub free_epochs: f64,
+    /// Inference energy served by this device, joules. Filled only by
+    /// the fitted surrogate (its tables carry an energy envelope); 0
+    /// under cycle-accurate and static-bounds evaluation.
+    pub inference_energy_j: f64,
     /// The full per-device simulation report.
     pub report: SimReport,
 }
@@ -106,6 +116,20 @@ impl FleetReport {
     /// Fleet-wide free-training epochs harvested.
     pub fn free_epochs(&self) -> f64 {
         self.devices.iter().map(|d| d.free_epochs).sum()
+    }
+
+    /// Fleet-wide inference energy, joules (nonzero only where fitted
+    /// devices served traffic — see
+    /// [`DeviceOutcome::inference_energy_j`]).
+    pub fn inference_energy_j(&self) -> f64 {
+        self.devices.iter().map(|d| d.inference_energy_j).sum()
+    }
+
+    /// Fleet-wide free-training epochs displaced by attributed traffic,
+    /// per class (the per-tier harvest ledger; nonzero only where
+    /// surrogate devices co-host training).
+    pub fn displaced_epochs(&self, class: RequestClass) -> f64 {
+        self.class_ledger(class).displaced_epochs
     }
 
     /// Requests shed by device-local load shedding across the fleet
@@ -215,7 +239,7 @@ impl std::fmt::Display for FleetReport {
                 // headline numbers, skip it.
                 continue;
             }
-            writeln!(
+            write!(
                 f,
                 "  {:<4} tier: {} offered, {} shed, {} completed, {} missed, \
                  p999 {:.3} ms",
@@ -226,6 +250,10 @@ impl std::fmt::Display for FleetReport {
                 l.deadline_misses,
                 l.p999_s() * 1e3,
             )?;
+            if l.displaced_epochs > 0.0 {
+                write!(f, ", displaced {:.2} epochs", l.displaced_epochs)?;
+            }
+            writeln!(f)?;
         }
         if !self.scaling_spans.is_empty() {
             let joins = self

@@ -30,11 +30,22 @@
 //! which is what lets the fleet layer attribute per-class SLO ledgers
 //! without re-deriving request fates from sorted aggregates.
 //!
+//! The **fitted** tier ([`crate::Fidelity::Fitted`]) reuses the same
+//! walk but swaps the per-batch service model: instead of the fixed
+//! upper bound, each batch's occupancy, contention stretch, and energy
+//! are drawn from a [`FittedTable`] quantile grid selected by the
+//! queue depth at formation, on a device-local seeded stream — so the
+//! latencies are distributionally faithful (inside the same envelope)
+//! rather than one-sided, and harvest additionally credits the co-run
+//! share training receives while a stretched batch is in flight.
+//!
 //! Faults, software scheduling, and the remaining degradation knobs
 //! (training preemption, batch shrinking, retries) are *not* modelled;
 //! [`crate::Fleet::new`] rejects surrogate devices that request them.
 
 use crate::device::DeviceSpec;
+use crate::fitted::FittedTable;
+use equinox_arith::rng::SplitMix64;
 use equinox_sim::{
     BatchingPolicy, CostModel, CycleBreakdown, LatencyStats, SchedulerPolicy, SimReport,
     SloReport, SloSpec, WARMUP_FRACTION,
@@ -47,7 +58,13 @@ pub(crate) enum RequestOutcome {
     /// Served to completion inside the horizon. `measured` is the
     /// engine's warmup rule: the arrival fell past the warmup window,
     /// so the latency sample counts toward the report.
-    Completed { latency_s: f64, measured: bool },
+    Completed {
+        latency_s: f64,
+        measured: bool,
+        /// This request's share of its batch's MMU occupancy cycles —
+        /// the currency of harvest displacement attribution.
+        busy_cycles: f64,
+    },
     /// Turned away by the device's `shed_above` admission control.
     Shed { measured: bool },
     /// Still forming, queued, or in flight at the horizon. `missed` is
@@ -62,14 +79,29 @@ pub(crate) struct SurrogateRun {
     pub report: SimReport,
     /// One outcome per input arrival, in input order.
     pub outcomes: Vec<RequestOutcome>,
+    /// Inference energy of the completed batches, joules (0 under the
+    /// static-bounds model, which has no energy envelope attached).
+    pub energy_j: f64,
 }
 
-/// The incremental walk state: a serial server at the upper service
-/// bound behind the dispatcher's batch-formation front end.
+/// How the walk prices one batch's service.
+enum ServiceModel<'t> {
+    /// Every batch costs exactly this many cycles of occupied,
+    /// unstretched service (the static upper bound).
+    Fixed(f64),
+    /// Occupancy / stretch / energy drawn per batch from a fitted
+    /// quantile table; `harvesting` enables the contention stretch
+    /// (an inference-only device has nothing co-running to stretch
+    /// against, so it serves at occupancy).
+    Fitted { table: &'t FittedTable, rng: SplitMix64, harvesting: bool },
+}
+
+/// The incremental walk state: a serial server (priced by the
+/// [`ServiceModel`]) behind the dispatcher's batch-formation front end.
 struct Walk<'a> {
     arrivals: &'a [u64],
     n: usize,
-    service: f64,
+    model: ServiceModel<'a>,
     horizon: f64,
     warmup: f64,
     freq: f64,
@@ -92,6 +124,12 @@ struct Walk<'a> {
     breakdown: CycleBreakdown,
     latencies: Vec<f64>,
     inference_busy: f64,
+    /// Training's co-run MMU share while stretched batches were in
+    /// flight: Σ (duration − occupancy) over completed batches. Zero
+    /// under the fixed model.
+    corun_cycles: f64,
+    /// Inference energy of completed batches, joules (fitted model).
+    energy_j: f64,
     completed: u64,
     completed_measured: usize,
     deadline_misses: usize,
@@ -112,16 +150,31 @@ impl Walk<'_> {
         (a as f64) >= self.warmup && (self.horizon - a as f64) / self.freq > deadline_s
     }
 
-    /// Forms one batch at `ready`, schedules it on the serial server,
-    /// and resolves its members' fates (the schedule is deterministic,
-    /// so fate is known at formation). Members stay in `queued` via
-    /// `pending` until their service start passes the walk's clock.
+    /// Forms one batch at `ready`, prices it through the service model,
+    /// schedules it on the serial server, and resolves its members'
+    /// fates (the schedule is deterministic, so fate is known at
+    /// formation). Members stay in `queued` via `pending` until their
+    /// service start passes the walk's clock.
     fn form_batch(&mut self, members: Vec<usize>, ready: f64) {
         self.batches_issued += 1;
+        let real = members.len();
+        // The fitted table's contention proxy: the backlog behind this
+        // batch (the engine's sampler measures the queue after the
+        // serviced batch leaves it).
+        let depth = self.queued.saturating_sub(real);
+        let (occupancy, duration, energy) = match &mut self.model {
+            ServiceModel::Fixed(s) => (*s, *s, 0.0),
+            ServiceModel::Fitted { table, rng, harvesting } => {
+                let draw = table.sample(depth, rng.next_f64());
+                let duration =
+                    if *harvesting { draw.duration_cycles } else { draw.occupancy_cycles };
+                (draw.occupancy_cycles, duration, draw.energy_j)
+            }
+        };
         let start = self.tail_busy.max(ready);
-        let end = start + self.service;
+        let end = start + duration;
         self.tail_busy = end;
-        self.pending.push_back((members.len(), start));
+        self.pending.push_back((real, start));
         if end > self.horizon {
             // The server is serial and starts are monotone: this batch
             // and every later one miss the horizon.
@@ -135,17 +188,19 @@ impl Walk<'_> {
             }
             return;
         }
-        self.inference_busy += self.service;
-        let real = members.len();
+        self.inference_busy += duration;
+        self.corun_cycles += duration - occupancy;
+        self.energy_j += energy;
         if real < self.n {
             self.incomplete_batches += 1;
         }
+        let busy_cycles = occupancy / real as f64;
         for &i in &members {
             self.completed += 1;
             let a = self.arrivals[i] as f64;
             let latency_s = (end - a) / self.freq;
             let measured = a >= self.warmup;
-            self.outcomes[i] = RequestOutcome::Completed { latency_s, measured };
+            self.outcomes[i] = RequestOutcome::Completed { latency_s, measured, busy_cycles };
             if measured {
                 self.latencies.push(latency_s);
                 self.completed_measured += 1;
@@ -154,23 +209,70 @@ impl Walk<'_> {
                 }
             }
         }
-        // The engine's per-batch Figure 8 accounting, plus the bound's
-        // pessimism cycles (upper − nominal) as wasted time.
+        // The engine's per-batch Figure 8 accounting, plus the model's
+        // pessimism cycles (occupancy above nominal) as wasted time.
         self.breakdown.working += self.useful * real as f64 / self.n as f64;
         self.breakdown.dummy += self.useful * (self.n - real) as f64 / self.n as f64;
         self.breakdown.other +=
-            (self.mmu_busy - self.useful) + self.stall + (self.service - self.nominal);
+            (self.mmu_busy - self.useful) + self.stall + (occupancy - self.nominal).max(0.0);
     }
 }
 
-/// Evaluates `spec`'s share of the traffic analytically, keeping the
-/// per-request outcome trace (see the module docs for the model and
-/// its conservatisms). `arrivals` are sorted device-clock cycles; the
-/// embedded report has the same shape the engine produces, so fleet
-/// merging is fidelity-agnostic.
+/// Evaluates `spec`'s share of the traffic with the conservative
+/// static-bounds model, keeping the per-request outcome trace (see the
+/// module docs for the model and its conservatisms). `arrivals` are
+/// sorted device-clock cycles; the embedded report has the same shape
+/// the engine produces, so fleet merging is fidelity-agnostic.
 pub(crate) fn run_static_bounds_traced(
     spec: &DeviceSpec,
     upper_cycles: u64,
+    arrivals: &[u64],
+    horizon: u64,
+    slo: Option<SloSpec>,
+) -> SurrogateRun {
+    run_surrogate_traced(spec, ServiceModel::Fixed(upper_cycles as f64), arrivals, horizon, slo)
+}
+
+/// Evaluates `spec`'s share of the traffic with the fitted
+/// distributional model: same walk, but per-batch service drawn from
+/// `table` on a device-local stream seeded with `seed` (the fleet
+/// passes stream `2 + device_index`, see the crate docs), so the
+/// result is a pure function of the inputs at any thread count.
+pub(crate) fn run_fitted_traced(
+    spec: &DeviceSpec,
+    table: &FittedTable,
+    arrivals: &[u64],
+    horizon: u64,
+    slo: Option<SloSpec>,
+    seed: u64,
+) -> SurrogateRun {
+    let harvesting = spec.training.is_some()
+        && !matches!(spec.config.scheduler, SchedulerPolicy::InferenceOnly);
+    let model =
+        ServiceModel::Fitted { table, rng: SplitMix64::seed_from_u64(seed), harvesting };
+    run_surrogate_traced(spec, model, arrivals, horizon, slo)
+}
+
+/// The DRAM-capped fraction of an idle MMU cycle the device's training
+/// service can actually use: staging supply over the profile's
+/// bytes-per-executed-cycle appetite, capped at 1. Zero without a
+/// co-hosted profile.
+pub(crate) fn idle_harvest_rate(spec: &DeviceSpec) -> f64 {
+    let Some(profile) = spec.training.as_ref() else { return 0.0 };
+    let bytes_per_exec =
+        profile.iteration_dram_bytes as f64 / profile.iteration_mmu_cycles as f64;
+    let supply = CostModel::from_config(&spec.config).dram_bytes_per_cycle;
+    if bytes_per_exec > 0.0 {
+        (supply / bytes_per_exec).min(1.0)
+    } else {
+        1.0
+    }
+}
+
+/// The shared surrogate walk behind both fidelity tiers.
+fn run_surrogate_traced(
+    spec: &DeviceSpec,
+    model: ServiceModel<'_>,
     arrivals: &[u64],
     horizon: u64,
     slo: Option<SloSpec>,
@@ -191,7 +293,7 @@ pub(crate) fn run_static_bounds_traced(
     let mut walk = Walk {
         arrivals,
         n,
-        service: upper_cycles as f64,
+        model,
         horizon: horizon as f64,
         warmup: horizon as f64 * WARMUP_FRACTION,
         freq,
@@ -208,6 +310,8 @@ pub(crate) fn run_static_bounds_traced(
         breakdown: CycleBreakdown::default(),
         latencies: Vec::new(),
         inference_busy: 0.0,
+        corun_cycles: 0.0,
+        energy_j: 0.0,
         completed: 0,
         completed_measured: 0,
         deadline_misses: 0,
@@ -283,26 +387,25 @@ pub(crate) fn run_static_bounds_traced(
     let final_queue_depth = walk.stranded_count;
     let peak_queue = walk.peak_queue.max(final_queue_depth);
 
-    // Idle-cycle harvest, DRAM-capped (conservative: no co-run share).
+    // Harvest: idle cycles DRAM-capped (conservative: the fixed model
+    // has no co-run share), plus — under the fitted model — the co-run
+    // share training received while stretched batches were in flight.
     let admits_training = spec.training.is_some()
         && !matches!(spec.config.scheduler, SchedulerPolicy::InferenceOnly);
     let idle = (horizon as f64 - walk.inference_busy).max(0.0);
-    let (training_cycles, training_macs) = if admits_training {
+    let (training_cycles, idle_harvest, training_macs) = if admits_training {
         let profile = spec.training.as_ref().expect("admits_training checked");
-        let bytes_per_exec =
-            profile.iteration_dram_bytes as f64 / profile.iteration_mmu_cycles as f64;
-        let supply = CostModel::from_config(&spec.config).dram_bytes_per_cycle;
-        let rate = if bytes_per_exec > 0.0 { (supply / bytes_per_exec).min(1.0) } else { 1.0 };
-        let cycles = idle * rate;
+        let idle_harvest = idle * idle_harvest_rate(spec);
+        let cycles = walk.corun_cycles + idle_harvest;
         let macs_per_cycle =
             profile.iteration_macs as f64 / profile.iteration_mmu_cycles as f64;
-        (cycles, cycles * macs_per_cycle)
+        (cycles, idle_harvest, cycles * macs_per_cycle)
     } else {
-        (0.0, 0.0)
+        (0.0, 0.0, 0.0)
     };
     let mut breakdown = walk.breakdown;
     breakdown.working += training_cycles;
-    breakdown.idle = (idle - training_cycles).max(0.0);
+    breakdown.idle = (idle - idle_harvest).max(0.0);
 
     let elapsed_s = horizon as f64 / freq;
     let measured_s = elapsed_s * (1.0 - WARMUP_FRACTION);
@@ -341,7 +444,7 @@ pub(crate) fn run_static_bounds_traced(
         shed_requests: walk.shed_total,
         slo: slo_report,
     };
-    SurrogateRun { report, outcomes: walk.outcomes }
+    SurrogateRun { report, outcomes: walk.outcomes, energy_j: walk.energy_j }
 }
 
 /// Evaluates `spec`'s share of the traffic analytically, discarding
@@ -362,7 +465,7 @@ mod tests {
     use super::*;
     use crate::cluster::tests::test_device;
     use equinox_sim::loadgen::poisson_arrivals;
-    use equinox_sim::FaultScenario;
+    use equinox_sim::{BatchSample, FaultScenario};
 
     /// Arrivals at `load ×` the device's saturation rate.
     fn arrivals_at(load: f64, horizon: u64, seed: u64) -> Vec<u64> {
@@ -500,6 +603,142 @@ mod tests {
         assert_eq!(surrogate.completed_requests, engine.completed_requests);
         // Shedding bounds the queue at the threshold.
         assert!(surrogate.slo.as_ref().unwrap().peak_queue_depth <= 8 * 16 + 16);
+    }
+
+    /// A single-bucket table whose every draw is the device's nominal
+    /// occupancy at the given stretch, pricing `energy` joules a batch.
+    fn degenerate_table(d: &DeviceSpec, stretch: f64, energy: f64) -> FittedTable {
+        let nominal = d.timing.total_cycles;
+        let samples: Vec<BatchSample> = (0..64)
+            .map(|i| BatchSample {
+                queue_depth: i % 64,
+                real: d.timing.batch,
+                start_cycle: 0.0,
+                end_cycle: nominal as f64 * stretch,
+                occupancy_cycles: nominal as f64,
+            })
+            .collect();
+        FittedTable::fit(
+            &d.config.name,
+            d.timing.batch,
+            nominal,
+            nominal,
+            energy,
+            energy,
+            vec![],
+            &samples,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fitted_with_a_degenerate_table_reproduces_the_static_walk() {
+        // A [nominal, nominal] envelope at stretch 1 collapses the
+        // fitted model onto the static-bounds walk: the reports must
+        // agree exactly, whatever the draw seed, and the energy ledger
+        // must price every completed batch.
+        let d = test_device("d0", 1e9, false);
+        let horizon = 2_000 * 16_000;
+        let arrivals = light_arrivals(horizon);
+        let slo = Some(SloSpec::new(16.0 * 16_000.0 / 1e9).unwrap());
+        let table = degenerate_table(&d, 1.0, 0.5);
+        let fitted = run_fitted_traced(&d, &table, &arrivals, horizon, slo, 99);
+        let statik =
+            run_static_bounds_traced(&d, d.timing.total_cycles, &arrivals, horizon, slo);
+        assert_eq!(fitted.report.completed_requests, statik.report.completed_requests);
+        assert_eq!(fitted.report.batches_issued, statik.report.batches_issued);
+        assert_eq!(fitted.report.latency.samples(), statik.report.latency.samples());
+        assert_eq!(fitted.outcomes.len(), statik.outcomes.len());
+        assert_eq!(statik.energy_j, 0.0, "the static model has no energy envelope");
+        assert!(fitted.energy_j > 0.0);
+        let batches = (fitted.energy_j / 0.5).round();
+        assert!((fitted.energy_j - batches * 0.5).abs() < 1e-9, "0.5 J per batch");
+        let reseeded = run_fitted_traced(&d, &table, &arrivals, horizon, slo, 100);
+        assert_eq!(reseeded.report.latency.samples(), fitted.report.latency.samples());
+    }
+
+    #[test]
+    fn fitted_stretch_lengthens_latency_and_credits_corun_harvest() {
+        let d = test_device("d0", 1e9, true);
+        let horizon = 2_000 * 16_000;
+        let arrivals = light_arrivals(horizon);
+        let calm = degenerate_table(&d, 1.0, 0.1);
+        let stretched = degenerate_table(&d, 2.0, 0.1);
+        let a = run_fitted_traced(&d, &calm, &arrivals, horizon, None, 7);
+        let b = run_fitted_traced(&d, &stretched, &arrivals, horizon, None, 7);
+        assert!(
+            b.report.latency.p99() > a.report.latency.p99(),
+            "contention stretch must lengthen the tail: {} vs {}",
+            b.report.latency.p99(),
+            a.report.latency.p99()
+        );
+        // Both harvest; the stretched run's occupancy cycles co-run
+        // with training (duration − occupancy is credited), so the
+        // harvest does not collapse even though wall-clock busy
+        // doubles.
+        assert!(a.report.training_mmu_cycles > 0.0);
+        assert!(
+            b.report.training_mmu_cycles > 0.6 * a.report.training_mmu_cycles,
+            "co-run credit must keep the stretched harvest close: {} vs {}",
+            b.report.training_mmu_cycles,
+            a.report.training_mmu_cycles
+        );
+        // Completed outcomes carry their occupancy share for
+        // displacement attribution.
+        let busy: f64 = b
+            .outcomes
+            .iter()
+            .map(|o| match o {
+                RequestOutcome::Completed { busy_cycles, .. } => *busy_cycles,
+                _ => 0.0,
+            })
+            .sum();
+        // Each completed batch's members share exactly its occupancy
+        // (here the nominal), so the total is a whole number of
+        // batches — at least as many as the completed requests fill.
+        let batches = busy / d.timing.total_cycles as f64;
+        assert!(
+            (batches - batches.round()).abs() < 1e-6,
+            "busy shares must sum to whole batches of occupancy, got {batches}"
+        );
+        assert!(batches >= b.report.completed_requests as f64 / d.timing.batch as f64);
+    }
+
+    #[test]
+    fn fitted_draws_depend_on_contention_bucket() {
+        // Two buckets: calm below depth 8, stretched above. Overload
+        // traffic must land in the slow bucket and show a longer tail
+        // than light traffic does.
+        let d = test_device("d0", 1e9, true);
+        let nominal = d.timing.total_cycles;
+        let samples: Vec<BatchSample> = (0..200)
+            .map(|i| {
+                let (depth, stretch) = if i % 2 == 0 { (0, 1.0) } else { (64, 1.9) };
+                BatchSample {
+                    queue_depth: depth,
+                    real: d.timing.batch,
+                    start_cycle: 0.0,
+                    end_cycle: nominal as f64 * stretch,
+                    occupancy_cycles: nominal as f64,
+                }
+            })
+            .collect();
+        let table = FittedTable::fit(
+            &d.config.name,
+            d.timing.batch,
+            nominal,
+            nominal,
+            0.0,
+            0.0,
+            vec![8],
+            &samples,
+        )
+        .unwrap();
+        let horizon = 2_000 * 16_000;
+        let light = run_fitted_traced(&d, &table, &arrivals_at(0.2, horizon, 3), horizon, None, 5);
+        let heavy = run_fitted_traced(&d, &table, &arrivals_at(0.9, horizon, 3), horizon, None, 5);
+        assert!(heavy.report.latency.p99() > light.report.latency.p99());
+        assert!(heavy.report.training_mmu_cycles > 0.0, "co-run harvest under contention");
     }
 
     #[test]

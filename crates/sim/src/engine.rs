@@ -43,6 +43,60 @@ const EPS: f64 = 1e-6;
 /// smaller than the f64 resolution of the clock.
 const STAGED_EPS: f64 = 1.0;
 
+/// One cleanly completed inference batch observed by
+/// [`Simulation::run_sampled`].
+///
+/// The sample separates two quantities the static bound analysis
+/// cannot: the batch's MMU *occupancy* (the integrated cycles the
+/// engine granted it — equal to the compiled service time up to event
+/// epsilons, and provably inside the static `[lower, upper]` envelope)
+/// and its *wall-clock duration* (`end_cycle − start_cycle`), which
+/// stretches past the occupancy whenever harvested training shares the
+/// array. The contention the batch saw is summarised by the queue
+/// depth at service start. These are the raw observations the fitted
+/// fleet surrogate's quantile tables are built from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchSample {
+    /// Requests still queued (forming + formed) at the instant service
+    /// began, excluding the batch entering service.
+    pub queue_depth: usize,
+    /// Real (non-dummy) requests in the batch.
+    pub real: usize,
+    /// Cycle service began.
+    pub start_cycle: f64,
+    /// Cycle service completed.
+    pub end_cycle: f64,
+    /// Integrated MMU cycles granted to the batch (`∫ r_inf dt` over
+    /// its service interval).
+    pub occupancy_cycles: f64,
+}
+
+impl BatchSample {
+    /// Wall-clock service duration, cycles.
+    pub fn duration_cycles(&self) -> f64 {
+        self.end_cycle - self.start_cycle
+    }
+
+    /// Wall-clock stretch over the MMU occupancy (`≥ 1` up to event
+    /// epsilons: a batch can wait on training, never the reverse).
+    pub fn stretch(&self) -> f64 {
+        if self.occupancy_cycles > 0.0 {
+            self.duration_cycles() / self.occupancy_cycles
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A batch sample being accumulated while its batch is in flight.
+#[derive(Debug, Clone, Copy)]
+struct PendingSample {
+    queue_depth: usize,
+    real: usize,
+    start: f64,
+    occupancy: f64,
+}
+
 /// An inference batch that has been formed and possibly started.
 #[derive(Debug, Clone)]
 struct Batch {
@@ -169,7 +223,44 @@ impl Simulation {
             }
         }
         scenario.validate()?;
-        Ok(Engine::new(self, arrivals, horizon_cycles, scenario, slo).run())
+        Ok(Engine::new(self, arrivals, horizon_cycles, scenario, slo, false).run().0)
+    }
+
+    /// Runs the fault-free simulation while recording one
+    /// [`BatchSample`] per cleanly completed batch, in completion
+    /// order. Sampling only observes the engine's state — the report is
+    /// byte-for-byte the one [`Simulation::run`] produces on the same
+    /// inputs. This is the measurement hook the fitted fleet surrogate
+    /// is calibrated through.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::run`]: [`EquinoxError::InvalidArgument`] if
+    /// `arrivals` is unsorted or not strictly inside the horizon.
+    pub fn run_sampled(
+        &self,
+        arrivals: &[u64],
+        horizon_cycles: u64,
+    ) -> Result<(SimReport, Vec<BatchSample>), EquinoxError> {
+        if !arrivals.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(EquinoxError::invalid_argument(
+                "Simulation::run_sampled",
+                "arrivals must be sorted ascending",
+            ));
+        }
+        if let Some(&last) = arrivals.last() {
+            if last >= horizon_cycles {
+                return Err(EquinoxError::invalid_argument(
+                    "Simulation::run_sampled",
+                    format!(
+                        "arrivals must lie strictly inside the horizon \
+                         (last arrival {last} >= horizon {horizon_cycles})"
+                    ),
+                ));
+            }
+        }
+        let scenario = FaultScenario::baseline();
+        Ok(Engine::new(self, arrivals, horizon_cycles, &scenario, None, true).run())
     }
 }
 
@@ -208,6 +299,11 @@ struct Engine<'a> {
     /// Cycle at which the queue first drained back to ≤ one batch after
     /// the last disturbance window.
     recovery_at: Option<f64>,
+    // Batch sampling (the fitted-surrogate calibration hook).
+    /// `Some` when the caller asked for per-batch samples.
+    samples: Option<Vec<BatchSample>>,
+    /// The sample accumulating for the batch in flight.
+    pending_sample: Option<PendingSample>,
     // Accumulators.
     training_cycles: f64,
     idle_cycles: f64,
@@ -246,6 +342,7 @@ impl<'a> Engine<'a> {
         horizon_cycles: u64,
         scenario: &'a FaultScenario,
         slo: Option<SloSpec>,
+        sample: bool,
     ) -> Self {
         Engine {
             sim,
@@ -267,6 +364,8 @@ impl<'a> Engine<'a> {
             pending_retries: VecDeque::new(),
             shrink_mode: false,
             recovery_at: None,
+            samples: sample.then(Vec::new),
+            pending_sample: None,
             training_cycles: 0.0,
             idle_cycles: 0.0,
             breakdown: CycleBreakdown::default(),
@@ -450,6 +549,16 @@ impl<'a> Engine<'a> {
         if self.in_flight.is_none() && self.software_block <= EPS {
             if let Some(batch) = self.formed.pop_front() {
                 let duration = self.sim.inference.total_cycles as f64;
+                if self.samples.is_some() {
+                    // Contention = what remains queued behind the batch
+                    // entering service.
+                    self.pending_sample = Some(PendingSample {
+                        queue_depth: self.queued_requests(),
+                        real: batch.arrivals.len(),
+                        start: self.now,
+                        occupancy: 0.0,
+                    });
+                }
                 self.in_flight = Some((batch, duration));
             } else if matches!(self.sim.config.scheduler, SchedulerPolicy::Software { .. })
                 && self.sim.training.is_some()
@@ -518,6 +627,9 @@ impl<'a> Engine<'a> {
         }
         if let Some((_, remaining)) = &mut self.in_flight {
             *remaining -= regime.r_inf * dt;
+            if let Some(p) = &mut self.pending_sample {
+                p.occupancy += regime.r_inf * dt;
+            }
         }
         if self.software_block > EPS {
             self.software_block = (self.software_block - regime.r_train * dt).max(0.0);
@@ -539,8 +651,23 @@ impl<'a> Engine<'a> {
         if done {
             let (batch, _) = self.in_flight.take().expect("checked above");
             if self.batch_corrupted() {
+                // A corrupted execution yields no clean observation; a
+                // retried batch is sampled afresh when it re-enters
+                // service.
+                self.pending_sample = None;
                 self.handle_corruption(batch);
             } else {
+                if let Some(p) = self.pending_sample.take() {
+                    if let Some(samples) = self.samples.as_mut() {
+                        samples.push(BatchSample {
+                            queue_depth: p.queue_depth,
+                            real: p.real,
+                            start_cycle: p.start,
+                            end_cycle: self.now,
+                            occupancy_cycles: p.occupancy,
+                        });
+                    }
+                }
                 self.complete_batch(&batch);
             }
         }
@@ -642,7 +769,7 @@ impl<'a> Engine<'a> {
         self.breakdown.other += mismatch + t.stall_cycles as f64;
     }
 
-    fn run(mut self) -> SimReport {
+    fn run(mut self) -> (SimReport, Vec<BatchSample>) {
         let mut stalled_iterations = 0u32;
         while self.now < self.horizon {
             self.settle();
@@ -677,7 +804,8 @@ impl<'a> Engine<'a> {
         self.finish()
     }
 
-    fn finish(self) -> SimReport {
+    fn finish(mut self) -> (SimReport, Vec<BatchSample>) {
+        let samples = self.samples.take().unwrap_or_default();
         let freq = self.sim.config.freq_hz;
         let elapsed_s = self.horizon / freq;
         let measured_s = elapsed_s * (1.0 - WARMUP_FRACTION);
@@ -734,7 +862,7 @@ impl<'a> Engine<'a> {
                 recovered: disturbance_end.is_none() || self.recovery_at.is_some(),
             }
         });
-        SimReport {
+        let report = SimReport {
             name: self.sim.config.name.clone(),
             horizon_cycles: self.horizon as u64,
             freq_hz: freq,
@@ -750,7 +878,8 @@ impl<'a> Engine<'a> {
             training_blocks: self.training_block_count,
             shed_requests: self.shed_total,
             slo,
-        }
+        };
+        (report, samples)
     }
 }
 
@@ -1034,6 +1163,36 @@ mod tests {
         assert_eq!(r.completed_requests, 8);
         assert_eq!(r.batches_issued, 1);
         assert_eq!(r.incomplete_batches, 0);
+    }
+
+    #[test]
+    fn sampled_run_observes_clean_batches_without_perturbing_the_report() {
+        let sim = sim_with(SchedulerPolicy::Priority { queue_threshold: 32 }, true);
+        let horizon = 200_000_000;
+        let rate = 0.5 * sim.max_request_rate_per_cycle();
+        let arrivals = poisson_arrivals(rate, horizon, 71).unwrap();
+        let plain = sim.run(&arrivals, horizon).unwrap();
+        let (report, samples) = sim.run_sampled(&arrivals, horizon).unwrap();
+        // Sampling only observes: the report is the unsampled one.
+        assert_eq!(report.completed_requests, plain.completed_requests);
+        assert_eq!(report.latency, plain.latency);
+        assert_eq!(report.batches_issued, plain.batches_issued);
+        assert!(!samples.is_empty());
+        assert!(samples.len() as u64 <= report.batches_issued);
+        let service = sim.inference.total_cycles as f64;
+        for s in &samples {
+            // Occupancy is the compiled service time up to event
+            // epsilons; wall-clock duration can only stretch past it.
+            assert!((s.occupancy_cycles - service).abs() <= 1.0, "{s:?}");
+            assert!(s.stretch() >= 1.0 - 1e-9, "{s:?}");
+            assert!(s.real >= 1 && s.real <= sim.inference.batch, "{s:?}");
+            assert!(s.end_cycle > s.start_cycle, "{s:?}");
+        }
+        // Training contention must stretch some batches past their
+        // occupancy — the distribution the fitted surrogate captures.
+        assert!(samples.iter().any(|s| s.stretch() > 1.05), "no contention observed");
+        let (_, again) = sim.run_sampled(&arrivals, horizon).unwrap();
+        assert_eq!(samples, again);
     }
 
     // ---- fault injection and graceful degradation ----

@@ -55,7 +55,7 @@ pub use config::{
     AcceleratorConfig, BatchingPolicy, DegradationPolicy, DramParams, RetryPolicy, SchedulerPolicy,
 };
 pub use cost::{CostModel, EnergyParams};
-pub use engine::{Simulation, WARMUP_FRACTION};
+pub use engine::{BatchSample, Simulation, WARMUP_FRACTION};
 pub use equinox_isa::EquinoxError;
 pub use fault::FaultScenario;
 pub use report::SimReport;

@@ -75,6 +75,13 @@ pub struct ClassLedger {
     /// Admitted requests routed to an evaluator that only reports
     /// aggregates, so their completion fate cannot be attributed here.
     pub unattributed_requests: usize,
+    /// Free-training epochs this class's completed traffic displaced:
+    /// the MMU cycles its batches occupied, priced at the device's
+    /// harvest rate and divided by the cycles one epoch costs. Filled
+    /// only by evaluators that report per-request outcomes on
+    /// harvesting devices; it makes "paid overload ate the harvest"
+    /// directly visible instead of inferable from scaling spans.
+    pub displaced_epochs: f64,
     /// Latency distribution of the attributed completions, seconds.
     pub latency: LatencyStats,
 }
@@ -89,6 +96,7 @@ impl ClassLedger {
             completed_requests: 0,
             deadline_misses: 0,
             unattributed_requests: 0,
+            displaced_epochs: 0.0,
             latency: LatencyStats::from_samples(Vec::new()),
         }
     }
@@ -141,6 +149,7 @@ impl ClassLedger {
             out.completed_requests += p.completed_requests;
             out.deadline_misses += p.deadline_misses;
             out.unattributed_requests += p.unattributed_requests;
+            out.displaced_epochs += p.displaced_epochs;
             tails.push(&p.latency);
         }
         out.latency = LatencyStats::merged(tails);
@@ -300,6 +309,7 @@ mod tests {
         paid.shed_requests = 5;
         paid.completed_requests = 90;
         paid.deadline_misses = 5;
+        paid.displaced_epochs = 0.25;
         paid.latency = LatencyStats::from_samples(vec![1e-3; 90]);
         assert_eq!(paid.total_violations(), 10);
         assert!((paid.violation_rate() - 0.1).abs() < 1e-12);
@@ -308,6 +318,7 @@ mod tests {
         let merged = ClassLedger::merged(RequestClass::Paid, [&paid, &paid]);
         assert_eq!(merged.offered_requests, 200);
         assert_eq!(merged.deadline_misses, 10);
+        assert!((merged.displaced_epochs - 0.5).abs() < 1e-12);
         assert_eq!(merged.latency.count(), 180);
         let empty = ClassLedger::empty(RequestClass::Free);
         assert_eq!(empty.violation_rate(), 0.0);

@@ -17,11 +17,58 @@ impl LatencyStats {
 
     /// Merges several summaries into one distribution — e.g. per-device
     /// latencies into a fleet-wide tail. Equivalent to
-    /// [`LatencyStats::from_samples`] on the concatenated sample sets.
+    /// [`LatencyStats::from_samples`] on the concatenated sample sets,
+    /// but O(N log k) instead of O(N log N): every part is already
+    /// sorted (the only constructors are [`LatencyStats::from_samples`]
+    /// and this), so a tournament over the k part heads suffices. At
+    /// fleet scale this is the difference between re-sorting tens of
+    /// millions of samples per merge and a single linear pass.
     pub fn merged<'a>(parts: impl IntoIterator<Item = &'a LatencyStats>) -> LatencyStats {
-        LatencyStats::from_samples(
-            parts.into_iter().flat_map(|p| p.samples.iter().copied()).collect(),
-        )
+        let mut runs: Vec<&[f64]> = parts
+            .into_iter()
+            .map(|p| p.samples.as_slice())
+            .filter(|s| !s.is_empty())
+            .collect();
+        match runs.len() {
+            0 => return LatencyStats { samples: Vec::new() },
+            1 => return LatencyStats { samples: runs[0].to_vec() },
+            _ => {}
+        }
+        let total = runs.iter().map(|s| s.len()).sum();
+        let mut samples = Vec::with_capacity(total);
+        // Min-heap over the run heads: each output element costs
+        // O(log k) comparisons with no shifting; ties pop in arbitrary
+        // heap order, which cannot matter — equal heads contribute
+        // equal values, so the output sequence is the sorted multiset
+        // either way.
+        struct Run<'s>(&'s [f64]);
+        impl Ord for Run<'_> {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Reversed: BinaryHeap is a max-heap.
+                other.0[0].total_cmp(&self.0[0])
+            }
+        }
+        impl PartialOrd for Run<'_> {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl PartialEq for Run<'_> {
+            fn eq(&self, other: &Self) -> bool {
+                self.cmp(other) == std::cmp::Ordering::Equal
+            }
+        }
+        impl Eq for Run<'_> {}
+        let mut heap: std::collections::BinaryHeap<Run<'_>> =
+            runs.drain(..).map(Run).collect();
+        while let Some(Run(run)) = heap.pop() {
+            let (&head, rest) = run.split_first().expect("empty runs were filtered");
+            samples.push(head);
+            if !rest.is_empty() {
+                heap.push(Run(rest));
+            }
+        }
+        LatencyStats { samples }
     }
 
     /// The sorted samples (seconds) backing this summary, exposed so

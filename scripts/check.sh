@@ -60,10 +60,18 @@ echo "    the executed fixed-point kernels, or if the --quick budget"
 echo "    EQUINOX_QUICK_BUDGET_NUMERICS_S is blown)"
 cargo run --release -p equinox-bench --bin regen-results -- --quick numerics
 
+echo "==> fitted-surrogate smoke (fails if any sample escapes the static"
+echo "    envelope, a held-out contention bucket misses its calibration"
+echo "    ceiling, or the --quick budget EQUINOX_QUICK_BUDGET_FITTED_S"
+echo "    is blown; writes results/fitted_tables.json and the scaled-"
+echo "    sweep wall-clock comparison into bench_timings.json)"
+cargo run --release -p equinox-bench --bin regen-results -- --quick fitted
+
 echo "==> determinism smoke: the --quick regen of the sweep-backed"
-echo "    figures, the fleet and serving sweeps, and the bound and"
-echo "    numerics calibrations must be byte-identical serial vs parallel"
-EQUINOX_THREADS=1 cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks fleet serve bounds numerics
+echo "    figures, the fleet and serving sweeps (incl. their scaled"
+echo "    fitted-surrogate cells), the bound and numerics calibrations,"
+echo "    and the fitted tables must be byte-identical serial vs parallel"
+EQUINOX_THREADS=1 cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks fleet serve bounds numerics fitted
 cp results/fig6a_hbfp8.csv /tmp/equinox_fig6a_serial.csv
 cp results/table1_pareto.txt /tmp/equinox_table1_serial.txt
 cp results/driver_checks.json /tmp/equinox_checks_serial.json
@@ -71,7 +79,8 @@ cp results/fleet_sweep.json /tmp/equinox_fleet_serial.json
 cp results/serve_sweep.json /tmp/equinox_serve_serial.json
 cp results/bounds_calibration.json /tmp/equinox_bounds_serial.json
 cp results/numerics_sweep.json /tmp/equinox_numerics_serial.json
-cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks fleet serve bounds numerics
+cp results/fitted_tables.json /tmp/equinox_fitted_serial.json
+cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks fleet serve bounds numerics fitted
 cmp results/fig6a_hbfp8.csv /tmp/equinox_fig6a_serial.csv
 cmp results/table1_pareto.txt /tmp/equinox_table1_serial.txt
 cmp results/driver_checks.json /tmp/equinox_checks_serial.json
@@ -79,6 +88,7 @@ cmp results/fleet_sweep.json /tmp/equinox_fleet_serial.json
 cmp results/serve_sweep.json /tmp/equinox_serve_serial.json
 cmp results/bounds_calibration.json /tmp/equinox_bounds_serial.json
 cmp results/numerics_sweep.json /tmp/equinox_numerics_serial.json
+cmp results/fitted_tables.json /tmp/equinox_fitted_serial.json
 echo "    byte-identical at EQUINOX_THREADS=1 and the default pool"
 
 echo "==> rustdoc (warnings are errors; no external deps to document)"

@@ -10,7 +10,9 @@
 //! contract must be immune to.
 
 use equinox_arith::Encoding;
-use equinox_core::experiments::{fig10, fig11, fig6, fig7, fig8, fig9, fleet, numerics, serve, table1};
+use equinox_core::experiments::{
+    fig10, fig11, fig6, fig7, fig8, fig9, fitted, fleet, numerics, serve, table1,
+};
 use equinox_core::{Equinox, ExperimentScale};
 use equinox_isa::models::ModelSpec;
 use equinox_model::LatencyConstraint;
@@ -100,6 +102,18 @@ fn serve_sweep_json_is_thread_count_invariant() {
     // the per-device evaluations merge by index — so the serialized
     // sweep must not depend on scheduling.
     assert_identical_across_thread_counts(|| serve::run(ExperimentScale::Quick).to_json());
+}
+
+#[test]
+fn fitted_tables_json_is_thread_count_invariant() {
+    // The golden for `results/fitted_tables.json`: the (model, load,
+    // seed) sampling grid fans out across threads but pools samples by
+    // grid index, so the fitted quantile tables and their held-out
+    // calibration must not depend on scheduling. Calls `fitted::run`
+    // directly (not the process-shared `FittedCalibration::shared`)
+    // so both renderings genuinely refit. The scaled fleet/serve cells
+    // built on these tables are covered by the fleet/serve probes.
+    assert_identical_across_thread_counts(|| fitted::run(ExperimentScale::Quick).to_json());
 }
 
 #[test]
