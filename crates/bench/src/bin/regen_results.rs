@@ -28,8 +28,8 @@
 //! run, so a CI blowup names the experiment that regained full scale.
 
 use equinox_core::experiments::{
-    ablation, bounds_calibration, diurnal, fault_sweep, fig10, fig11, fig2, fig6, fig7, fig8,
-    fig9, fitted, fleet, numerics, serve, software_sched, table1, table2, table3,
+    ablation, allreduce, bounds_calibration, diurnal, fault_sweep, fig10, fig11, fig2, fig6,
+    fig7, fig8, fig9, fitted, fleet, numerics, serve, software_sched, table1, table2, table3,
 };
 use equinox_core::ExperimentScale;
 use std::fmt::Write as _;
@@ -86,7 +86,7 @@ fn default_quick_budget_s(id: &str) -> f64 {
         "fig7" | "fig9" | "table2" | "fig10" => 90.0,
         "table3" => 15.0,
         "bounds" | "numerics" => 30.0,
-        "fig11" | "ablation" | "fault" | "fleet" | "serve" | "fitted" => 120.0,
+        "fig11" | "ablation" | "fault" | "fleet" | "serve" | "fitted" | "allreduce" => 120.0,
         "checks" => 180.0,
         _ => 120.0,
     }
@@ -485,6 +485,45 @@ fn jobs_for(selected: impl Fn(&str) -> bool, scale: ExperimentScale) -> Vec<Job>
                 log,
                 comparisons: Vec::new(),
                 files: vec![("fleet_sweep.json".into(), sweep.to_json())],
+                failure,
+            }
+        }));
+    }
+
+    if selected("allreduce") {
+        push("allreduce", "gradient all-reduce: harvest-vs-sync frontier (extension)", Box::new(move || {
+            let mut log = String::new();
+            let sweep = allreduce::run(scale);
+            let _ = writeln!(log, "{sweep}");
+            // The CI smoke gate: the full topology × schedule × load
+            // frontier is present; every fabric still completes its
+            // round with strictly positive synced epochs at the
+            // moderate load; the paid tier is untouched at the
+            // one-big-switch reference cells; every link conserves
+            // bytes; and the EQX09xx fabric lints are clean.
+            let failure = (!sweep.passes()).then(|| {
+                let mut failed = Vec::new();
+                if !sweep.frontier_complete() {
+                    failed.push("frontier_complete");
+                }
+                if !sweep.synced_positive_at_moderate() {
+                    failed.push("synced_positive_at_moderate");
+                }
+                if !sweep.reference_slo_clean() {
+                    failed.push("reference_slo_clean");
+                }
+                if !sweep.conserved() {
+                    failed.push("conserved");
+                }
+                if !sweep.lints_clean() {
+                    failed.push("lints_clean");
+                }
+                format!("allreduce: harvest-vs-sync gate failed ({})", failed.join(", "))
+            });
+            JobBody {
+                log,
+                comparisons: Vec::new(),
+                files: vec![("allreduce_sweep.json".into(), sweep.to_json())],
                 failure,
             }
         }));

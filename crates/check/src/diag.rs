@@ -15,6 +15,7 @@
 //! | `06xx`  | static cycle/energy bounds (schedule envelopes)    |
 //! | `07xx`  | serving / admission-control lints          |
 //! | `08xx`  | numerics (HBFP magnitude/exponent abstract interpretation) |
+//! | `09xx`  | interconnect / gradient-synchronization lints |
 //!
 //! (The retired `01xx` range held the pre-region occupancy-timeline
 //! pass; its codes are not reused.)
@@ -143,6 +144,26 @@ impl Code {
     /// (safe depth / actual depth) is below the configured floor —
     /// safe today, fragile under deeper tiling.
     pub const SATURATION_HEADROOM_LOW: Code = Code(805);
+
+    /// The fabric's residual link capacity (after background DMA)
+    /// cannot move one epoch's gradient bytes within the epoch's wall
+    /// time — synchronous training can never keep up and the synced
+    /// harvest is zero by construction.
+    pub const LINK_RATE_BELOW_SYNC_DEMAND: Code = Code(901);
+    /// PFC switching on a topology with a directed cycle of fabric
+    /// links: a backpressure cycle — and therefore deadlock — is
+    /// reachable under load.
+    pub const PFC_CYCLE_DEADLOCK_CAPABLE: Code = Code(902);
+    /// The retransmission timeout is below the uncontended window
+    /// round-trip, so every window times out before its ack can
+    /// possibly arrive and the retry budget exhausts on a healthy
+    /// fabric.
+    pub const TIMEOUT_BELOW_WINDOW_RTT: Code = Code(903);
+    /// Fewer than two harvesting devices: the all-reduce has no peers,
+    /// so the interconnect is dead configuration (or, at warning
+    /// severity, the ring schedule's per-step chunk degenerates below
+    /// one packet).
+    pub const ALLREDUCE_WITHOUT_PEERS: Code = Code(904);
 
     /// The numeric value (e.g. `101` for `EQX0101`).
     pub fn value(self) -> u16 {
@@ -434,6 +455,10 @@ mod tests {
         assert_eq!(Code::REQUANTIZATION_FLUSH.to_string(), "EQX0803");
         assert_eq!(Code::UPDATE_BELOW_LSB.to_string(), "EQX0804");
         assert_eq!(Code::SATURATION_HEADROOM_LOW.value(), 805);
+        assert_eq!(Code::LINK_RATE_BELOW_SYNC_DEMAND.to_string(), "EQX0901");
+        assert_eq!(Code::PFC_CYCLE_DEADLOCK_CAPABLE.to_string(), "EQX0902");
+        assert_eq!(Code::TIMEOUT_BELOW_WINDOW_RTT.to_string(), "EQX0903");
+        assert_eq!(Code::ALLREDUCE_WITHOUT_PEERS.value(), 904);
     }
 
     #[test]

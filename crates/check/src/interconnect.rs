@@ -1,0 +1,255 @@
+//! Interconnect lints (`09xx`): gradient-synchronization fabric
+//! parameters checked against the sync traffic they must carry.
+//!
+//! The net layer (`equinox-net`) validates that an `InterconnectSpec`
+//! is *well-formed* (finite rates, nonzero packets, positive budgets);
+//! this pass checks that it is *sensible* for the fleet it is attached
+//! to — a link that cannot move one epoch's gradients inside one
+//! epoch, a retransmission timer that fires before an ack can possibly
+//! arrive, or a PFC fabric wired into a backpressure cycle is valid
+//! configuration but doomed traffic. Drivers run
+//! [`analyze_interconnect`] over the plain-number
+//! [`InterconnectParams`] summary before spending cycles simulating
+//! all-reduce rounds, the same way serving lints (`07xx`) gate the
+//! fleet sweeps.
+//!
+//! Like [`crate::serving`], this pass analyzes no program or
+//! `AcceleratorConfig` — only scalar fabric parameters — so it stands
+//! alone rather than joining [`crate::PassSelection`].
+
+use crate::diag::{Code, Diagnostic};
+
+/// The plain-number summary of one interconnect configuration: the
+/// fabric's link and flow-control parameters plus the sync workload
+/// (gradient bytes, participants, epoch pace) they must sustain.
+///
+/// Time-scale fields default to a configuration every lint accepts;
+/// describe one fabric at a time by overriding the fields it names.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterconnectParams {
+    /// Link rate, bytes per reference-clock cycle.
+    pub link_rate_bytes_per_cycle: f64,
+    /// One-way link propagation latency, cycles.
+    pub link_latency_cycles: u64,
+    /// Packet payload size, bytes.
+    pub packet_bytes: u32,
+    /// Go-back-N window, packets.
+    pub window_packets: u32,
+    /// Retransmission timeout, cycles.
+    pub timeout_cycles: u64,
+    /// Consecutive fruitless timeouts before a flow aborts.
+    pub retry_budget: u32,
+    /// Hop count of the longest route the topology can produce.
+    pub max_route_hops: usize,
+    /// True when the fabric's link graph contains a directed cycle
+    /// (ring trunks, or any topology whose `is_cyclic` reports one).
+    pub topology_cyclic: bool,
+    /// True under priority flow control (lossless backpressure);
+    /// false under drop-tail switching.
+    pub pfc: bool,
+    /// Gradient bytes one all-reduce round must move per participant.
+    pub gradient_bytes: u64,
+    /// Devices harvesting free training (the all-reduce group size).
+    pub harvesting_devices: usize,
+    /// Wall cycles between sync rounds: the horizon divided by the
+    /// slowest participant's raw free epochs (0 when the fleet
+    /// harvests nothing — the demand lint then has no epoch to miss).
+    pub epoch_wall_cycles: f64,
+    /// Steady background (inference DMA + harvest staging) demand as
+    /// a fraction of the link rate, `[0, 1)`.
+    pub background_load_frac: f64,
+}
+
+impl Default for InterconnectParams {
+    /// The datacenter-profile fabric under a moderate harvest: passes
+    /// every lint, used as the base for describing one fault at a
+    /// time.
+    fn default() -> Self {
+        InterconnectParams {
+            link_rate_bytes_per_cycle: 32.0,
+            link_latency_cycles: 1_000,
+            packet_bytes: 4_096,
+            window_packets: 16,
+            timeout_cycles: 60_000,
+            retry_budget: 16,
+            max_route_hops: 2,
+            topology_cyclic: false,
+            pfc: false,
+            gradient_bytes: 16 << 20,
+            harvesting_devices: 4,
+            epoch_wall_cycles: 8e6,
+            background_load_frac: 0.5,
+        }
+    }
+}
+
+/// Cycles an uncontended window round-trip takes on the longest route:
+/// serializing the window at the first hop, propagating the last
+/// packet across every hop, and returning the cumulative ack.
+fn uncontended_window_rtt(p: &InterconnectParams) -> f64 {
+    let ser = p.packet_bytes as f64 / p.link_rate_bytes_per_cycle.max(f64::MIN_POSITIVE);
+    let hops = p.max_route_hops.max(1) as f64;
+    p.window_packets as f64 * ser + hops * (ser + 2.0 * p.link_latency_cycles as f64)
+}
+
+/// Lints one interconnect configuration against its sync workload.
+/// Errors mark fabrics whose all-reduce can never complete or keep up
+/// (dead harvest by construction); warnings mark fabrics that merely
+/// risk degradation under load.
+pub fn analyze_interconnect(params: &InterconnectParams) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let p = params;
+    let residual = p.link_rate_bytes_per_cycle * (1.0 - p.background_load_frac);
+    // Each participant must move ≈2× its gradient bytes per round
+    // (send-and-receive in the reduce plus the redistribute half; both
+    // ring and binomial-tree schedules meet this floor).
+    let round_floor_cycles = if residual > 0.0 {
+        2.0 * p.gradient_bytes as f64 / residual
+    } else {
+        f64::INFINITY
+    };
+    if p.epoch_wall_cycles > 0.0 && round_floor_cycles > p.epoch_wall_cycles {
+        diags.push(Diagnostic::error(
+            Code::LINK_RATE_BELOW_SYNC_DEMAND,
+            format!(
+                "moving 2 × {} gradient bytes needs {:.2e} cycles at the \
+                 residual link rate ({:.1} B/cycle after {:.0} % background \
+                 load), but an epoch completes every {:.2e} cycles; \
+                 synchronous training can never keep up and the synced \
+                 harvest is zero",
+                p.gradient_bytes,
+                round_floor_cycles,
+                residual,
+                p.background_load_frac * 100.0,
+                p.epoch_wall_cycles
+            ),
+        ));
+    }
+    if p.pfc && p.topology_cyclic {
+        diags.push(Diagnostic::warning(
+            Code::PFC_CYCLE_DEADLOCK_CAPABLE,
+            "PFC backpressure over a topology with a directed link cycle: \
+             a pause cycle — and therefore deadlock — is reachable under \
+             load; use drop-tail switching or an acyclic topology for the \
+             sync fabric"
+                .to_string(),
+        ));
+    }
+    let rtt = uncontended_window_rtt(p);
+    if (p.timeout_cycles as f64) < rtt {
+        diags.push(Diagnostic::error(
+            Code::TIMEOUT_BELOW_WINDOW_RTT,
+            format!(
+                "retransmission timeout of {} cycles is below the \
+                 uncontended window round-trip of {:.0} cycles \
+                 ({} packets × {} B over {} hop(s) at {} cycles latency); \
+                 every window times out before its ack can arrive and the \
+                 retry budget of {} exhausts on a healthy fabric",
+                p.timeout_cycles,
+                rtt,
+                p.window_packets,
+                p.packet_bytes,
+                p.max_route_hops,
+                p.link_latency_cycles,
+                p.retry_budget
+            ),
+        ));
+    }
+    if p.harvesting_devices < 2 {
+        diags.push(Diagnostic::error(
+            Code::ALLREDUCE_WITHOUT_PEERS,
+            format!(
+                "{} harvesting device(s): the all-reduce has no peers, so \
+                 the interconnect is dead configuration — detach it or \
+                 co-host training on at least two devices",
+                p.harvesting_devices
+            ),
+        ));
+    } else {
+        let chunk = (p.gradient_bytes as f64 / p.harvesting_devices as f64).ceil();
+        if chunk < p.packet_bytes as f64 {
+            diags.push(Diagnostic::warning(
+                Code::ALLREDUCE_WITHOUT_PEERS,
+                format!(
+                    "ring chunk of {:.0} bytes ({} gradient bytes over {} \
+                     participants) is below one {} B packet; per-step flows \
+                     degenerate to single padded packets and latency, not \
+                     bandwidth, bounds the round",
+                    chunk, p.gradient_bytes, p.harvesting_devices, p.packet_bytes
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    #[test]
+    fn default_params_are_clean() {
+        assert!(analyze_interconnect(&InterconnectParams::default()).is_empty());
+    }
+
+    #[test]
+    fn each_lint_fires_alone() {
+        let base = InterconnectParams::default();
+        let cases: Vec<(InterconnectParams, Code)> = vec![
+            (
+                InterconnectParams { epoch_wall_cycles: 1e5, ..base },
+                Code::LINK_RATE_BELOW_SYNC_DEMAND,
+            ),
+            (
+                InterconnectParams { pfc: true, topology_cyclic: true, ..base },
+                Code::PFC_CYCLE_DEADLOCK_CAPABLE,
+            ),
+            (
+                InterconnectParams { timeout_cycles: 2_000, ..base },
+                Code::TIMEOUT_BELOW_WINDOW_RTT,
+            ),
+            (
+                InterconnectParams { harvesting_devices: 1, ..base },
+                Code::ALLREDUCE_WITHOUT_PEERS,
+            ),
+        ];
+        for (params, code) in &cases {
+            let diags = analyze_interconnect(params);
+            assert_eq!(diags.len(), 1, "{code}: {diags:?}");
+            assert_eq!(diags[0].code, *code);
+        }
+    }
+
+    #[test]
+    fn degenerate_ring_chunks_warn_under_the_peer_code() {
+        let params = InterconnectParams {
+            gradient_bytes: 8_192,
+            ..InterconnectParams::default()
+        };
+        let diags = analyze_interconnect(&params);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::ALLREDUCE_WITHOUT_PEERS);
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn zero_epoch_pace_disables_the_demand_lint() {
+        // A fleet that harvests nothing has no epoch cadence to miss.
+        let params = InterconnectParams {
+            epoch_wall_cycles: 0.0,
+            gradient_bytes: u64::MAX,
+            ..InterconnectParams::default()
+        };
+        assert!(analyze_interconnect(&params).is_empty());
+    }
+
+    #[test]
+    fn pfc_alone_and_cycles_alone_stay_clean() {
+        let pfc_only = InterconnectParams { pfc: true, ..Default::default() };
+        let cyclic_only =
+            InterconnectParams { topology_cyclic: true, ..Default::default() };
+        assert!(analyze_interconnect(&pfc_only).is_empty());
+        assert!(analyze_interconnect(&cyclic_only).is_empty());
+    }
+}

@@ -36,10 +36,12 @@
 //! the timed entry points report per-family wall-clock so drivers can
 //! record where analysis time goes.
 //!
-//! A further standalone pass — [`serving`] (`07xx`) — lints fleet-level
-//! admission-control and autoscaling parameters; it analyzes scalar
-//! [`ServingParams`] rather than programs, so it sits outside the
-//! [`PassSelection`] machinery.
+//! Two further standalone passes sit outside the [`PassSelection`]
+//! machinery because they analyze scalar parameters rather than
+//! programs: [`serving`] (`07xx`) lints fleet-level admission-control
+//! and autoscaling parameters ([`ServingParams`]), and
+//! [`interconnect`] (`09xx`) lints the gradient-synchronization
+//! fabric against its sync workload ([`InterconnectParams`]).
 //!
 //! ## Example
 //!
@@ -66,6 +68,7 @@ pub mod config;
 pub mod dataflow;
 pub mod diag;
 pub mod encoding;
+pub mod interconnect;
 pub mod intervals;
 pub mod numerics;
 pub mod resources;
@@ -73,6 +76,7 @@ pub mod serving;
 
 pub use bounds::{BoundsOptions, CycleBounds, EnergyBounds, ProgramBounds};
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
+pub use interconnect::{analyze_interconnect, InterconnectParams};
 pub use numerics::{ChainVerdict, NumericsOptions, NumericsSummary};
 pub use serving::{analyze_serving, ServingParams};
 pub use equinox_isa::validate::BufferBudget;

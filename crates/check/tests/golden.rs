@@ -518,3 +518,76 @@ fn eqx0805_saturation_headroom_low() {
     ok.push(Instruction::matmul(1, dims().tile_k(), 1, GemmMode::VectorMatrix));
     assert!(!numerics_report(&ok, &Default::default()).has_code(Code::SATURATION_HEADROOM_LOW));
 }
+
+fn interconnect(params: equinox_check::InterconnectParams) -> equinox_check::Report {
+    let mut r = equinox_check::Report::new("interconnect");
+    r.extend(equinox_check::analyze_interconnect(&params));
+    r
+}
+
+#[test]
+fn eqx0901_link_rate_below_sync_demand() {
+    // A 16 MiB gradient behind a 2 B/cycle residual link needs ~16.8M
+    // cycles per round against a 1M-cycle epoch cadence: training can
+    // never keep up.
+    let p = equinox_check::InterconnectParams {
+        link_rate_bytes_per_cycle: 4.0,
+        background_load_frac: 0.5,
+        epoch_wall_cycles: 1e6,
+        ..Default::default()
+    };
+    let r = interconnect(p);
+    assert!(r.has_code(Code::LINK_RATE_BELOW_SYNC_DEMAND), "{}", r.render_human());
+    assert!(r.has_errors());
+}
+
+#[test]
+fn eqx0902_pfc_cycle_deadlock_capable() {
+    // PFC backpressure over ring trunks: a pause cycle is reachable —
+    // the exact configuration the net crate's deadlock test aborts on.
+    let p = equinox_check::InterconnectParams {
+        pfc: true,
+        topology_cyclic: true,
+        ..Default::default()
+    };
+    let r = interconnect(p);
+    assert!(r.has_code(Code::PFC_CYCLE_DEADLOCK_CAPABLE), "{}", r.render_human());
+    // Deadlock needs load to manifest; the configuration alone warns.
+    assert!(!r.has_errors());
+}
+
+#[test]
+fn eqx0903_timeout_below_window_rtt() {
+    // A 16-packet window over 2 hops at 1000-cycle latency round-trips
+    // in ≈4.4k uncontended cycles; a 3k timeout fires before any ack.
+    let p = equinox_check::InterconnectParams {
+        timeout_cycles: 3_000,
+        ..Default::default()
+    };
+    let r = interconnect(p);
+    assert!(r.has_code(Code::TIMEOUT_BELOW_WINDOW_RTT), "{}", r.render_human());
+    assert!(r.has_errors());
+}
+
+#[test]
+fn eqx0904_allreduce_without_peers() {
+    // One harvesting device: the all-reduce group has no peers and the
+    // fabric is dead configuration.
+    let p = equinox_check::InterconnectParams {
+        harvesting_devices: 1,
+        ..Default::default()
+    };
+    let r = interconnect(p);
+    assert!(r.has_code(Code::ALLREDUCE_WITHOUT_PEERS), "{}", r.render_human());
+    assert!(r.has_errors());
+    // The same code at warning severity: 64 participants chunk a 64 KiB
+    // gradient below one packet, so latency bounds the ring.
+    let degenerate = equinox_check::InterconnectParams {
+        harvesting_devices: 64,
+        gradient_bytes: 64 << 10,
+        ..Default::default()
+    };
+    let r = interconnect(degenerate);
+    assert!(r.has_code(Code::ALLREDUCE_WITHOUT_PEERS), "{}", r.render_human());
+    assert!(!r.has_errors());
+}

@@ -5,6 +5,7 @@
 //! behind `cargo run -p equinox-bench --bin regen-results`.
 
 pub mod ablation;
+pub mod allreduce;
 pub mod bounds_calibration;
 pub mod diurnal;
 pub mod fault_sweep;

@@ -17,8 +17,10 @@ use crate::device::{DeviceSpec, Fidelity};
 use crate::report::{free_epochs, DeviceOutcome, FleetReport};
 use crate::routing::{Router, RoutingPolicy};
 use crate::surrogate::{self, RequestOutcome};
+use crate::sync;
 use equinox_arith::rng::SplitMix64;
 use equinox_isa::EquinoxError;
+use equinox_net::InterconnectSpec;
 use equinox_sim::loadgen::{
     diurnal_arrivals, poisson_arrivals, split_seed, trace_arrivals, DiurnalProfile, FlashCrowd,
 };
@@ -27,6 +29,11 @@ use equinox_sim::{ClassLedger, LatencyStats, RequestClass, SchedulerPolicy, SimR
 /// The seed stream of the paid/free class draw (see the crate docs):
 /// far above any device stream, so adding devices never collides.
 pub(crate) const CLASS_STREAM: u64 = 1 << 32;
+
+/// The seed stream of the interconnect's background-traffic phases
+/// (see the crate docs): above even [`CLASS_STREAM`], so attaching an
+/// interconnect never perturbs arrivals, routing, or the class draw.
+pub(crate) const INTERCONNECT_STREAM: u64 = 1 << 33;
 
 /// Where the fleet's request traffic comes from.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,10 +96,12 @@ pub struct FleetRunOptions {
     pub slo: Option<SloSpec>,
 }
 
-/// A set of devices behind one request router.
+/// A set of devices behind one request router, optionally wired
+/// together by a packet-level interconnect.
 #[derive(Debug, Clone)]
 pub struct Fleet {
     devices: Vec<DeviceSpec>,
+    interconnect: Option<InterconnectSpec>,
 }
 
 impl Fleet {
@@ -192,7 +201,26 @@ impl Fleet {
                 ));
             }
         }
-        Ok(Fleet { devices })
+        Ok(Fleet { devices, interconnect: None })
+    }
+
+    /// Attaches a packet-level interconnect: every free epoch then
+    /// pays for one gradient all-reduce round over the harvesting
+    /// devices, and the report gains a [`crate::sync::SyncReport`].
+    ///
+    /// # Errors
+    ///
+    /// [`EquinoxError::InvalidArgument`] when `spec` fails
+    /// [`InterconnectSpec::validate`] against this fleet's size.
+    pub fn with_interconnect(mut self, spec: InterconnectSpec) -> Result<Self, EquinoxError> {
+        spec.validate(self.devices.len())?;
+        self.interconnect = Some(spec);
+        Ok(self)
+    }
+
+    /// The attached interconnect, if any.
+    pub fn interconnect(&self) -> Option<&InterconnectSpec> {
+        self.interconnect.as_ref()
     }
 
     /// The device specifications, in index order.
@@ -390,7 +418,7 @@ impl Fleet {
                 report,
             });
         }
-        let class_ledgers: Vec<ClassLedger> = RequestClass::ALL
+        let mut class_ledgers: Vec<ClassLedger> = RequestClass::ALL
             .iter()
             .map(|&class| {
                 let mut edge = ClassLedger::empty(class);
@@ -403,6 +431,20 @@ impl Fleet {
                 )
             })
             .collect();
+        let sync = self
+            .interconnect
+            .as_ref()
+            .map(|spec| {
+                sync::evaluate_sync(
+                    spec,
+                    &self.devices,
+                    &devices,
+                    &mut class_ledgers,
+                    opts,
+                    freq_ref,
+                )
+            })
+            .transpose()?;
         Ok(FleetReport {
             policy: opts.policy.name(),
             admission: opts.admission.name(),
@@ -413,6 +455,7 @@ impl Fleet {
             latency: LatencyStats::merged(devices.iter().map(|d| &d.report.latency)),
             class_ledgers,
             scaling_spans: scaler.map(Autoscaler::into_spans).unwrap_or_default(),
+            sync,
             devices,
         })
     }
@@ -701,6 +744,51 @@ pub(crate) mod tests {
             rr.free_epochs()
         );
         assert!(ta.slo_clean(), "steering must not violate the SLO: {ta}");
+    }
+
+    #[test]
+    fn an_interconnect_prices_the_harvest_and_stays_deterministic() {
+        let fleet = mixed_fleet(4, 2)
+            .with_interconnect(InterconnectSpec::datacenter(1 << 20, 65_536))
+            .unwrap();
+        let o = opts(RoutingPolicy::training_aware_default(), 0.5, 400);
+        let fr = fleet.run(&o).unwrap();
+        let s = fr.sync.as_ref().expect("sync report present");
+        assert_eq!(s.participants, 2);
+        assert!(s.round_cycles > 0);
+        assert!(s.raw_free_epochs > 0.0, "{s}");
+        assert!(
+            s.synced_free_epochs > 0.0 && s.synced_free_epochs < s.raw_free_epochs,
+            "synchronization must cost something but not everything: {s}"
+        );
+        assert!((fr.synced_free_epochs() - s.synced_free_epochs).abs() < 1e-12);
+        // one_big_switch over 4 devices: 8 host links reported.
+        assert_eq!(s.link_utilization.len(), 8);
+        assert!(s.peak_link_utilization > 0.0);
+        // Determinism of the rendered report (includes the sync line).
+        assert_eq!(fleet.run(&o).unwrap().to_string(), fr.to_string());
+        // Without an interconnect, synced falls back to raw.
+        let bare = mixed_fleet(4, 2).run(&o).unwrap();
+        assert!(bare.sync.is_none());
+        assert_eq!(bare.synced_free_epochs(), bare.free_epochs());
+        assert_eq!(bare.sync_deadline_misses(), 0);
+    }
+
+    #[test]
+    fn a_lone_trainer_syncs_for_free_and_bad_specs_reject() {
+        let mut spec = InterconnectSpec::datacenter(1 << 20, 65_536);
+        let fleet = mixed_fleet(3, 1).with_interconnect(spec.clone()).unwrap();
+        let fr = fleet.run(&opts(RoutingPolicy::RoundRobin, 0.4, 300)).unwrap();
+        let s = fr.sync.as_ref().unwrap();
+        assert_eq!(s.participants, 1);
+        assert_eq!(s.round_cycles, 0, "a lone trainer never crosses the fabric");
+        assert!((s.synced_free_epochs - s.raw_free_epochs).abs() < 1e-12);
+        assert_eq!(s.sync_delay_s, 0.0);
+        spec.gradient_bytes = 0;
+        assert_eq!(
+            mixed_fleet(3, 1).with_interconnect(spec).unwrap_err().kind(),
+            "invalid-argument"
+        );
     }
 
     /// A surrogate-fidelity twin of [`test_device`] with exact bounds

@@ -32,10 +32,11 @@
 //! fleet-wide arrival process, stream 1 the router's
 //! power-of-two-choices draws, stream `2 + i` is reserved for device
 //! `i` (per-device fault burst traffic, or the fitted surrogate's
-//! per-batch draws — never both, fitted devices are fault-free), and
-//! stream `1 << 32` draws
-//! each request's paid/free class. Adding a device, switching the
-//! routing or admission policy, or changing the paid fraction
+//! per-batch draws — never both, fitted devices are fault-free),
+//! stream `1 << 32` draws each request's paid/free class, and stream
+//! `1 << 33` seeds the interconnect's background-traffic phases (see
+//! [`sync`]). Adding a device, switching the routing or admission
+//! policy, changing the paid fraction, or attaching an interconnect
 //! therefore never perturbs the offered traffic itself.
 //!
 //! ## The serving layer
@@ -69,11 +70,14 @@ pub mod fitted;
 pub mod report;
 pub mod routing;
 pub mod surrogate;
+pub mod sync;
 
 pub use admission::{AdmissionContext, AdmissionDecision, AdmissionPolicy, AdmissionSpec};
 pub use autoscale::{AutoscalePolicy, ScalingKind, ScalingSpan};
 pub use cluster::{ArrivalSource, Fleet, FleetRunOptions};
 pub use device::{DeviceSpec, Fidelity};
+pub use equinox_net::{AllReduceSchedule, InterconnectSpec, LinkSpec, SwitchPolicy, Topology};
 pub use fitted::{sorted_quantile, FittedDraw, FittedTable, QuantileGrid, GRID_POINTS, MAX_STRETCH};
 pub use report::{DeviceOutcome, FleetReport, EPOCH_SAMPLES};
 pub use routing::RoutingPolicy;
+pub use sync::SyncReport;

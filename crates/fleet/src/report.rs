@@ -2,6 +2,7 @@
 //! the shed/dropped ledger, and free-training epoch accounting.
 
 use crate::autoscale::ScalingSpan;
+use crate::sync::SyncReport;
 use equinox_isa::training::TrainingProfile;
 use equinox_sim::{ClassLedger, LatencyStats, RequestClass, SimReport};
 
@@ -75,6 +76,10 @@ pub struct FleetReport {
     /// Autoscaling transitions, in time order (empty without an
     /// autoscale policy).
     pub scaling_spans: Vec<ScalingSpan>,
+    /// Gradient-synchronization accounting; present only when the
+    /// fleet carries an interconnect
+    /// ([`crate::Fleet::with_interconnect`]).
+    pub sync: Option<SyncReport>,
     /// Per-device outcomes, in device-index order.
     pub devices: Vec<DeviceOutcome>,
     /// Fleet-wide latency distribution: every device's measured
@@ -116,6 +121,22 @@ impl FleetReport {
     /// Fleet-wide free-training epochs harvested.
     pub fn free_epochs(&self) -> f64 {
         self.devices.iter().map(|d| d.free_epochs).sum()
+    }
+
+    /// Fleet-wide free epochs once gradient synchronization is paid
+    /// for: the interconnect's synced figure when one is attached, the
+    /// raw harvest otherwise (no interconnect — replicas are free and
+    /// independent, the pre-interconnect convention).
+    pub fn synced_free_epochs(&self) -> f64 {
+        self.sync
+            .as_ref()
+            .map_or_else(|| self.free_epochs(), |s| s.synced_free_epochs)
+    }
+
+    /// Deadline misses attributable to interconnect congestion, summed
+    /// over the class ledgers (0 without an interconnect).
+    pub fn sync_deadline_misses(&self) -> usize {
+        self.class_ledgers.iter().map(|l| l.sync_deadline_misses).sum()
     }
 
     /// Fleet-wide inference energy, joules (nonzero only where fitted
@@ -254,6 +275,9 @@ impl std::fmt::Display for FleetReport {
                 write!(f, ", displaced {:.2} epochs", l.displaced_epochs)?;
             }
             writeln!(f)?;
+        }
+        if let Some(s) = &self.sync {
+            writeln!(f, "  {s}")?;
         }
         if !self.scaling_spans.is_empty() {
             let joins = self

@@ -1,0 +1,133 @@
+//! Round outcomes: per-link counters and the aggregate result of one
+//! all-reduce round.
+
+/// Byte and cycle counters for one link over a round.
+///
+/// Conservation: `offered_bytes == delivered_bytes + dropped_bytes +
+/// queued_bytes_end` — see [`LinkReport::conserves`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkReport {
+    /// Stable link name (`up3`, `down0`, `ring2`, `leaf_up1`, …).
+    pub name: String,
+    /// Bytes offered to the link: accepted into the queue plus dropped
+    /// at its full queue.
+    pub offered_bytes: u64,
+    /// Bytes whose serialization onto the link completed.
+    pub delivered_bytes: u64,
+    /// Bytes refused by the full queue (drop-tail switching and
+    /// deferred background injections; PFC parks instead of dropping).
+    pub dropped_bytes: u64,
+    /// Packets refused by the full queue.
+    pub dropped_packets: u64,
+    /// Bytes still queued (including parked PFC headroom packets) when
+    /// the round ended.
+    pub queued_bytes_end: u64,
+    /// Cycles the link spent serializing, clamped to the round length.
+    pub busy_cycles: u64,
+    /// High-water mark of the queue, bytes.
+    pub peak_queue_bytes: u64,
+    /// Cycles the link's transmitter spent PFC-paused.
+    pub pfc_pause_cycles: u64,
+}
+
+impl LinkReport {
+    /// True when every offered byte is accounted for: delivered,
+    /// dropped, or still queued.
+    pub fn conserves(&self) -> bool {
+        self.offered_bytes == self.delivered_bytes + self.dropped_bytes + self.queued_bytes_end
+    }
+
+    /// Fraction of the round the link spent serializing, in `[0, 1]`.
+    pub fn utilization(&self, round_cycles: u64) -> f64 {
+        if round_cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / round_cycles as f64
+        }
+    }
+}
+
+/// The aggregate outcome of one simulated all-reduce round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundOutcome {
+    /// Cycles from the round's start to its last step's completion.
+    pub round_cycles: u64,
+    /// Completion cycle of each schedule step, cumulative.
+    pub per_step_cycles: Vec<u64>,
+    /// Per-link counters, in fabric link-index order.
+    pub links: Vec<LinkReport>,
+    /// Gradient flows launched over the round.
+    pub flows: usize,
+    /// Go-back-N timeout firings (each rewinds its flow's window).
+    pub retries: u64,
+    /// Flows that exhausted their consecutive-timeout retry budget.
+    pub aborted_flows: usize,
+    /// True when PFC backpressure wedged: flows aborted while packets
+    /// were still parked in headroom slots at round end.
+    pub deadlocked: bool,
+    /// True when the engine hit its event-cap backstop and force-
+    /// aborted the surviving flows.
+    pub truncated: bool,
+    /// Background packets that reached their device.
+    pub bg_packets_delivered: u64,
+    /// Background injections deferred at a full host link.
+    pub bg_packets_dropped: u64,
+    /// Mean background queueing delay, cycles beyond the unloaded
+    /// serialization + propagation floor.
+    pub bg_delay_mean_cycles: f64,
+    /// 99th-percentile background queueing delay, cycles.
+    pub bg_delay_p99_cycles: u64,
+}
+
+impl RoundOutcome {
+    /// True when every link satisfies byte conservation.
+    pub fn conserves(&self) -> bool {
+        self.links.iter().all(LinkReport::conserves)
+    }
+
+    /// True when every gradient flow finished: nothing aborted, and
+    /// the engine was not truncated.
+    pub fn completed(&self) -> bool {
+        self.aborted_flows == 0 && !self.truncated
+    }
+
+    /// The highest per-link utilization over the round, in `[0, 1]`.
+    pub fn peak_utilization(&self) -> f64 {
+        self.links
+            .iter()
+            .map(|l| l.utilization(self.round_cycles))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(offered: u64, delivered: u64, dropped: u64, queued: u64) -> LinkReport {
+        LinkReport {
+            name: "up0".into(),
+            offered_bytes: offered,
+            delivered_bytes: delivered,
+            dropped_bytes: dropped,
+            dropped_packets: u64::from(dropped > 0),
+            queued_bytes_end: queued,
+            busy_cycles: 50,
+            peak_queue_bytes: queued,
+            pfc_pause_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn conservation_is_exact() {
+        assert!(link(100, 60, 30, 10).conserves());
+        assert!(!link(100, 60, 30, 11).conserves());
+    }
+
+    #[test]
+    fn utilization_is_bounded_and_zero_on_an_empty_round() {
+        let l = link(100, 100, 0, 0);
+        assert_eq!(l.utilization(0), 0.0);
+        assert!((l.utilization(100) - 0.5).abs() < 1e-12);
+    }
+}

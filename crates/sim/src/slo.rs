@@ -82,6 +82,16 @@ pub struct ClassLedger {
     /// harvesting devices; it makes "paid overload ate the harvest"
     /// directly visible instead of inferable from scaling spans.
     pub displaced_epochs: f64,
+    /// Mean extra per-request delay the fleet interconnect's gradient
+    /// traffic imposed on this class's DMA path, seconds (0 without an
+    /// interconnect, or when its fabric stayed uncongested).
+    pub sync_delay_s: f64,
+    /// Attributed completions that met the deadline on their own but
+    /// would miss it once [`ClassLedger::sync_delay_s`] is added — the
+    /// interconnect's contribution to tail violations, kept separate
+    /// from [`ClassLedger::deadline_misses`] so the device-side ledger
+    /// stays comparable across runs with and without an interconnect.
+    pub sync_deadline_misses: usize,
     /// Latency distribution of the attributed completions, seconds.
     pub latency: LatencyStats,
 }
@@ -97,6 +107,8 @@ impl ClassLedger {
             deadline_misses: 0,
             unattributed_requests: 0,
             displaced_epochs: 0.0,
+            sync_delay_s: 0.0,
+            sync_deadline_misses: 0,
             latency: LatencyStats::from_samples(Vec::new()),
         }
     }
@@ -150,6 +162,10 @@ impl ClassLedger {
             out.deadline_misses += p.deadline_misses;
             out.unattributed_requests += p.unattributed_requests;
             out.displaced_epochs += p.displaced_epochs;
+            // Sync misses sum; the delay keeps the worst part's value
+            // (the edge ledger carries 0, so a mean would dilute it).
+            out.sync_deadline_misses += p.sync_deadline_misses;
+            out.sync_delay_s = out.sync_delay_s.max(p.sync_delay_s);
             tails.push(&p.latency);
         }
         out.latency = LatencyStats::merged(tails);
@@ -310,6 +326,8 @@ mod tests {
         paid.completed_requests = 90;
         paid.deadline_misses = 5;
         paid.displaced_epochs = 0.25;
+        paid.sync_delay_s = 2e-6;
+        paid.sync_deadline_misses = 3;
         paid.latency = LatencyStats::from_samples(vec![1e-3; 90]);
         assert_eq!(paid.total_violations(), 10);
         assert!((paid.violation_rate() - 0.1).abs() < 1e-12);
@@ -319,6 +337,8 @@ mod tests {
         assert_eq!(merged.offered_requests, 200);
         assert_eq!(merged.deadline_misses, 10);
         assert!((merged.displaced_epochs - 0.5).abs() < 1e-12);
+        assert_eq!(merged.sync_deadline_misses, 6);
+        assert_eq!(merged.sync_delay_s, 2e-6, "merge keeps the worst delay");
         assert_eq!(merged.latency.count(), 180);
         let empty = ClassLedger::empty(RequestClass::Free);
         assert_eq!(empty.violation_rate(), 0.0);

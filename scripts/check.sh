@@ -48,6 +48,14 @@ echo "    in-flight request, the EQX07xx lints regress, or the --quick"
 echo "    budget EQUINOX_QUICK_BUDGET_SERVE_S is blown)"
 cargo run --release -p equinox-bench --bin regen-results -- --quick serve
 
+echo "==> all-reduce smoke (reduced grid; fails if the harvest-vs-sync"
+echo "    frontier loses a cell, a fabric stops completing its round"
+echo "    with positive synced epochs at moderate load, the paid tier"
+echo "    is touched at the reference cells, a link leaks bytes, the"
+echo "    EQX09xx lints regress, or the --quick budget"
+echo "    EQUINOX_QUICK_BUDGET_ALLREDUCE_S is blown)"
+cargo run --release -p equinox-bench --bin regen-results -- --quick allreduce
+
 echo "==> bound-calibration smoke (fails if the cycle-accurate sim"
 echo "    measures outside any static [lower, upper] envelope, any"
 echo "    upper/lower ratio exceeds 4x, or the --quick budget"
@@ -71,21 +79,23 @@ echo "==> determinism smoke: the --quick regen of the sweep-backed"
 echo "    figures, the fleet and serving sweeps (incl. their scaled"
 echo "    fitted-surrogate cells), the bound and numerics calibrations,"
 echo "    and the fitted tables must be byte-identical serial vs parallel"
-EQUINOX_THREADS=1 cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks fleet serve bounds numerics fitted
+EQUINOX_THREADS=1 cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks fleet serve allreduce bounds numerics fitted
 cp results/fig6a_hbfp8.csv /tmp/equinox_fig6a_serial.csv
 cp results/table1_pareto.txt /tmp/equinox_table1_serial.txt
 cp results/driver_checks.json /tmp/equinox_checks_serial.json
 cp results/fleet_sweep.json /tmp/equinox_fleet_serial.json
 cp results/serve_sweep.json /tmp/equinox_serve_serial.json
+cp results/allreduce_sweep.json /tmp/equinox_allreduce_serial.json
 cp results/bounds_calibration.json /tmp/equinox_bounds_serial.json
 cp results/numerics_sweep.json /tmp/equinox_numerics_serial.json
 cp results/fitted_tables.json /tmp/equinox_fitted_serial.json
-cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks fleet serve bounds numerics fitted
+cargo run --release -p equinox-bench --bin regen-results -- --quick fig6 table1 checks fleet serve allreduce bounds numerics fitted
 cmp results/fig6a_hbfp8.csv /tmp/equinox_fig6a_serial.csv
 cmp results/table1_pareto.txt /tmp/equinox_table1_serial.txt
 cmp results/driver_checks.json /tmp/equinox_checks_serial.json
 cmp results/fleet_sweep.json /tmp/equinox_fleet_serial.json
 cmp results/serve_sweep.json /tmp/equinox_serve_serial.json
+cmp results/allreduce_sweep.json /tmp/equinox_allreduce_serial.json
 cmp results/bounds_calibration.json /tmp/equinox_bounds_serial.json
 cmp results/numerics_sweep.json /tmp/equinox_numerics_serial.json
 cmp results/fitted_tables.json /tmp/equinox_fitted_serial.json

@@ -14,6 +14,9 @@
 //! * [`sim`] — the cycle-accurate simulator of the Figure 3/5 blocks.
 //! * [`fleet`] — multi-accelerator cluster simulation: a request
 //!   router over N devices with fleet-level SLO/harvest accounting.
+//! * [`net`] — deterministic packet-level interconnect: point-to-point
+//!   links, drop-tail/PFC switching, go-back-N flows, and the gradient
+//!   all-reduce schedules that price fleet-wide synchronization.
 //! * [`trainer`] — software HBFP training for the Figure 2 convergence
 //!   study.
 //! * [`synth`] — area/power roll-up (Table 3 substitute for synthesis).
@@ -30,6 +33,7 @@ pub use equinox_core as core;
 pub use equinox_fleet as fleet;
 pub use equinox_isa as isa;
 pub use equinox_model as model;
+pub use equinox_net as net;
 pub use equinox_sim as sim;
 pub use equinox_synth as synth;
 pub use equinox_trainer as trainer;

@@ -11,7 +11,7 @@
 
 use equinox_arith::Encoding;
 use equinox_core::experiments::{
-    fig10, fig11, fig6, fig7, fig8, fig9, fitted, fleet, numerics, serve, table1,
+    allreduce, fig10, fig11, fig6, fig7, fig8, fig9, fitted, fleet, numerics, serve, table1,
 };
 use equinox_core::{Equinox, ExperimentScale};
 use equinox_isa::models::ModelSpec;
@@ -93,6 +93,17 @@ fn fleet_sweep_json_is_thread_count_invariant() {
     // routing decisions, per-device simulations, merged fleet tails —
     // must not depend on how the per-device runs were scheduled.
     assert_identical_across_thread_counts(|| fleet::run(ExperimentScale::Quick).to_json());
+}
+
+#[test]
+fn allreduce_sweep_json_is_thread_count_invariant() {
+    // The golden for `results/allreduce_sweep.json`: the frontier's
+    // cells fan out across threads, and inside each cell the packet
+    // engine is a single-threaded event heap seeded from the run's
+    // master seed — so the serialized frontier (round cycles, link
+    // utilizations, synced-epoch arithmetic) must not depend on
+    // scheduling.
+    assert_identical_across_thread_counts(|| allreduce::run(ExperimentScale::Quick).to_json());
 }
 
 #[test]

@@ -231,6 +231,89 @@ fn adjacent_regions_are_not_dataflow_hazards() {
     });
 }
 
+/// Ring and binomial-tree all-reduce schedules are bitwise-identical
+/// reducers: over random group sizes, gradient lengths, and values,
+/// both produce exactly the plain wrapping-sum of the inputs — the
+/// property that makes the swept schedules interchangeable in the
+/// harvest arithmetic.
+#[test]
+fn allreduce_schedules_reduce_bitwise_identically() {
+    use equinox::net::{reduce_gradients, AllReduceSchedule};
+
+    for_each_case(24, 0x707208, |g| {
+        let k = g.usize_in(2, 13);
+        let n = g.usize_in(1, 400);
+        let grads: Vec<Vec<i64>> = (0..k)
+            .map(|_| (0..n).map(|_| g.next_u64() as i64).collect())
+            .collect();
+        let expected: Vec<i64> = (0..n)
+            .map(|j| grads.iter().fold(0i64, |acc, v| acc.wrapping_add(v[j])))
+            .collect();
+        let ring = reduce_gradients(AllReduceSchedule::Ring, &grads);
+        let tree = reduce_gradients(AllReduceSchedule::Tree, &grads);
+        assert_eq!(ring, expected, "ring diverged at k={k} n={n}");
+        assert_eq!(tree, expected, "tree diverged at k={k} n={n}");
+    });
+}
+
+/// Every simulated all-reduce round conserves bytes on every link —
+/// offered equals delivered plus dropped plus still-queued — for
+/// random fleets, participant groups, fabrics, schedules, switching
+/// policies, and background loads. Holds even when PFC deadlocks or a
+/// flow aborts: packets may die, bytes may not.
+#[test]
+fn allreduce_flows_conserve_link_bytes() {
+    use equinox::net::{
+        run_allreduce_round, AllReduceSchedule, InterconnectSpec, SwitchPolicy, Topology,
+    };
+
+    for_each_case(24, 0x707209, |g| {
+        let n = g.usize_in(2, 9);
+        let k = g.usize_in(2, n + 1);
+        let start = g.usize_in(0, n - k + 1);
+        let participants: Vec<usize> = (start..start + k).collect();
+        let topology = match g.usize_in(0, 3) {
+            0 => Topology::OneBigSwitch,
+            1 => Topology::Ring,
+            _ => Topology::Tree { leaf_group: g.usize_in(2, 5) },
+        };
+        let switching = if g.usize_in(0, 2) == 0 {
+            SwitchPolicy::DropTail
+        } else {
+            SwitchPolicy::Pfc
+        };
+        let schedule = if g.usize_in(0, 2) == 0 {
+            AllReduceSchedule::Ring
+        } else {
+            AllReduceSchedule::Tree
+        };
+        let spec = InterconnectSpec::datacenter(g.usize_in(4_096, 262_144) as u64, 65_536)
+            .with_topology(topology)
+            .with_switching(switching)
+            .with_schedule(schedule);
+        let bg: Vec<f64> = (0..n).map(|_| g.next_f64() * 16.0).collect();
+        let outcome = run_allreduce_round(&spec, n, &participants, &bg, g.next_u64())
+            .expect("drawn specs validate");
+        assert!(
+            outcome.conserves(),
+            "link byte conservation violated: n={n} k={k} {topology:?} \
+             {switching:?} {schedule:?}",
+        );
+        assert!(outcome.round_cycles > 0);
+        // Drop-tail fabrics must always finish the round: go-back-N
+        // recovers every loss within the retry budget.
+        if switching == SwitchPolicy::DropTail {
+            assert!(
+                outcome.completed(),
+                "drop-tail round failed: n={n} k={k} {topology:?} {schedule:?} \
+                 ({} aborted, truncated {})",
+                outcome.aborted_flows,
+                outcome.truncated,
+            );
+        }
+    });
+}
+
 /// The numerics pass is never false-safe: for random reduction
 /// geometries, every chain the pass marks saturation-safe survives the
 /// executed 25-bit accumulator at worst-case operand magnitudes (and
